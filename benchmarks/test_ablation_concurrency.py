@@ -1,0 +1,120 @@
+"""Ablation — pluggable concurrency models (paper section 4.4).
+
+The paper positions the models on a throughput/overhead spectrum:
+single-threaded (low overhead, low throughput) < thread-per-ManetProtocol
+< thread-per-message (high overhead, high throughput).  This bench drives
+an event burst through each model and reports wall-clock throughput plus
+the dispatch overhead per event for a no-op workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from conftest import record
+from repro.analysis.tables import render_table
+from repro.concurrency.models import make_model
+from repro.events.event import Event
+from repro.events.types import ontology
+
+MODELS = (
+    "single-threaded",
+    "thread-per-n-messages",
+    "thread-per-protocol",
+    "thread-per-message",
+)
+BURST = 400
+
+
+class _Unit:
+    def __init__(self, name, work_seconds=0.0, blocking=False):
+        self.name = name
+        self.lock = threading.RLock()
+        self.work_seconds = work_seconds
+        self.blocking = blocking
+        self.processed = 0
+
+    def process_event(self, _event):
+        if self.work_seconds:
+            if self.blocking:
+                # IO-bound handler (socket write, kernel-table syscall):
+                # releases the GIL, so threaded models can overlap units
+                time.sleep(self.work_seconds)
+            else:
+                # CPU-bound handler: spins holding the GIL
+                deadline = time.perf_counter() + self.work_seconds
+                while time.perf_counter() < deadline:
+                    pass
+        self.processed += 1
+
+
+def _drive(model_name, unit_count, work_seconds, blocking=False, burst=BURST):
+    model = make_model(model_name)
+    units = [_Unit(f"u{i}", work_seconds, blocking) for i in range(unit_count)]
+    events = [Event(ontology.get("HELLO_IN")) for _ in range(burst)]
+    start = time.perf_counter()
+    for event in events:
+        for unit in units:
+            model.dispatch(unit, event)
+    assert model.drain(timeout=60.0)
+    elapsed = time.perf_counter() - start
+    model.shutdown()
+    assert all(unit.processed == burst for unit in units)
+    return elapsed
+
+
+@pytest.mark.benchmark(group="ablation-concurrency")
+def test_concurrency_model_throughput(benchmark):
+    results = {}
+
+    def measure():
+        for model_name in MODELS:
+            # dispatch overhead: 4 protocols, no per-event work
+            overhead = _drive(model_name, unit_count=4, work_seconds=0.0)
+            # CPU-bound: 50 us of GIL-holding work per event
+            cpu = _drive(model_name, unit_count=4, work_seconds=50e-6)
+            # IO-bound: 2 ms of blocking (GIL-releasing) work per event
+            io = _drive(
+                model_name, unit_count=4, work_seconds=2e-3,
+                blocking=True, burst=50,
+            )
+            results[model_name] = (overhead, cpu, io)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            f"{results[name][0] * 1e6 / (BURST * 4):.1f}",
+            f"{BURST * 4 / results[name][1]:.0f}",
+            f"{50 * 4 / results[name][2]:.0f}",
+        ]
+        for name in MODELS
+    ]
+    text = render_table(
+        "Ablation - concurrency models "
+        f"({BURST} events x 4 protocols; CPU = 50us spin, IO = 2ms block)",
+        ["model", "dispatch overhead (us/event)",
+         "CPU-bound throughput (ev/s)", "IO-bound throughput (ev/s)"],
+        rows,
+    ) + (
+        "\n\nCPython note: CPU-bound handlers serialise on the GIL, so the "
+        "paper's throughput benefit only reproduces for blocking (IO-bound) "
+        "handler work, where thread-per-message overlaps the 4 protocols."
+    )
+    record("ablation_concurrency", text)
+
+    # single-threaded has the lowest per-event dispatch overhead (paper:
+    # "low resource overhead and low protocol throughput")
+    single_overhead = results["single-threaded"][0]
+    assert all(
+        single_overhead <= results[name][0] * 1.25
+        for name in MODELS
+    )
+    # ...and the highest-concurrency model wins when handlers block
+    # (the paper's "high resource overhead and high protocol throughput")
+    assert results["thread-per-message"][2] < results["single-threaded"][2]
+    assert results["thread-per-protocol"][2] < results["single-threaded"][2]

@@ -1,0 +1,86 @@
+"""Ablation — fish-eye TC scoping vs network diameter (paper section 5.1).
+
+"The purpose of the fish-eye routing variant is to aid scalability when
+networks grow large" — most TCs are scoped to the local neighbourhood, so
+TC relay traffic stops growing with network diameter, "albeit at the cost
+of sub-optimal (staler) routing to distant nodes".
+
+This bench runs standard and fish-eye OLSR on chains of growing diameter
+and reports TC-carrying control frames per node per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import HELLO_INTERVAL, TC_INTERVAL, record
+from repro.analysis.tables import render_table
+from repro.core import ManetKit
+from repro.protocols.olsr.fisheye import apply_fisheye
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+DIAMETERS = (4, 8, 12)
+MEASURE_WINDOW = 20.0
+
+
+def _tc_load(node_count, fisheye, seed=13):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr", hello_interval=HELLO_INTERVAL)
+        kit.load_protocol("olsr", tc_interval=TC_INTERVAL)
+        if fisheye:
+            apply_fisheye(kit)
+        kits[node_id] = kit
+    sim.run(15.0)  # converge
+    before = sim.stats.total_control_frames
+    sim.run(MEASURE_WINDOW)
+    frames = sim.stats.total_control_frames - before
+    return frames / node_count / MEASURE_WINDOW
+
+
+@pytest.mark.benchmark(group="ablation-fisheye")
+def test_fisheye_overhead_vs_diameter(benchmark):
+    results = {}
+
+    def measure():
+        for diameter in DIAMETERS:
+            node_count = diameter + 1
+            standard = _tc_load(node_count, fisheye=False)
+            fisheye = _tc_load(node_count, fisheye=True)
+            results[diameter] = (standard, fisheye)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"diameter {diameter} ({diameter + 1} nodes)",
+            f"{standard:.2f}",
+            f"{fisheye:.2f}",
+            f"{100.0 * (standard - fisheye) / standard:.0f}%",
+        ]
+        for diameter, (standard, fisheye) in results.items()
+    ]
+    text = render_table(
+        "Ablation - control frames per node per second: standard vs "
+        "fish-eye OLSR",
+        ["chain", "standard", "fish-eye", "saving"],
+        rows,
+    )
+    record("ablation_fisheye", text)
+
+    # fish-eye reduces control load at every diameter...
+    for diameter, (standard, fisheye) in results.items():
+        assert fisheye < standard, diameter
+    # ...and the absolute saving grows with diameter (scoped TCs stop
+    # propagating network-wide)
+    savings = {
+        d: standard - fisheye for d, (standard, fisheye) in results.items()
+    }
+    assert savings[DIAMETERS[-1]] > savings[DIAMETERS[0]]

@@ -1,0 +1,92 @@
+"""Ablation — MPR flooding vs blind flooding vs network density.
+
+"Multipoint Relaying is good at reducing control overhead in denser
+networks" (paper section 2); DYMO's optimised-flooding variant trades
+extra state for exactly that saving (section 5.2).  This bench floods one
+route discovery through increasingly dense networks and counts control
+transmissions under blind and MPR-optimised flooding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.analysis.tables import render_table
+from repro.core import ManetKit
+from repro.protocols.dymo.flooding import apply_optimised_flooding
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+DENSITIES = {
+    "sparse (chain of 9)": lambda ids: topology.linear_chain(ids),
+    "medium (3x3 grid)": lambda ids: topology.grid(3, 3, first_id=ids[0]),
+    "dense (3x3 grid + diagonals)": lambda ids: topology.grid(
+        3, 3, first_id=ids[0]
+    ) + [
+        (ids[0], ids[4]), (ids[1], ids[3]), (ids[1], ids[5]),
+        (ids[2], ids[4]), (ids[3], ids[7]), (ids[4], ids[6]),
+        (ids[4], ids[8]), (ids[5], ids[7]),
+    ],
+}
+
+
+def _discovery_burst(edges_fn, optimised, seed=11):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(9)
+    ids = sim.node_ids()
+    sim.topology.apply(edges_fn(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo")
+        if optimised:
+            apply_optimised_flooding(kit)
+        kits[node_id] = kit
+    sim.run(10.0)  # neighbour sensing / MPR selection converges
+    before = sim.stats.total_control_frames
+    delivered = []
+    sim.node(ids[-1]).add_app_receiver(delivered.append)
+    sim.node(ids[0]).send_data(ids[-1], b"probe")
+    sim.run(1.5)
+    assert delivered, "discovery failed"
+    return sim.stats.total_control_frames - before
+
+
+@pytest.mark.benchmark(group="ablation-flooding")
+def test_mpr_vs_blind_flooding_overhead(benchmark):
+    results = {}
+
+    def measure():
+        for label, edges_fn in DENSITIES.items():
+            blind = _discovery_burst(edges_fn, optimised=False)
+            optimised = _discovery_burst(edges_fn, optimised=True)
+            results[label] = (blind, optimised)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            blind,
+            optimised,
+            f"{100.0 * (blind - optimised) / blind:.0f}%",
+        ]
+        for label, (blind, optimised) in results.items()
+    ]
+    text = render_table(
+        "Ablation - control frames per route discovery: blind vs MPR flooding",
+        ["topology", "blind", "MPR", "saving"],
+        rows,
+    )
+    record("ablation_flooding", text)
+
+    # in the dense network, MPR flooding must save transmissions
+    dense_blind, dense_mpr = results["dense (3x3 grid + diagonals)"]
+    assert dense_mpr < dense_blind
+    # the saving grows with density (sparse chain: nothing to suppress)
+    sparse_blind, sparse_mpr = results["sparse (chain of 9)"]
+    sparse_saving = (sparse_blind - sparse_mpr) / sparse_blind
+    dense_saving = (dense_blind - dense_mpr) / dense_blind
+    assert dense_saving >= sparse_saving

@@ -1,0 +1,78 @@
+"""Ablation — gossip (probabilistic) flooding: overhead vs reliability.
+
+Paper section 2: "Various epidemic/gossip algorithms can also be applied
+in this context" (citing Haas, Halpern & Li's GOSSIP1).  The trade-off is
+one-dimensional: lower relay probability saves rebroadcasts but risks the
+flood dying before it reaches the target.  This bench sweeps p on a 3x3
+grid and reports control cost and discovery success over multiple seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.analysis.tables import render_table
+from repro.core import ManetKit
+from repro.protocols.dymo.flooding import apply_gossip_flooding
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+PROBABILITIES = (1.0, 0.75, 0.5, 0.3)
+SEEDS = range(8)
+
+
+def _one_discovery(p, seed):
+    sim = Simulation(seed=600 + seed)
+    sim.add_nodes(9)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.grid(3, 3, first_id=ids[0]))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("dymo", rreq_tries=1)  # single shot: measure the
+        kits[nid] = kit                          # flood itself, not retries
+        if p < 1.0:
+            apply_gossip_flooding(kit, p=p, k=1)
+    sim.run(5.0)
+    before = sim.stats.total_control_frames
+    got = []
+    sim.node(ids[-1]).add_app_receiver(got.append)
+    sim.node(ids[0]).send_data(ids[-1], b"x")
+    sim.run(2.0)
+    return sim.stats.total_control_frames - before, bool(got)
+
+
+@pytest.mark.benchmark(group="ablation-gossip")
+def test_gossip_probability_sweep(benchmark):
+    results = {}
+
+    def measure():
+        for p in PROBABILITIES:
+            runs = [_one_discovery(p, seed) for seed in SEEDS]
+            frames = sum(f for f, _ok in runs) / len(runs)
+            success = sum(ok for _f, ok in runs) / len(runs)
+            results[p] = (frames, success)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [f"p = {p:.2f}", f"{frames:.1f}", f"{success:.0%}"]
+        for p, (frames, success) in results.items()
+    ]
+    text = render_table(
+        "Ablation - GOSSIP1(p, 1) route discovery on a 3x3 grid "
+        f"(mean over {len(list(SEEDS))} seeds, single RREQ attempt)",
+        ["relay probability", "control frames", "discovery success"],
+        rows,
+    )
+    record("ablation_gossip", text)
+
+    # overhead decreases monotonically with p
+    frames = [results[p][0] for p in PROBABILITIES]
+    assert all(a >= b for a, b in zip(frames, frames[1:]))
+    # p=1.0 is blind flooding: always succeeds
+    assert results[1.0][1] == 1.0
+    # very low p sometimes kills the flood (the trade-off is real)
+    assert results[0.3][1] < 1.0

@@ -1,0 +1,83 @@
+"""Ablation — the cost of the power-aware OLSR variant (paper section 5.1).
+
+"If there is no such requirement, the variation becomes a hindrance (and
+therefore should be removed) because it incurs significantly more overhead
+than standard OLSR routing."  This bench quantifies that overhead (control
+frames and bytes) on a mid-size network, standard vs power-aware, and then
+confirms the overhead disappears again after `remove_power_aware` — the
+round-trip reconfiguration the paper motivates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import HELLO_INTERVAL, TC_INTERVAL, record
+from repro.analysis.tables import render_table
+from repro.core import ManetKit
+from repro.protocols.olsr.power_aware import apply_power_aware, remove_power_aware
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+MEASURE_WINDOW = 30.0
+
+
+def _build(seed=17):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(6)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.grid(3, 2, first_id=ids[0]))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr", hello_interval=HELLO_INTERVAL)
+        kit.load_protocol("olsr", tc_interval=TC_INTERVAL)
+        kits[node_id] = kit
+    sim.run(10.0)
+    return sim, kits
+
+
+def _window_load(sim):
+    frames_before = sim.stats.total_control_frames
+    bytes_before = sim.stats.total_control_bytes
+    sim.run(MEASURE_WINDOW)
+    return (
+        (sim.stats.total_control_frames - frames_before) / MEASURE_WINDOW,
+        (sim.stats.total_control_bytes - bytes_before) / MEASURE_WINDOW,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-power-aware")
+def test_power_aware_overhead_roundtrip(benchmark):
+    results = {}
+
+    def measure():
+        sim, kits = _build()
+        results["standard"] = _window_load(sim)
+        for kit in kits.values():
+            apply_power_aware(kit)
+        results["power-aware"] = _window_load(sim)
+        for kit in kits.values():
+            remove_power_aware(kit)
+        results["removed again"] = _window_load(sim)
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [
+        [label, f"{frames:.2f}", f"{byte_rate:.0f}"]
+        for label, (frames, byte_rate) in results.items()
+    ]
+    text = render_table(
+        "Ablation - power-aware OLSR overhead (per-second, 6-node grid)",
+        ["configuration", "control frames/s", "control bytes/s"],
+        rows,
+    )
+    record("ablation_power_aware", text)
+
+    # the variant costs more than standard OLSR...
+    assert results["power-aware"][0] > results["standard"][0]
+    assert results["power-aware"][1] > results["standard"][1]
+    # ...and removing it restores (approximately) the standard load
+    assert results["removed again"][0] < results["power-aware"][0]
+    assert results["removed again"][0] <= results["standard"][0] * 1.2

@@ -1,0 +1,112 @@
+"""Micro benchmarks — the cost of dynamic reconfiguration itself.
+
+The paper's goal 2 is that the framework's flexibility must not cost
+performance.  Table 1 measured the steady-state path; these benchmarks
+measure the *reconfiguration operations*: declarative tuple rewiring,
+component hot-swap under the critical section, variant application, and a
+full protocol switch with state carry-over.  All are sub-millisecond —
+reconfiguration is cheap enough to drive from a per-second policy loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from conftest import HELLO_INTERVAL, TC_INTERVAL
+from repro.core import ManetKit
+from repro.events.registry import EventTuple
+from repro.protocols.dymo.state import DymoState
+from repro.protocols.mpr.calculator import MprCalculator
+from repro.protocols.olsr.power_aware import PowerAwareMprCalculator
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def _converged_olsr_kit():
+    sim = Simulation(seed=0)
+    sim.add_nodes(3)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr", hello_interval=HELLO_INTERVAL)
+        kit.load_protocol("olsr", tc_interval=TC_INTERVAL)
+        kits[node_id] = kit
+    sim.run(10.0)
+    return sim, ids, kits
+
+
+@pytest.mark.benchmark(group="reconfig-latency")
+def test_tuple_rewire_latency(benchmark):
+    """Method 1 of section 4.5: declarative tuple update + auto rewire."""
+    sim, ids, kits = _converged_olsr_kit()
+    kit = kits[ids[0]]
+    olsr = kit.protocol("olsr")
+    base = EventTuple(["TC_IN", "NHOOD_CHANGE", "MPR_CHANGE"], ["TC_OUT"])
+    extended = base.with_required("POWER_STATUS")
+    toggle = itertools.cycle((extended, base))
+
+    def rewire():
+        olsr.set_event_tuple(next(toggle))
+
+    benchmark(rewire)
+    assert kit.manager.rewires > 2
+
+
+@pytest.mark.benchmark(group="reconfig-latency")
+def test_component_hot_swap_latency(benchmark):
+    """Method 2: architecture-meta-model replacement under the CS."""
+    sim, ids, kits = _converged_olsr_kit()
+    kit = kits[ids[0]]
+    swap = itertools.cycle((PowerAwareMprCalculator, MprCalculator))
+
+    def hot_swap():
+        kit.reconfig.replace_component(
+            "mpr", "mpr-calculator", next(swap)()
+        )
+
+    benchmark(hot_swap)
+    mpr = kit.protocol("mpr")
+    assert mpr.control.has_child("mpr-calculator")
+
+
+@pytest.mark.benchmark(group="reconfig-latency")
+def test_protocol_switch_latency(benchmark):
+    """Full switch_protocol with S-element carry-over."""
+    from repro.protocols.dymo.protocol import DymoCF
+
+    sim = Simulation(seed=0)
+    node = sim.add_node()
+    kit = ManetKit(node)
+    kit.load_protocol("dymo")
+
+    def switch():
+        # swap the whole running instance for a fresh one, keeping state
+        kit.reconfig.switch_protocol("dymo", DymoCF(kit.ontology, name="dymo"))
+
+    benchmark(switch)
+    assert isinstance(kit.protocol("dymo").dymo_state, DymoState)
+
+
+@pytest.mark.benchmark(group="reconfig-latency")
+def test_variant_application_latency(benchmark):
+    """apply/remove of the multipath variant (3 component replacements)."""
+    from repro.protocols.dymo.multipath import apply_multipath, remove_multipath
+
+    sim = Simulation(seed=0)
+    kit = ManetKit(sim.add_node())
+    kit.load_protocol("dymo")
+    state = {"multipath": False}
+
+    def toggle_variant():
+        if state["multipath"]:
+            remove_multipath(kit)
+        else:
+            apply_multipath(kit)
+        state["multipath"] = not state["multipath"]
+
+    benchmark(toggle_variant)

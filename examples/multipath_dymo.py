@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multipath DYMO: failover without a new route discovery (paper section 5.2).
+
+A running DYMO deployment is reconfigured to the multipath variant by
+replacing exactly three components (the S element, the RE handler and the
+RERR handler).  A single route discovery then computes multiple
+link-disjoint paths; when the primary path breaks, traffic fails over to
+the alternative with *no* new network-wide RREQ flood.
+
+Run:  python examples/multipath_dymo.py
+"""
+
+from repro.core import ManetKit
+from repro.protocols.dymo.multipath import apply_multipath
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+#: 1 -> 4 has two link-disjoint paths: 1-2-3-4 and 1-5-6-4.
+EDGES = [(1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (6, 4)]
+
+
+def main() -> None:
+    sim = Simulation(seed=3)
+    for node_id in range(1, 7):
+        sim.add_node(node_id=node_id)
+    sim.topology.apply(EDGES)
+    kits = {}
+    for node_id in sim.node_ids():
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo", route_timeout=60.0)
+        kits[node_id] = kit
+    sim.run(5.0)
+
+    print("reconfiguring every node to multipath DYMO "
+          "(3 component replacements)...")
+    for kit in kits.values():
+        apply_multipath(kit)
+
+    # -- one discovery, several paths ----------------------------------------
+    delivered = []
+    sim.node(4).add_app_receiver(delivered.append)
+    sim.node(1).send_data(4, b"probe")
+    sim.run(1.0)
+    state = kits[1].protocol("dymo").dymo_state
+    print(f"\none discovery, {len(delivered)} delivery; paths learned at "
+          "node 1 toward node 4:")
+    for record in state.alternatives(4):
+        print(f"  via {record.next_hop}, {record.hop_count} hops, "
+              f"edges {sorted(record.edges)}")
+    discoveries_before = state.discoveries_initiated
+
+    # -- break the primary path -----------------------------------------------
+    primary = sim.node(1).kernel_table.lookup(4).next_hop
+    print(f"\nbreaking the primary path's first link 1-{primary}...")
+    sim.topology.break_edge(1, primary)
+    sim.run(5.0)  # neighbour detection notices the break
+
+    new_hop = sim.node(1).kernel_table.lookup(4).next_hop
+    print(f"kernel route switched to the alternative next hop: {new_hop}")
+
+    sim.node(1).send_data(4, b"after failover")
+    sim.run(1.0)
+    print(f"packets delivered in total: {len(delivered)}")
+    print(f"route discoveries initiated at node 1: "
+          f"{state.discoveries_initiated} (was {discoveries_before} — "
+          "failover needed no new flood)")
+    print(f"path switches recorded: {state.path_switches}")
+
+
+if __name__ == "__main__":
+    main()

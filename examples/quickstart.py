@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy DYMO on the paper's 5-node chain and route data.
+
+This walks the core MANETKit workflow end to end:
+
+1. build a simulated wireless network (the substrate standing in for the
+   paper's 802.11b/g testbed);
+2. create one MANETKit deployment per node and dynamically deploy the
+   DYMO routing protocol by name;
+3. send application data — the kernel's NetLink hooks trigger a reactive
+   route discovery, buffered packets are re-injected on ROUTE_FOUND, and
+   the datagram crosses four hops.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401  (registers 'dymo', 'olsr', 'aodv', 'mpr')
+
+
+def main() -> None:
+    # -- 1. the network -----------------------------------------------------
+    sim = Simulation(seed=42)
+    sim.add_nodes(5)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    print(f"network: linear chain {ids} (only adjacent nodes hear each other)")
+
+    # -- 2. one MANETKit deployment per node ---------------------------------
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo")  # dynamic deployment by name
+        kits[node_id] = kit
+    print("deployed units on node 1:",
+          [unit.name for unit in kits[ids[0]].units()])
+
+    # let neighbour detection learn the 1-hop neighbourhoods
+    sim.run(5.0)
+    nd = kits[ids[1]].protocol("neighbour-detection")
+    print(f"node {ids[1]} neighbours: {nd.table.neighbours()}")
+
+    # -- 3. send data: discovery happens on demand ---------------------------
+    source, destination = ids[0], ids[-1]
+    delivered = []
+    sim.node(destination).add_app_receiver(delivered.append)
+
+    start = sim.now
+    sim.node(source).send_data(destination, b"hello, MANET!")
+    while not delivered and sim.now - start < 5.0:
+        sim.run(0.001)
+
+    latency_ms = (sim.now - start) * 1000
+    print(f"\nroute discovery + delivery took {latency_ms:.1f} ms "
+          f"(paper's testbed: ~27 ms)")
+    print(f"payload received at node {destination}: "
+          f"{delivered[0].payload.decode()}")
+
+    dymo = kits[source].protocol("dymo")
+    print("\nroutes learned at the source (path accumulation teaches "
+          "every hop):")
+    for route in dymo.routing_table():
+        print(f"  dest {route.destination} via {route.next_hop} "
+              f"({route.hop_count} hops)")
+
+    stats = sim.stats.summary()
+    print(f"\ncontrol frames on the air: {stats['control_frames']:.0f}, "
+          f"delivery ratio: {stats['delivery_ratio']:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The portability claim, live: unmodified protocols over real UDP sockets.
+
+Everything in the other examples runs on the discrete-event simulator.
+Here the *same* deployments — same OLSR/MPR and DYMO code, same System CF
+— run on the real-time backend: wall-clock timers, real UDP datagrams on
+127.0.0.1, receive processing on socket threads.  Only the node object
+changed; "the System CF itself and ManetProtocol instances above it need
+not be aware" (paper section 4.3).
+
+Run:  python examples/real_udp_network.py     (takes ~8 real seconds)
+"""
+
+import time
+
+from repro.core import ManetKit
+from repro.rt import UdpNetwork
+
+import repro.protocols  # noqa: F401
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+def main() -> None:
+    net = UdpNetwork()
+    nodes = [net.add_node() for _ in range(4)]
+    ids = net.node_ids()
+    net.set_connectivity(list(zip(ids, ids[1:])))  # a 4-node chain
+    print("UDP chain on loopback:",
+          {nid: f"127.0.0.1:{net.node(nid).port}" for nid in ids})
+
+    kits = [ManetKit(node) for node in nodes]
+    for kit in kits:
+        kit.load_protocol("mpr", hello_interval=0.3)
+        kit.load_protocol("olsr", tc_interval=0.5)
+
+    print("\nwaiting for OLSR to converge over real sockets...")
+    start = time.monotonic()
+    olsr = kits[0].protocol("olsr")
+    converged = wait_for(
+        lambda: set(olsr.routing_table()) == set(ids[1:]), timeout=20.0
+    )
+    elapsed = time.monotonic() - start
+    print(f"converged: {converged} in {elapsed:.1f} real seconds; "
+          f"node 1 routes: {olsr.routing_table()}")
+
+    got = []
+    nodes[-1].add_app_receiver(got.append)
+    sent_at = time.monotonic()
+    nodes[0].send_data(ids[-1], b"three real UDP hops")
+    wait_for(lambda: got, timeout=3.0)
+    print(f"end-to-end datagram delivered in "
+          f"{(time.monotonic() - sent_at) * 1000:.1f} ms "
+          f"({got[0].payload.decode()!r})")
+
+    frames = net.stats.total_control_frames
+    print(f"\ncontrol frames actually transmitted on loopback: {frames}")
+    net.shutdown()
+    print("same protocol code, different substrate — nothing was ported.")
+
+
+if __name__ == "__main__":
+    main()

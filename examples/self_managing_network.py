@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Closing the loop: policy-driven, network-coordinated reconfiguration.
+
+The paper stops at providing context monitoring and reconfiguration
+enactment, leaving decision making to "higher-level software" (§4.5) and
+naming "policy-driven decision making [and] coordinated distributed
+dynamic reconfiguration" as future work (§7).  This example is that
+future work, built on the extensions in this repository:
+
+* a **PolicyEngine** on one designated node evaluates an
+  event-condition-action rule over the context concentrator;
+* when the rule fires (the proactive routing horizon has grown past the
+  threshold), the node doesn't just reconfigure itself — it floods a
+  reconfiguration *command* through the **ReconfigCoordinatorCF**;
+* every node enacts the switch at the same simulated instant, so the
+  whole network moves from proactive OLSR to reactive DYMO together.
+
+Run:  python examples/self_managing_network.py
+"""
+
+from repro.core import ManetKit
+from repro.core.coordination import deploy_coordinator
+from repro.core.policy import PolicyEngine, Rule
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+SIZE_THRESHOLD = 6
+FAST_OLSR = {"mpr": {"hello_interval": 0.5}, "olsr": {"tc_interval": 1.0}}
+
+
+def deploy_node(sim, node):
+    kit = ManetKit(node)
+    kit.load_protocol("mpr", **FAST_OLSR["mpr"])
+    kit.load_protocol("olsr", **FAST_OLSR["olsr"])
+    coordinator = deploy_coordinator(kit, lead_time=1.5)
+    return kit, coordinator
+
+
+def main() -> None:
+    sim = Simulation(seed=8)
+    sim.add_nodes(4)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits, coordinators = {}, {}
+    for node_id in ids:
+        kits[node_id], coordinators[node_id] = deploy_node(
+            sim, sim.node(node_id)
+        )
+
+    # the designated "manager" node watches its routing horizon and, when
+    # the network outgrows the proactive sweet spot, proposes a
+    # coordinated switch
+    manager_id = ids[0]
+
+    def network_too_big(context) -> bool:
+        return (
+            context.has_protocol("olsr")
+            and context.known_destinations() >= SIZE_THRESHOLD
+        )
+
+    def propose_switch(deployment) -> None:
+        print(f"[t={sim.now:5.1f}s] policy fired on node {manager_id}: "
+              f"{SIZE_THRESHOLD}+ destinations known -> proposing "
+              "network-wide switch to DYMO")
+        coordinators[manager_id].propose("switch-to-dymo")
+
+    engine = PolicyEngine(kits[manager_id], interval=2.0).start()
+    engine.add_rule(
+        Rule("grown-past-proactive", network_too_big, propose_switch,
+             once=True)
+    )
+
+    sim.run(12.0)
+    print(f"[t={sim.now:5.1f}s] 4 nodes, OLSR stable "
+          f"(policy evaluated {engine.evaluations}x, no firing yet)")
+
+    print(f"\n[t={sim.now:5.1f}s] four more nodes join the chain...")
+    tail = ids[-1]
+    for _ in range(4):
+        node = sim.add_node()
+        kit, coordinator = deploy_node(sim, node)
+        kits[node.node_id] = kit
+        coordinators[node.node_id] = coordinator
+        sim.topology.add_edge(tail, node.node_id)
+        tail = node.node_id
+
+    sim.run(15.0)  # OLSR learns the grown network; the policy fires;
+    #                the command floods; everyone enacts simultaneously
+
+    print(f"\n[t={sim.now:5.1f}s] after the coordinated switch:")
+    switched = sum(
+        1 for kit in kits.values() if kit.manager.unit("dymo") is not None
+    )
+    print(f"  nodes running DYMO: {switched}/{len(kits)}")
+    enact_times = sorted(
+        record.activate_at
+        for coordinator in coordinators.values()
+        for record in coordinator.log
+        if record.enacted
+    )
+    print(f"  enactment instants: min={enact_times[0]:.3f}s "
+          f"max={enact_times[-1]:.3f}s (simultaneous)")
+
+    far = sorted(kits)[-1]
+    probe = []
+    sim.node(far).add_app_receiver(probe.append)
+    sim.node(manager_id).send_data(far, b"reactive era")
+    sim.run(3.0)
+    print(f"  reactive route to new far node {far}: "
+          f"{'established' if probe else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""MANETKit reproduction.
+
+A from-scratch Python implementation of *MANETKit: Supporting the Dynamic
+Deployment and Reconfiguration of Ad-Hoc Routing Protocols* (Ramdhany,
+Grace, Coulson, Hutchison -- Middleware 2009), together with every substrate
+it depends on: the OpenCom reflective component model, the PacketBB wire
+format, a discrete-event wireless network simulator standing in for the
+paper's 802.11 testbed, RFC-style OLSR (+MPR) / DYMO / AODV protocol
+implementations and their runtime variants, and the monolithic comparator
+daemons used by the paper's evaluation.
+
+Public API quick tour::
+
+    from repro import ManetKit, Simulation, topology
+    import repro.protocols                      # registers protocol builders
+
+    sim = Simulation(seed=42)
+    sim.add_nodes(5)
+    sim.topology.apply(topology.linear_chain(sim.node_ids()))
+    kit = ManetKit(sim.node(1))
+    kit.load_protocol("dymo")                   # dynamic deployment
+    sim.run(5.0)
+
+See ``examples/`` for complete scenarios, ``DESIGN.md`` for the system
+inventory and ``EXPERIMENTS.md`` for the paper-vs-measured record.
+"""
+
+from repro.core.manetkit import ManetKit, register_protocol
+from repro.core.manet_protocol import (
+    EventHandlerComponent,
+    EventSourceComponent,
+    ForwardComponent,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.core.neighbour_detection import NeighbourDetectionCF
+from repro.core.system_cf import SystemCF
+from repro.events.registry import EventTuple, Requirement
+from repro.events.types import EventOntology, ontology
+from repro.sim import Simulation, topology
+from repro.sim.mobility import RandomWaypoint, StaticPlacement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ManetKit",
+    "register_protocol",
+    "ManetProtocol",
+    "EventHandlerComponent",
+    "EventSourceComponent",
+    "ForwardComponent",
+    "StateComponent",
+    "NeighbourDetectionCF",
+    "SystemCF",
+    "EventTuple",
+    "Requirement",
+    "EventOntology",
+    "ontology",
+    "Simulation",
+    "topology",
+    "RandomWaypoint",
+    "StaticPlacement",
+    "__version__",
+]

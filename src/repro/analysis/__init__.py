@@ -1,0 +1,27 @@
+"""Evaluation analysis tooling.
+
+* :mod:`repro.analysis.footprint` — deep object-graph memory measurement
+  with shared-object de-duplication (Table 2);
+* :mod:`repro.analysis.reuse` — per-component source-line accounting,
+  generic vs protocol-specific (Table 3 and Fig 7);
+* :mod:`repro.analysis.tables` — paper-style table rendering.
+"""
+
+from repro.analysis.footprint import deep_sizeof, footprint_kb
+from repro.analysis.reuse import (
+    ComponentInventoryEntry,
+    component_inventory,
+    reuse_report,
+    reuse_proportions,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "deep_sizeof",
+    "footprint_kb",
+    "ComponentInventoryEntry",
+    "component_inventory",
+    "reuse_report",
+    "reuse_proportions",
+    "render_table",
+]

@@ -1,0 +1,34 @@
+"""Paper-style fixed-width table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "X" if value else ""
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render a titled table with column-aligned plain-text output."""
+    formatted: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted), 1)
+        if formatted
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Pluggable concurrency models (paper section 4.4).
+
+MANETKit's concurrency provision is strictly orthogonal to the structure of
+the framework: the same protocol code runs unmodified under any model.
+Regardless of the model, the user-provided parts of a ManetProtocol always
+run as a single critical section, so Event Handlers can be assumed to run
+atomically.
+
+Models (for events originating from *below*, i.e. the System CF):
+
+* **single-threaded** — one logical thread shepherds every event through
+  every protocol in turn; no race conditions; suitable for primitive
+  low-resource environments (and for deterministic simulation);
+* **thread-per-message** — a distinct thread shepherds each event up the
+  protocol graph; highest throughput, highest overhead;
+* **thread-per-n-messages** — batches of *n* events share one shepherd
+  thread; midway between the previous two;
+* **thread-per-ManetProtocol** — each protocol owns a dedicated thread and
+  FIFO queue; selected per-protocol, composable with either System-CF
+  model.
+
+In every model, events are processed in the same FIFO order by every
+protocol sharing an interest in them.
+"""
+
+from repro.concurrency.threadpool import ThreadPool
+from repro.concurrency.models import (
+    ConcurrencyModel,
+    SingleThreaded,
+    ThreadPerMessage,
+    ThreadPerNMessages,
+    ThreadPerProtocol,
+    make_model,
+)
+
+__all__ = [
+    "ThreadPool",
+    "ConcurrencyModel",
+    "SingleThreaded",
+    "ThreadPerMessage",
+    "ThreadPerNMessages",
+    "ThreadPerProtocol",
+    "make_model",
+]

@@ -1,0 +1,95 @@
+"""Threadpool utility component.
+
+One of MANETKit's generic utility components (paper section 4.3); the System
+CF exposes it through its ``IThreadPool`` interface.  It is a small,
+dependable fixed-size pool — deliberately simpler than
+:mod:`concurrent.futures` so that its entire behaviour (bounded queue,
+deterministic shutdown, exception capture) is visible to the tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+
+class ThreadPool:
+    """A fixed pool of daemon worker threads consuming a FIFO job queue."""
+
+    def __init__(self, workers: int = 4, name: str = "manetkit-pool") -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.name = name
+        self._jobs: Deque[Tuple[Callable[..., Any], Tuple[Any, ...]]] = deque()
+        self._lock = threading.Lock()
+        self._job_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._shutdown = False
+        self.errors: List[str] = []
+        self._threads = [
+            threading.Thread(
+                target=self._work, name=f"{name}-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- public API --------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Queue ``fn(*args)`` for execution on some worker."""
+        with self._job_ready:
+            if self._shutdown:
+                raise RuntimeError(f"threadpool {self.name!r} is shut down")
+            self._jobs.append((fn, args))
+            self._job_ready.notify()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no worker is running a job."""
+        with self._idle:
+            if not self._jobs and self._active == 0:
+                return True
+            return self._idle.wait_for(
+                lambda: not self._jobs and self._active == 0, timeout
+            )
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Stop accepting work, finish queued jobs, join workers."""
+        with self._job_ready:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._job_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._threads)
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _work(self) -> None:
+        while True:
+            with self._job_ready:
+                while not self._jobs and not self._shutdown:
+                    self._job_ready.wait()
+                if not self._jobs and self._shutdown:
+                    return
+                fn, args = self._jobs.popleft()
+                self._active += 1
+            try:
+                fn(*args)
+            except Exception:
+                # Errors must never pass silently; they are captured for
+                # the tests and reported once at shutdown.
+                self.errors.append(traceback.format_exc())
+            finally:
+                with self._idle:
+                    self._active -= 1
+                    if not self._jobs and self._active == 0:
+                        self._idle.notify_all()

@@ -1,0 +1,60 @@
+"""MANETKit core (paper section 4).
+
+The framework proper: the top-level MANETKit CF
+(:mod:`repro.core.manetkit`), the Framework Manager that derives the
+stacking topology from event tuples (:mod:`repro.core.framework_manager`),
+the System CF abstracting OS-level functionality
+(:mod:`repro.core.system_cf`), the generic ManetProtocol CF and its
+ManetControl sub-CF (:mod:`repro.core.manet_protocol`), the Neighbour
+Detection CF (:mod:`repro.core.neighbour_detection`), context monitoring
+(:mod:`repro.core.context`) and reconfiguration enactment
+(:mod:`repro.core.reconfig`).
+"""
+
+from repro.core.unit import CFSUnit
+from repro.core.framework_manager import FrameworkManager
+from repro.core.system_cf import (
+    NetlinkComponent,
+    NetworkDriver,
+    PowerStatusComponent,
+    SystemCF,
+)
+from repro.core.manet_protocol import (
+    Configurator,
+    EventHandlerComponent,
+    EventSourceComponent,
+    ForwardComponent,
+    ManetControl,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.core.neighbour_detection import NeighbourDetectionCF
+from repro.core.context import ContextConcentrator
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.manetkit import ManetKit
+from repro.core.policy import PolicyEngine, Rule
+from repro.core.coordination import ReconfigCoordinatorCF, deploy_coordinator
+
+__all__ = [
+    "CFSUnit",
+    "FrameworkManager",
+    "SystemCF",
+    "NetworkDriver",
+    "PowerStatusComponent",
+    "NetlinkComponent",
+    "ManetProtocol",
+    "ManetControl",
+    "EventHandlerComponent",
+    "EventSourceComponent",
+    "ForwardComponent",
+    "StateComponent",
+    "Configurator",
+    "NeighbourDetectionCF",
+    "ContextConcentrator",
+    "ReconfigurationManager",
+    "ManetKit",
+    "PolicyEngine",
+    "Rule",
+    "ReconfigCoordinatorCF",
+    "deploy_coordinator",
+]

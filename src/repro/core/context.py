@@ -1,0 +1,150 @@
+"""Context monitoring (paper section 4.5).
+
+"The System CF provides a range of event types relating to context
+information such as link quality, signal strength, signal-to-noise ratio,
+available bandwidth, CPU utilisation, memory consumption and battery
+levels.  In addition, individual ManetProtocol instances can choose to
+provide protocol-specific context events. [...] MANETKit also provides a
+'concentrator' for context events in the Framework Manager CF.  This acts
+as a facade for higher-level software and also hides the fact that some low
+level context information might be obtained by polling rather than by
+waiting for events."
+
+Decision *making* is deliberately out of scope — MANETKit provides context
+monitoring and reconfiguration enactment, and "leaves the decision making
+to higher-level software"; callers subscribe to the concentrator and drive
+the :class:`~repro.core.reconfig.ReconfigurationManager` themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.events.event import Event
+from repro.events.types import EventOntology
+from repro.opencom.component import Component
+
+
+class ContextConcentrator:
+    """Facade over all context information in one deployment.
+
+    Event-driven sources are fed by the Framework Manager tapping every
+    ``CONTEXT`` event; poll-driven sources are registered with
+    :meth:`register_poller` and sampled on demand — the caller cannot tell
+    which is which, which is the point of the facade.
+    """
+
+    def __init__(self, ontology: EventOntology) -> None:
+        self.ontology = ontology
+        self._latest: Dict[str, Event] = {}
+        self._subscribers: List[Tuple[object, Callable[[Event], None]]] = []
+        self._pollers: Dict[str, Callable[[], Any]] = {}
+        self.updates = 0
+
+    # -- event-driven path (called by the Framework Manager) -----------------
+
+    def update(self, event: Event) -> None:
+        self.updates += 1
+        self._latest[event.etype.name] = event
+        for required_type, callback in self._subscribers:
+            if event.etype.is_a(required_type):  # type: ignore[arg-type]
+                callback(event)
+
+    def subscribe(self, etype_name: str, callback: Callable[[Event], None]) -> None:
+        self._subscribers.append((self.ontology.get(etype_name), callback))
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        self._subscribers = [
+            (etype, cb) for etype, cb in self._subscribers if cb is not callback
+        ]
+
+    # -- poll-driven path ------------------------------------------------------
+
+    def register_poller(self, name: str, poller: Callable[[], Any]) -> None:
+        """Register a pull-style source hidden behind the facade."""
+        self._pollers[name] = poller
+
+    def unregister_poller(self, name: str) -> None:
+        self._pollers.pop(name, None)
+
+    # -- reading ------------------------------------------------------------------
+
+    def read(self, name: str) -> Optional[Any]:
+        """Latest value for a context name, event- or poll-sourced."""
+        event = self._latest.get(name)
+        if event is not None:
+            return event.payload
+        poller = self._pollers.get(name)
+        if poller is not None:
+            return poller()
+        return None
+
+    def latest_event(self, name: str) -> Optional[Event]:
+        return self._latest.get(name)
+
+    def known_names(self) -> List[str]:
+        return sorted(set(self._latest) | set(self._pollers))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every known context name with its current value."""
+        return {name: self.read(name) for name in self.known_names()}
+
+
+class ContextSensorComponent(Component):
+    """Base class for periodic context sensors.
+
+    A sensor samples a value on a timer and emits a context event through
+    its owning unit when the value changes by more than ``threshold`` (or
+    always, when ``threshold`` is None).  Subclasses/instances supply the
+    sampling callable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        unit,
+        etype_name: str,
+        sample: Callable[[], Any],
+        interval: float = 5.0,
+        threshold: Optional[float] = None,
+        payload_key: str = "value",
+    ) -> None:
+        super().__init__(name)
+        self.unit = unit
+        self.etype_name = etype_name
+        self.sample = sample
+        self.interval = interval
+        self.threshold = threshold
+        self.payload_key = payload_key
+        self._timer = None
+        self._last: Optional[Any] = None
+        self.provide_interface("IContext", "IContext")
+
+    def on_start(self) -> None:
+        timers = self.unit.find_local_interface("IScheduler")
+        if timers is None and self.unit.deployment is not None:
+            timers = self.unit.deployment.timers
+        if timers is None:  # pragma: no cover - defensive
+            return
+        self._timer = timers.periodic(self.interval, self._tick)
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _tick(self) -> None:
+        value = self.sample()
+        if (
+            self.threshold is not None
+            and self._last is not None
+            and isinstance(value, (int, float))
+            and abs(value - self._last) < self.threshold
+        ):
+            return
+        self._last = value
+        self.unit.emit(self.etype_name, payload={self.payload_key: value})
+
+    def current(self) -> Any:
+        """Direct (poll) read of the sensed value."""
+        return self.sample()

@@ -1,0 +1,290 @@
+"""Coordinated distributed reconfiguration (paper section 7, future work).
+
+"Our immediate plans are to integrate MANETKit into a wider dynamic
+reconfiguration environment [...] this will also include coordinated
+distributed dynamic reconfiguration as well as merely per-node
+reconfiguration."
+
+This module implements that plan as an in-band control protocol: a small
+ManetProtocol CF (:class:`ReconfigCoordinatorCF`) floods *reconfiguration
+commands* through the network.  A command names a registered action, and
+carries an **activation time**: every node that hears the command (relayed
+hop by hop with duplicate suppression) schedules the same enactment at the
+same simulated instant, so the whole network switches over together even
+though the command takes multiple hops to propagate.  Time-based
+activation is the classic technique for coordinated switchover in systems
+without a global coordinator.
+
+Actions are looked up in a per-node registry (name -> callable taking the
+deployment and a parameter string), so a deployment only ever executes
+reconfigurations its operator registered — a flooded command cannot inject
+arbitrary behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.manet_protocol import EventHandlerComponent, ManetProtocol
+from repro.events.event import Event
+from repro.events.registry import EventTuple
+from repro.events.types import EventOntology
+from repro.packetbb.address import Address
+from repro.packetbb.message import Message
+from repro.packetbb.tlv import TLV, TLVBlock
+
+#: PacketBB message type for reconfiguration commands.
+RECONFIG_MSG_TYPE = 31
+
+#: TLV types local to this protocol.
+TLV_ACTION = 50
+TLV_PARAMS = 51
+TLV_ACTIVATE_AT = 52
+
+#: Default lead time between issuing a command and network-wide activation;
+#: must exceed the flood's propagation time.
+DEFAULT_LEAD_TIME = 1.0
+
+COMMAND_HOP_LIMIT = 16
+
+Action = Callable[[Any, Dict[str, Any]], None]
+
+
+@dataclass
+class CommandRecord:
+    """Audit record of one command seen by this node."""
+
+    originator: int
+    seqnum: int
+    action: str
+    params: Dict[str, Any]
+    activate_at: float
+    enacted: bool = False
+    error: Optional[str] = None
+
+
+class _CommandHandler(EventHandlerComponent):
+    handles = ("RECONFIG_IN",)
+
+    def __init__(self, cf: "ReconfigCoordinatorCF") -> None:
+        super().__init__("reconfig-command-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        cf = self.cf
+        if message.originator is None or message.seqnum is None:
+            return
+        originator = message.originator.node_id
+        if originator == cf.local_address:
+            return
+        key = (originator, message.seqnum)
+        if key in cf.seen:
+            return
+        cf.seen[key] = event.timestamp
+        # Relay first so the flood races ahead of local processing.
+        if message.forwardable:
+            relayed = Message(
+                message.msg_type,
+                originator=message.originator,
+                hop_limit=(message.hop_limit or 1) - 1,
+                hop_count=(message.hop_count or 0) + 1,
+                seqnum=message.seqnum,
+                tlv_block=message.tlv_block,
+            )
+            cf.send_message("RECONFIG_OUT", relayed)
+        cf.accept_command(message, originator)
+
+
+class ReconfigCoordinatorCF(ManetProtocol):
+    """The coordination ManetProtocol: flood + schedule + enact."""
+
+    protocol_class = "service"
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        lead_time: float = DEFAULT_LEAD_TIME,
+        name: str = "reconfig-coordinator",
+    ) -> None:
+        # The event types are protocol-specific: define them on demand
+        # (the ontology is extensible at runtime, section 4.2).
+        ontology.define("RECONFIG_IN", "MSG_IN")
+        ontology.define("RECONFIG_OUT", "MSG_OUT")
+        super().__init__(name, ontology)
+        self.configurator.update({"lead_time": lead_time})
+        self.actions: Dict[str, Action] = {}
+        self.seen: Dict[Tuple[int, int], float] = {}
+        self.log: List[CommandRecord] = []
+        self._seqnum = 0
+        self.add_handler(_CommandHandler(self))
+        self.set_event_tuple(
+            EventTuple(required=["RECONFIG_IN"], provided=["RECONFIG_OUT"])
+        )
+
+    def on_install(self, deployment) -> None:
+        deployment.system.load_network_driver(
+            "reconfig-driver",
+            [(RECONFIG_MSG_TYPE, "RECONFIG_IN", "RECONFIG_OUT")],
+        )
+
+    # -- action registry ------------------------------------------------------
+
+    def register_action(self, name: str, action: Action) -> None:
+        """Allow commands named ``name`` to run ``action(deployment, params)``."""
+        self.actions[name] = action
+
+    def unregister_action(self, name: str) -> None:
+        self.actions.pop(name, None)
+
+    # -- issuing ------------------------------------------------------------------
+
+    def propose(
+        self,
+        action: str,
+        params: Optional[Dict[str, Any]] = None,
+        lead_time: Optional[float] = None,
+    ) -> CommandRecord:
+        """Flood a command; every node (incl. this one) enacts at T+lead.
+
+        Returns this node's own audit record for the command.
+        """
+        if action not in self.actions:
+            raise KeyError(
+                f"action {action!r} is not registered on this coordinator "
+                f"(has: {sorted(self.actions)})"
+            )
+        params = params or {}
+        lead = lead_time if lead_time is not None else self.config("lead_time")
+        activate_at = self.deployment.now + lead
+        self._seqnum = (self._seqnum + 1) & 0xFFFF
+        message = Message(
+            RECONFIG_MSG_TYPE,
+            originator=Address.from_node_id(self.local_address),
+            hop_limit=COMMAND_HOP_LIMIT,
+            hop_count=0,
+            seqnum=self._seqnum,
+            tlv_block=TLVBlock(
+                [
+                    TLV(TLV_ACTION, action.encode("utf-8")),
+                    TLV(TLV_PARAMS, json.dumps(params, sort_keys=True).encode()),
+                    TLV.of_int(TLV_ACTIVATE_AT, int(activate_at * 1000), width=8),
+                ]
+            ),
+        )
+        self.seen[(self.local_address, self._seqnum)] = self.deployment.now
+        self.send_message("RECONFIG_OUT", message)
+        return self._schedule(
+            self.local_address, self._seqnum, action, params, activate_at
+        )
+
+    # -- receiving ---------------------------------------------------------------------
+
+    def accept_command(self, message: Message, originator: int) -> Optional[CommandRecord]:
+        action_tlv = message.tlv_block.find(TLV_ACTION)
+        at_tlv = message.tlv_block.find(TLV_ACTIVATE_AT)
+        if action_tlv is None or at_tlv is None:
+            return None
+        params_tlv = message.tlv_block.find(TLV_PARAMS)
+        try:
+            params = (
+                json.loads(params_tlv.value.decode()) if params_tlv else {}
+            )
+        except (ValueError, UnicodeDecodeError):
+            params = {}
+        action = action_tlv.value.decode("utf-8", errors="replace")
+        activate_at = at_tlv.as_int() / 1000.0
+        return self._schedule(
+            originator, message.seqnum or 0, action, params, activate_at
+        )
+
+    def _schedule(
+        self,
+        originator: int,
+        seqnum: int,
+        action: str,
+        params: Dict[str, Any],
+        activate_at: float,
+    ) -> CommandRecord:
+        record = CommandRecord(originator, seqnum, action, params, activate_at)
+        self.log.append(record)
+        delay = max(activate_at - self.deployment.now, 0.0)
+        self.deployment.timers.one_shot(delay, lambda: self._enact(record))
+        return record
+
+    def _enact(self, record: CommandRecord) -> None:
+        handler = self.actions.get(record.action)
+        if handler is None:
+            record.error = f"unknown action {record.action!r}"
+            return
+        try:
+            with self.lock:
+                handler(self.deployment, record.params)
+            record.enacted = True
+        except Exception as exc:
+            record.error = str(exc)
+
+
+# ---------------------------------------------------------------------------
+# Standard coordinated actions
+# ---------------------------------------------------------------------------
+
+def action_switch_to_dymo(deployment, params: Dict[str, Any]) -> None:
+    """Network-wide proactive -> reactive switchover."""
+    for name in ("olsr", "mpr"):
+        if deployment.manager.unit(name) is not None:
+            deployment.undeploy(name)
+    if deployment.manager.unit("dymo") is None:
+        deployment.load_protocol(
+            "dymo", **{k: v for k, v in params.items() if k == "route_timeout"}
+        )
+
+
+def action_switch_to_olsr(deployment, params: Dict[str, Any]) -> None:
+    """Network-wide reactive -> proactive switchover."""
+    for name in ("dymo", "aodv", "neighbour-detection"):
+        if deployment.manager.unit(name) is not None:
+            deployment.undeploy(name)
+    if deployment.manager.unit("mpr") is None:
+        deployment.load_protocol(
+            "mpr", hello_interval=params.get("hello_interval", 2.0)
+        )
+    if deployment.manager.unit("olsr") is None:
+        deployment.load_protocol(
+            "olsr", tc_interval=params.get("tc_interval", 5.0)
+        )
+
+
+def action_apply_fisheye(deployment, params: Dict[str, Any]) -> None:
+    from repro.protocols.olsr.fisheye import apply_fisheye
+
+    if deployment.manager.unit("fisheye") is None:
+        sequence = params.get("ttl_sequence")
+        if sequence:
+            apply_fisheye(deployment, tuple(sequence))
+        else:
+            apply_fisheye(deployment)
+
+
+STANDARD_ACTIONS: Dict[str, Action] = {
+    "switch-to-dymo": action_switch_to_dymo,
+    "switch-to-olsr": action_switch_to_olsr,
+    "apply-fisheye": action_apply_fisheye,
+}
+
+
+def deploy_coordinator(
+    deployment,
+    actions: Optional[Dict[str, Action]] = None,
+    lead_time: float = DEFAULT_LEAD_TIME,
+) -> ReconfigCoordinatorCF:
+    """Deploy a coordinator with the standard action set (plus extras)."""
+    coordinator = ReconfigCoordinatorCF(deployment.ontology, lead_time)
+    for name, action in STANDARD_ACTIONS.items():
+        coordinator.register_action(name, action)
+    for name, action in (actions or {}).items():
+        coordinator.register_action(name, action)
+    deployment.deploy(coordinator)
+    return coordinator

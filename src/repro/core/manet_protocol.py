@@ -1,0 +1,431 @@
+"""The generic ManetProtocol CF and its fine-grained composition model.
+
+A ManetProtocol instance is a CFS unit tailored per routing protocol (paper
+section 4.2, Fig 3).  Its **C** element is the generic :class:`ManetControl`
+sub-CF, which hosts the Event Registry, the Demux, and the plug-in Event
+Source / Event Handler components that embody "the core logic of a routing
+protocol implementation"; its **F** and **S** elements are protocol-specific
+:class:`ForwardComponent` / :class:`StateComponent` plug-ins.
+
+Integrity rules built into the generic CFs make subsequent tailoring a
+relatively safe process: "ManetControl rejects attempts to add more than
+one C element", and the ManetProtocol CF enforces at most one F and one S
+element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.unit import CFSUnit
+from repro.errors import IntegrityError, ReconfigurationError
+from repro.events.event import Event
+from repro.events.types import EventOntology
+from repro.opencom.component import Component
+from repro.opencom.framework import ComponentFramework, Mutation
+from repro.packetbb.message import Message
+from repro.sim.medium import BROADCAST
+
+
+class EventHandlerComponent(Component):
+    """Base class for plug-in Event Handlers.
+
+    "Event Handlers process events, and may emit further events in
+    response" (section 4.2).  Handlers always run atomically: the active
+    concurrency model invokes the protocol's ``process_event`` under the
+    protocol's critical section.
+
+    Subclasses set :attr:`handles` to the event type names they consume and
+    override :meth:`handle`.
+    """
+
+    handles: Sequence[str] = ()
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.protocol: Optional["ManetProtocol"] = None
+        self.events_handled = 0
+        self.provide_interface("IEventSink", "IEventSink")
+
+    def attach(self, protocol: "ManetProtocol") -> None:
+        self.protocol = protocol
+        for etype_name in self.handles:
+            protocol.registry.register_handler(etype_name, self._dispatch, self.name)
+
+    def detach(self) -> None:
+        if self.protocol is not None:
+            self.protocol.registry.unregister_handler(self._dispatch)
+            self.protocol = None
+
+    def _dispatch(self, event: Event) -> None:
+        self.events_handled += 1
+        self.handle(event)
+
+    def handle(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def emit(self, etype_name: str, payload: Any = None, **meta: Any) -> int:
+        """Emit a follow-up event through the owning protocol."""
+        if self.protocol is None:
+            raise ReconfigurationError(f"handler {self.name!r} is not attached")
+        return self.protocol.emit(etype_name, payload, meta=meta or None)
+
+
+class EventSourceComponent(Component):
+    """Base class for plug-in Event Sources.
+
+    "Event Sources only emit events — typically driven by a timer"
+    (section 4.2).  Subclasses override :meth:`generate`; the base class
+    manages the periodic timer (with protocol-standard jitter).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interval: float,
+        jitter: float = 0.0,
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        super().__init__(name)
+        self.protocol: Optional["ManetProtocol"] = None
+        self.interval = interval
+        self.jitter = jitter
+        #: delay before the first emission; defaults to one full interval.
+        self.initial_delay = initial_delay
+        self._timer = None
+        self.emissions = 0
+        self.provide_interface("IEventSource", "IEventSource")
+
+    def attach(self, protocol: "ManetProtocol") -> None:
+        self.protocol = protocol
+        protocol.registry.register_source(self.name, self)
+
+    def detach(self) -> None:
+        if self.protocol is not None:
+            self.protocol.registry.unregister_source(self.name)
+            self.protocol = None
+
+    def on_start(self) -> None:
+        if self.protocol is None or self.protocol.deployment is None:
+            return
+        self._schedule(
+            self.initial_delay if self.initial_delay is not None else self.interval
+        )
+
+    def on_stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _schedule(self, delay: float) -> None:
+        timers = self.protocol.deployment.timers
+        if self.jitter > 0:
+            delay -= timers.rng.uniform(0, self.jitter) * delay
+        self._timer = timers.one_shot(max(delay, 0.0), self._fire)
+
+    def _fire(self) -> None:
+        # The source runs inside the protocol's critical section so that
+        # timer-driven emissions are atomic w.r.t. event handling.
+        if self.protocol is None or self.lifecycle != Component.STARTED:
+            return
+        with self.protocol.lock:
+            self.emissions += 1
+            self.generate()
+        self._schedule(self.interval)
+
+    def reschedule(self, delay: float) -> None:
+        """Pull the next emission forward (triggered messages)."""
+        if self._timer is not None:
+            self._timer.stop()
+        self._schedule(delay)
+
+    def generate(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def emit(self, etype_name: str, payload: Any = None, **meta: Any) -> int:
+        if self.protocol is None:
+            raise ReconfigurationError(f"source {self.name!r} is not attached")
+        return self.protocol.emit(etype_name, payload, meta=meta or None)
+
+
+class ForwardComponent(Component):
+    """Base class for a protocol's F element (forwarding strategy)."""
+
+    def __init__(self, name: str = "forward") -> None:
+        super().__init__(name)
+        self.protocol: Optional["ManetProtocol"] = None
+        self.provide_interface("IForward", "IForwardProto")
+
+    def attach(self, protocol: "ManetProtocol") -> None:
+        self.protocol = protocol
+
+    def detach(self) -> None:
+        self.protocol = None
+
+
+class StateComponent(Component):
+    """Base class for a protocol's S element.
+
+    The CFS pattern "encourages designers to factor out the state from
+    their protocol designs and put it into distinct S components" (section
+    4.5) — which is what makes carrying an S component across a protocol
+    replacement the standard state-management technique.
+    """
+
+    def __init__(self, name: str = "state") -> None:
+        super().__init__(name)
+        self.protocol: Optional["ManetProtocol"] = None
+        self.provide_interface("IState", "IState")
+
+    def attach(self, protocol: "ManetProtocol") -> None:
+        self.protocol = protocol
+
+    def detach(self) -> None:
+        self.protocol = None
+
+
+class Configurator(Component):
+    """Holds and applies a protocol's named configuration parameters."""
+
+    def __init__(self, defaults: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__("configurator")
+        self.params: Dict[str, Any] = dict(defaults or {})
+        self.provide_interface("IConfigure", "IConfigure")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        self.params[key] = value
+
+    def update(self, params: Dict[str, Any]) -> None:
+        self.params.update(params)
+
+    def get_state(self) -> Dict[str, Any]:
+        return {"params": dict(self.params)}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        self.params.update(state.get("params", {}))
+
+
+def _manet_control_integrity(cf: ComponentFramework, mutation: Mutation) -> None:
+    """ManetControl rejects attempts to add more than one C element.
+
+    The ManetControl CF itself *is* the protocol's C element (it provides
+    ``IControl``), so any plug-in claiming to provide ``IControl`` would be
+    a second C element and is vetoed.
+    """
+    if mutation.kind in ("insert", "replace") and mutation.component is not None:
+        if mutation.component.find_interface_by_type("IControl") is not None:
+            raise IntegrityError(
+                f"{cf.name}: already has a C element; refusing a second"
+            )
+
+
+class ManetControl(ComponentFramework):
+    """The generic C-element sub-CF of every ManetProtocol.
+
+    Hosts the Event Sources and Event Handlers, the Configurator, and the
+    Demux (event dispatch through the protocol's Event Registry).  Provides
+    the generic operations to initialise/start/stop a protocol's execution
+    and to push/pop events (section 4.2).
+    """
+
+    def __init__(self, protocol: "ManetProtocol") -> None:
+        super().__init__(f"{protocol.name}.control")
+        self.protocol = protocol
+        self.register_integrity_rule(_manet_control_integrity)
+        self.configurator = Configurator()
+        self.insert(self.configurator)
+        self.provide_interface("IControl", "IControl")
+        self.provide_interface("IPush", "IPushControl")
+
+    # Demux: deliver one event through the registry to the plug-ins.
+    def demux(self, event: Event) -> int:
+        return self.protocol.registry.dispatch(event)
+
+    def push(self, event: Event) -> int:
+        """Inject an event as if it had arrived from the graph."""
+        with self.protocol.lock:
+            self.protocol.process_event(event)
+        return 1
+
+
+def _manet_protocol_integrity(cf: ComponentFramework, mutation: Mutation) -> None:
+    """At most one F element and one S element per ManetProtocol."""
+    if mutation.kind != "insert" or mutation.component is None:
+        return
+    component = mutation.component
+    if isinstance(component, ForwardComponent):
+        for child in cf.children():
+            if isinstance(child, ForwardComponent):
+                raise IntegrityError(
+                    f"{cf.name}: already has an F element ({child.name!r})"
+                )
+    if isinstance(component, StateComponent):
+        for child in cf.children():
+            if isinstance(child, StateComponent):
+                raise IntegrityError(
+                    f"{cf.name}: already has an S element ({child.name!r})"
+                )
+
+
+class ManetProtocol(CFSUnit):
+    """A protocol CFS unit: generic machinery + protocol plug-ins."""
+
+    def __init__(self, name: str, ontology: EventOntology) -> None:
+        super().__init__(name, ontology)
+        self.register_integrity_rule(_manet_protocol_integrity)
+        self.control = ManetControl(self)
+        self.insert(self.control)
+        self._forward: Optional[ForwardComponent] = None
+        self._state: Optional[StateComponent] = None
+
+    # -- deployment hooks -------------------------------------------------------
+
+    def on_install(self, deployment: "Any") -> None:
+        """Called by :meth:`ManetKit.deploy` after registration.
+
+        Protocol installation "typically entails reconfiguring some
+        existing MANETKit CFs and if necessary loading additional
+        components to satisfy specific requirements" (section 5.1) — e.g.
+        loading NetworkDriver / PowerStatus / Netlink plug-ins into the
+        System CF.  Subclasses override.
+        """
+
+    def on_uninstall(self, deployment: "Any") -> None:
+        """Called by :meth:`ManetKit.undeploy` before removal."""
+
+    # -- composition conveniences -----------------------------------------------
+
+    @property
+    def configurator(self) -> Configurator:
+        return self.control.configurator
+
+    def config(self, key: str, default: Any = None) -> Any:
+        return self.control.configurator.get(key, default)
+
+    def add_handler(self, handler: EventHandlerComponent) -> EventHandlerComponent:
+        # Attach before insert: insertion into a started CF starts the
+        # plug-in immediately, and its hooks need the protocol reference.
+        handler.attach(self)
+        self.control.insert(handler)
+        return handler
+
+    def add_source(self, source: EventSourceComponent) -> EventSourceComponent:
+        source.attach(self)
+        self.control.insert(source)
+        return source
+
+    def set_forward(self, forward: ForwardComponent) -> ForwardComponent:
+        if self._forward is not None:
+            raise IntegrityError(
+                f"{self.name}: F element already present; use replace_component"
+            )
+        self.insert(forward)
+        forward.attach(self)
+        self._forward = forward
+        return forward
+
+    def set_state(self, state: StateComponent) -> StateComponent:
+        if self._state is not None:
+            raise IntegrityError(
+                f"{self.name}: S element already present; use replace_component"
+            )
+        self.insert(state)
+        state.attach(self)
+        self._state = state
+        return state
+
+    @property
+    def forward(self) -> Optional[ForwardComponent]:
+        return self._forward
+
+    @property
+    def state(self) -> Optional[StateComponent]:
+        return self._state
+
+    # -- fine-grained reconfiguration ----------------------------------------------
+
+    def replace_component(
+        self,
+        name: str,
+        replacement: Component,
+        transfer_state: bool = True,
+    ) -> Component:
+        """Hot-swap a plug-in under the protocol's critical section.
+
+        "By ensuring that any current processing of protocol events is
+        completed before reconfiguration operations are run [...] the
+        critical section enables the ManetProtocol instance to be in a
+        stable state in which reconfiguration changes can be safely made"
+        (section 4.5).
+        """
+        with self.lock:
+            host: ComponentFramework
+            if self.control.has_child(name):
+                host = self.control
+            elif self.has_child(name):
+                host = self
+            else:
+                raise ReconfigurationError(
+                    f"{self.name}: no component {name!r} to replace"
+                )
+            old = host.child(name)
+            if isinstance(old, EventHandlerComponent):
+                old.detach()
+            if isinstance(old, EventSourceComponent):
+                old.detach()
+            if isinstance(old, (ForwardComponent, StateComponent)):
+                old.detach()
+            replaced = host.replace(name, replacement, transfer_state)
+            if isinstance(replacement, (EventHandlerComponent, EventSourceComponent,
+                                        ForwardComponent, StateComponent)):
+                replacement.attach(self)
+            if isinstance(replacement, ForwardComponent):
+                self._forward = replacement
+            if isinstance(replacement, StateComponent):
+                self._state = replacement
+            return replaced
+
+    def remove_component(self, name: str) -> Component:
+        with self.lock:
+            host = self.control if self.control.has_child(name) else self
+            old = host.child(name)
+            if isinstance(old, (EventHandlerComponent, EventSourceComponent,
+                                ForwardComponent, StateComponent)):
+                old.detach()
+            if old is self._forward:
+                self._forward = None
+            if old is self._state:
+                self._state = None
+            return host.remove(name)
+
+    # -- message convenience -------------------------------------------------------
+
+    def send_message(
+        self,
+        out_event: str,
+        message: Message,
+        link_dst: int = BROADCAST,
+        piggyback: Optional[List[Message]] = None,
+    ) -> int:
+        """Emit an outgoing message event (routed down to the System CF)."""
+        meta: Dict[str, Any] = {}
+        if link_dst != BROADCAST:
+            meta["link_dst"] = link_dst
+        if piggyback:
+            meta["piggyback"] = piggyback
+        return self.emit(out_event, payload=message, meta=meta or None)
+
+    # -- identity helpers ----------------------------------------------------------
+
+    @property
+    def local_address(self) -> int:
+        if self.deployment is None:
+            raise ReconfigurationError(f"{self.name}: not deployed")
+        return self.deployment.node.node_id
+
+    def sys_state(self) -> Any:
+        """Direct call to the System CF's S element (ISysState)."""
+        return self.direct("ISysState")

@@ -1,0 +1,291 @@
+"""The Neighbour Detection CF (paper section 4.3).
+
+"This is a generally-useful ManetProtocol instance that maintains
+information on neighbouring nodes that are one or two hops away.  Based on
+this information, it generates events to notify ManetProtocol instances
+about link breaks with lost neighbours for purposes of route invalidation.
+[...] It is designed to be pluggable so that alternative mechanisms can be
+applied where appropriate (e.g. HELLO message based, or link layer feedback
+based).  The CF additionally offers a useful means of disseminating
+information periodically to neighbours via piggybacking."
+
+DYMO and AODV stack on this CF; OLSR uses the richer MPR CF instead (which
+does its own link sensing as part of relay selection, section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.manet_protocol import (
+    EventHandlerComponent,
+    EventSourceComponent,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.events.event import Event
+from repro.events.registry import EventTuple
+from repro.events.types import EventOntology
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.message import Message, MsgType
+from repro.opencom.component import Component
+
+#: Defaults follow the usual MANET HELLO timing (RFC 3626 uses 2 s / 6 s;
+#: we default faster to match the testbed's snappy route establishment).
+HELLO_INTERVAL = 1.0
+HOLD_MULTIPLIER = 3.5
+
+
+@dataclass
+class NeighbourEntry:
+    """What we know about one 1-hop neighbour."""
+
+    address: int
+    last_seen: float
+    symmetric: bool = False
+    two_hop: Set[int] = field(default_factory=set)
+
+    def expired(self, now: float, hold: float) -> bool:
+        return now - self.last_seen > hold
+
+
+class NeighbourTable(StateComponent):
+    """S element: the 1- and 2-hop neighbourhood."""
+
+    def __init__(self) -> None:
+        super().__init__("neighbour-table")
+        self.entries: Dict[int, NeighbourEntry] = {}
+        self.provide_interface("INeighbourState", "INeighbourState")
+
+    # -- queries ------------------------------------------------------------
+
+    def neighbours(self) -> List[int]:
+        return sorted(self.entries)
+
+    def symmetric_neighbours(self) -> List[int]:
+        return sorted(a for a, e in self.entries.items() if e.symmetric)
+
+    def is_neighbour(self, address: int) -> bool:
+        return address in self.entries
+
+    def two_hop_neighbours(self) -> Set[int]:
+        """Strict 2-hop set: reachable via a neighbour, not a neighbour."""
+        local = set(self.entries)
+        reached: Set[int] = set()
+        for entry in self.entries.values():
+            reached |= entry.two_hop
+        if self.protocol is not None and self.protocol.deployment is not None:
+            reached.discard(self.protocol.local_address)
+        return reached - local
+
+    def neighbours_reaching(self, two_hop: int) -> List[int]:
+        return sorted(
+            a for a, e in self.entries.items() if two_hop in e.two_hop
+        )
+
+    # -- state transfer --------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        return {
+            "entries": {
+                a: (e.last_seen, e.symmetric, set(e.two_hop))
+                for a, e in self.entries.items()
+            }
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        entries = state.get("entries")
+        if not isinstance(entries, dict):
+            return
+        for address, (last_seen, symmetric, two_hop) in entries.items():
+            self.entries[address] = NeighbourEntry(
+                address, last_seen, symmetric, set(two_hop)
+            )
+
+
+class HelloGenerator(EventSourceComponent):
+    """Event Source: periodic HELLO emission with piggybacking support."""
+
+    def __init__(self, cf: "NeighbourDetectionCF", interval: float, jitter: float) -> None:
+        super().__init__("hello-generator", interval, jitter)
+        self.cf = cf
+        self._seqnum = 0
+
+    def generate(self) -> None:
+        self.cf.expire_neighbours()
+        table = self.cf.table
+        self._seqnum = (self._seqnum + 1) & 0xFFFF
+        heard = AddressBlock(
+            [Address.from_node_id(a) for a in table.neighbours()]
+        )
+        message = Message(
+            MsgType.HELLO,
+            originator=Address.from_node_id(self.cf.local_address),
+            hop_limit=1,
+            hop_count=0,
+            seqnum=self._seqnum,
+            address_blocks=[heard],
+        )
+        piggyback: List[Message] = []
+        for supplier in self.cf.piggyback_suppliers():
+            piggyback.extend(supplier())
+        self.cf.send_message("HELLO_OUT", message, piggyback=piggyback or None)
+
+
+class HelloHandler(EventHandlerComponent):
+    """Event Handler: HELLO reception drives the neighbour tables."""
+
+    handles = ("HELLO_IN",)
+
+    def __init__(self, cf: "NeighbourDetectionCF") -> None:
+        super().__init__("hello-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        sender = event.source
+        if sender is None and message.originator is not None:
+            sender = message.originator.node_id
+        if sender is None or sender == self.cf.local_address:
+            return
+        heard = {a.node_id for a in message.all_addresses()}
+        now = event.timestamp
+        table = self.cf.table
+        entry = table.entries.get(sender)
+        added = entry is None
+        if entry is None:
+            entry = NeighbourEntry(sender, now)
+            table.entries[sender] = entry
+        entry.last_seen = now
+        became_symmetric = (
+            not entry.symmetric and self.cf.local_address in heard
+        )
+        if self.cf.local_address in heard:
+            entry.symmetric = True
+        entry.two_hop = heard - {self.cf.local_address}
+        if added or became_symmetric:
+            self.cf.notify_change(added=[sender], lost=[])
+
+
+class LinkLayerFeedback(Component):
+    """Pluggable alternative sensing: react to transmit failures.
+
+    Where the link layer reports a failed unicast, the neighbour can be
+    declared lost immediately instead of waiting out the HELLO hold time —
+    the "link layer feedback based" mechanism of section 4.3.
+    """
+
+    def __init__(self, cf: "NeighbourDetectionCF") -> None:
+        super().__init__("link-layer-feedback")
+        self.cf = cf
+        self._observer: Optional[Callable[[int], None]] = None
+        self.failures_seen = 0
+        self.provide_interface("ILinkFeedback", "ILinkFeedback")
+
+    def on_start(self) -> None:
+        if self.cf.deployment is None:  # pragma: no cover - defensive
+            return
+        self._observer = self._on_failure
+        self.cf.deployment.node.add_link_failure_observer(self._observer)
+
+    def _on_failure(self, next_hop: int) -> None:
+        self.failures_seen += 1
+        with self.cf.lock:
+            if next_hop in self.cf.table.entries:
+                del self.cf.table.entries[next_hop]
+                self.cf.notify_change(added=[], lost=[next_hop])
+
+
+class NeighbourDetectionCF(ManetProtocol):
+    """The Neighbour Detection ManetProtocol."""
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        hello_interval: float = HELLO_INTERVAL,
+        jitter: float = 0.0,
+        name: str = "neighbour-detection",
+    ) -> None:
+        super().__init__(name, ontology)
+        self.configurator.update(
+            {"hello_interval": hello_interval, "hold_multiplier": HOLD_MULTIPLIER}
+        )
+        self.table = NeighbourTable()
+        self.set_state(self.table)
+        self.add_source(HelloGenerator(self, hello_interval, jitter))
+        self.add_handler(HelloHandler(self))
+        self._piggyback_suppliers: List[Callable[[], List[Message]]] = []
+        self.set_event_tuple(
+            EventTuple(
+                required=["HELLO_IN"],
+                provided=["HELLO_OUT", "NHOOD_CHANGE", "LINK_BREAK"],
+            )
+        )
+
+    # -- installation --------------------------------------------------------
+
+    def on_install(self, deployment) -> None:
+        deployment.system.load_network_driver(
+            "hello-driver", [(int(MsgType.HELLO), "HELLO_IN", "HELLO_OUT")]
+        )
+
+    def enable_link_layer_feedback(self) -> LinkLayerFeedback:
+        """Plug in the link-layer-feedback sensing mechanism."""
+        existing = self.control.find_child("link-layer-feedback")
+        if isinstance(existing, LinkLayerFeedback):
+            return existing
+        feedback = LinkLayerFeedback(self)
+        self.control.insert(feedback)
+        return feedback
+
+    # -- piggybacking service ----------------------------------------------------
+
+    def add_piggyback_supplier(
+        self, supplier: Callable[[], List[Message]]
+    ) -> None:
+        """Register a supplier of messages to ride on outgoing HELLOs.
+
+        "The CF additionally offers a useful means of disseminating
+        information periodically to neighbours via piggybacking.  For
+        instance, an AODV implementation might piggyback routing table
+        entries so that neighbours can learn new routes" (section 4.3).
+        """
+        self._piggyback_suppliers.append(supplier)
+
+    def remove_piggyback_supplier(
+        self, supplier: Callable[[], List[Message]]
+    ) -> None:
+        if supplier in self._piggyback_suppliers:
+            self._piggyback_suppliers.remove(supplier)
+
+    def piggyback_suppliers(self) -> List[Callable[[], List[Message]]]:
+        return list(self._piggyback_suppliers)
+
+    # -- neighbourhood maintenance --------------------------------------------------
+
+    def hold_time(self) -> float:
+        return self.config("hello_interval") * self.config("hold_multiplier")
+
+    def expire_neighbours(self) -> None:
+        if self.deployment is None:
+            return
+        now = self.deployment.now
+        hold = self.hold_time()
+        lost = [
+            a for a, e in self.table.entries.items() if e.expired(now, hold)
+        ]
+        for address in lost:
+            del self.table.entries[address]
+        if lost:
+            self.notify_change(added=[], lost=lost)
+
+    def notify_change(self, added: List[int], lost: List[int]) -> None:
+        payload = {
+            "added": sorted(added),
+            "lost": sorted(lost),
+            "neighbours": set(self.table.entries),
+        }
+        self.emit("NHOOD_CHANGE", payload=payload)
+        for address in lost:
+            self.emit("LINK_BREAK", payload={"neighbour": address})

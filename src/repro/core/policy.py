@@ -1,0 +1,253 @@
+"""Policy-driven reconfiguration decisions (closing the paper's loop).
+
+Paper section 4.5: "A fully comprehensive dynamic reconfiguration solution
+for ad-hoc routing protocols would involve a closed-loop control system
+that comprises: (i) context monitoring, (ii) decision making (based, e.g.,
+on feeding context information to event-condition-action rules), and
+(iii) reconfiguration enactment.  MANETKit provides the first and last of
+these elements but leaves the decision making to higher-level software."
+
+This module is that higher-level software, in the shape the paper
+sketches: **event-condition-action rules** evaluated over the context
+concentrator, enacting reconfiguration through the deployment's public
+surface.  It is an optional extension — nothing in the framework depends
+on it — mirroring the architecture boundary of [13] (Grace et al., ARM
+2006) that the paper planned to integrate with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+
+
+class PolicyContext:
+    """The read surface a rule condition sees: context + deployment facts."""
+
+    def __init__(self, deployment: "ManetKit") -> None:
+        self.deployment = deployment
+
+    # -- context concentrator pass-through -----------------------------------
+
+    def read(self, name: str, default: Any = None) -> Any:
+        value = self.deployment.context.read(name)
+        return value if value is not None else default
+
+    def battery(self, default: float = 1.0) -> float:
+        reading = self.read("POWER_STATUS")
+        if isinstance(reading, dict):
+            return reading.get("battery", default)
+        return default
+
+    def discovery_rate(self, default: float = 0.0) -> float:
+        reading = self.read("ROUTE_DISCOVERY_RATE")
+        if isinstance(reading, dict):
+            return reading.get("rate", default)
+        return default
+
+    # -- deployment facts -------------------------------------------------------
+
+    def deployed_protocols(self) -> List[str]:
+        return [p.name for p in self.deployment.protocols()]
+
+    def has_protocol(self, name: str) -> bool:
+        return self.deployment.manager.unit(name) is not None
+
+    def neighbour_count(self) -> int:
+        """1-hop neighbourhood size from whichever sensing CF is deployed."""
+        manager = self.deployment.manager
+        nd = manager.unit("neighbour-detection")
+        if nd is not None:
+            return len(nd.table.neighbours())
+        mpr = manager.unit("mpr")
+        if mpr is not None:
+            return len(mpr.symmetric_neighbours())
+        return 0
+
+    def known_destinations(self) -> int:
+        """Routing-horizon size: kernel destinations + 2-hop knowledge."""
+        return len(self.deployment.node.kernel_table)
+
+    @property
+    def now(self) -> float:
+        return self.deployment.now
+
+
+@dataclass
+class Rule:
+    """One event-condition-action rule.
+
+    ``condition`` reads a :class:`PolicyContext`; ``action`` enacts on the
+    deployment.  ``cooldown`` throttles repeated firings; ``once`` retires
+    the rule after its first firing (typical for one-way switches).
+    """
+
+    name: str
+    condition: Callable[[PolicyContext], bool]
+    action: Callable[["ManetKit"], None]
+    cooldown: float = 10.0
+    once: bool = False
+    last_fired: Optional[float] = None
+    firings: int = 0
+
+    def due(self, now: float) -> bool:
+        if self.once and self.firings > 0:
+            return False
+        if self.last_fired is None:
+            return True
+        return now - self.last_fired >= self.cooldown
+
+
+@dataclass
+class Firing:
+    """Audit record of one rule firing."""
+
+    rule: str
+    at: float
+    error: Optional[str] = None
+
+
+class PolicyEngine:
+    """Periodic ECA evaluation over one deployment."""
+
+    def __init__(self, deployment: "ManetKit", interval: float = 1.0) -> None:
+        self.deployment = deployment
+        self.interval = interval
+        self.rules: List[Rule] = []
+        self.firings: List[Firing] = []
+        self.evaluations = 0
+        self._timer = None
+        self._running = False
+
+    # -- rule management ------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self.rules.append(rule)
+        return rule
+
+    def remove_rule(self, name: str) -> bool:
+        before = len(self.rules)
+        self.rules = [rule for rule in self.rules if rule.name != name]
+        return len(self.rules) < before
+
+    def rule(self, name: str) -> Optional[Rule]:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        return None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "PolicyEngine":
+        if not self._running:
+            self._running = True
+            self._timer = self.deployment.timers.periodic(
+                self.interval, self.evaluate
+            )
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self) -> int:
+        """One ECA pass; returns the number of rules fired.
+
+        Rule errors are recorded in the audit log, never propagated — a
+        broken policy must not take the node's routing down with it.
+        """
+        self.evaluations += 1
+        context = PolicyContext(self.deployment)
+        now = context.now
+        fired = 0
+        for rule in list(self.rules):
+            if not rule.due(now):
+                continue
+            try:
+                if not rule.condition(context):
+                    continue
+            except Exception as exc:
+                self.firings.append(Firing(rule.name, now, f"condition: {exc}"))
+                continue
+            rule.last_fired = now
+            rule.firings += 1
+            fired += 1
+            try:
+                rule.action(self.deployment)
+                self.firings.append(Firing(rule.name, now))
+            except Exception as exc:
+                self.firings.append(Firing(rule.name, now, f"action: {exc}"))
+        return fired
+
+
+# ---------------------------------------------------------------------------
+# Standard rule library: the policies the paper's examples motivate
+# ---------------------------------------------------------------------------
+
+def switch_to_reactive_when_network_grows(threshold: int) -> Rule:
+    """Section 1's motivating adaptation: proactive routing stops paying
+    off as the known network grows; switch to DYMO."""
+
+    def condition(context: PolicyContext) -> bool:
+        return (
+            context.has_protocol("olsr")
+            and context.known_destinations() >= threshold
+        )
+
+    def action(deployment: "ManetKit") -> None:
+        if deployment.manager.unit("olsr") is not None:
+            deployment.undeploy("olsr")
+        if deployment.manager.unit("mpr") is not None:
+            deployment.undeploy("mpr")
+        deployment.load_protocol("dymo")
+
+    return Rule("switch-to-reactive", condition, action, once=True)
+
+
+def apply_power_aware_when_battery_low(threshold: float = 0.4) -> Rule:
+    """Section 5.1's variant, driven by the node's own battery level."""
+
+    def condition(context: PolicyContext) -> bool:
+        return (
+            context.has_protocol("olsr")
+            and context.battery() < threshold
+            and not _power_aware_active(context.deployment)
+        )
+
+    def action(deployment: "ManetKit") -> None:
+        from repro.protocols.olsr.power_aware import apply_power_aware
+
+        apply_power_aware(deployment)
+
+    return Rule("apply-power-aware", condition, action, cooldown=60.0)
+
+
+def _power_aware_active(deployment: "ManetKit") -> bool:
+    olsr = deployment.manager.unit("olsr")
+    return olsr is not None and olsr.control.has_child("residual-power")
+
+
+def enable_mpr_flooding_when_dense(threshold: int = 4) -> Rule:
+    """Section 5.2's optimised-flooding variant, driven by local density."""
+
+    def condition(context: PolicyContext) -> bool:
+        dymo = context.deployment.manager.unit("dymo")
+        return (
+            dymo is not None
+            and dymo.config("flooding") == "blind"
+            and context.neighbour_count() >= threshold
+        )
+
+    def action(deployment: "ManetKit") -> None:
+        from repro.protocols.dymo.flooding import apply_optimised_flooding
+
+        apply_optimised_flooding(deployment)
+
+    return Rule("enable-mpr-flooding", condition, action, cooldown=30.0)

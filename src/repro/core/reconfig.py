@@ -1,0 +1,157 @@
+"""Reconfiguration enactment (paper section 4.5).
+
+Two complementary methods:
+
+1. **Declarative** — updating the ``<required-events, provided-events>``
+   tuples of ManetProtocol instances; the Framework Manager rewires the
+   graph automatically (coarse granularity).
+2. **Architectural** — manipulating component compositions through the
+   architecture reflective meta-model: adding/removing/replacing components
+   and bindings (fine granularity), made safe by the per-protocol critical
+   section, with OpenCom's quiescence mechanism as the fallback for complex
+   transactional changes across multiple ManetProtocol instances.
+
+State management rides on the CFS pattern: replacing a protocol while
+maintaining state "is often enough simply to carry over an S component from
+the old ManetProtocol instance to the new one" — :meth:`switch_protocol`
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.manet_protocol import ManetProtocol
+from repro.core.unit import CFSUnit
+from repro.errors import ReconfigurationError
+from repro.events.registry import EventTuple
+from repro.opencom.component import Component
+from repro.opencom.quiescence import QuiescenceManager, TransactionStep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+
+
+class ReconfigurationManager:
+    """Enactment engine for one deployment."""
+
+    def __init__(self, deployment: "ManetKit") -> None:
+        self.deployment = deployment
+        self.enactments = 0
+
+    # -- method 1: declarative tuple rewiring ---------------------------------
+
+    def update_event_tuple(
+        self,
+        unit_name: str,
+        required: Optional[Iterable[Any]] = None,
+        provided: Optional[Iterable[str]] = None,
+    ) -> EventTuple:
+        """Rewrite (parts of) a unit's event tuple; the graph rewires itself."""
+        unit = self._unit(unit_name)
+        current = unit.event_tuple
+        new_tuple = EventTuple(
+            required if required is not None else current.required,
+            provided if provided is not None else current.provided,
+        )
+        unit.set_event_tuple(new_tuple)
+        self.enactments += 1
+        return new_tuple
+
+    # -- method 2: architectural surgery ------------------------------------------
+
+    def replace_component(
+        self,
+        protocol_name: str,
+        child_name: str,
+        replacement: Component,
+        transfer_state: bool = True,
+    ) -> Component:
+        """Hot-swap one plug-in inside a running protocol.
+
+        The deployment is drained first so no event is mid-flight, then the
+        protocol's critical section guarantees a stable state for the swap.
+        """
+        protocol = self._protocol(protocol_name)
+        self.deployment.drain()
+        old = protocol.replace_component(child_name, replacement, transfer_state)
+        self.enactments += 1
+        return old
+
+    def insert_component(
+        self, protocol_name: str, component: Component, into_control: bool = True
+    ) -> Component:
+        protocol = self._protocol(protocol_name)
+        self.deployment.drain()
+        with protocol.lock:
+            from repro.core.manet_protocol import (
+                EventHandlerComponent,
+                EventSourceComponent,
+            )
+            if isinstance(component, EventHandlerComponent):
+                protocol.add_handler(component)
+            elif isinstance(component, EventSourceComponent):
+                protocol.add_source(component)
+            elif into_control:
+                protocol.control.insert(component)
+            else:
+                protocol.insert(component)
+        self.enactments += 1
+        return component
+
+    def remove_component(self, protocol_name: str, child_name: str) -> Component:
+        protocol = self._protocol(protocol_name)
+        self.deployment.drain()
+        old = protocol.remove_component(child_name)
+        self.enactments += 1
+        return old
+
+    # -- protocol-level switching ------------------------------------------------------
+
+    def switch_protocol(
+        self,
+        old_name: str,
+        new_protocol: ManetProtocol,
+        carry_state: bool = True,
+    ) -> ManetProtocol:
+        """Replace a running protocol with another, carrying S state over.
+
+        Both protocols' CFs are quiesced for the handover, so no event is
+        processed while neither (or both) protocol is live.
+        """
+        old = self._protocol(old_name)
+        self.deployment.drain()
+        with QuiescenceManager([old, new_protocol]):
+            if carry_state and old.state is not None and new_protocol.state is not None:
+                new_protocol.state.set_state(old.state.get_state())
+            self.deployment.undeploy(old_name)
+            self.deployment.deploy(new_protocol)
+        self.enactments += 1
+        return new_protocol
+
+    # -- transactional multi-CF changes --------------------------------------------------
+
+    def run_transaction(
+        self,
+        units: Sequence[CFSUnit],
+        steps: Sequence[TransactionStep],
+    ) -> None:
+        """Apply a change set atomically across several quiesced units."""
+        self.deployment.drain()
+        with QuiescenceManager(list(units)) as quiescence:
+            quiescence.run_transaction(steps)
+        self.enactments += 1
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _unit(self, name: str) -> CFSUnit:
+        unit = self.deployment.manager.unit(name)
+        if unit is None:
+            raise ReconfigurationError(f"no unit named {name!r} in the deployment")
+        return unit
+
+    def _protocol(self, name: str) -> ManetProtocol:
+        unit = self._unit(name)
+        if not isinstance(unit, ManetProtocol):
+            raise ReconfigurationError(f"unit {name!r} is not a ManetProtocol")
+        return unit

@@ -1,0 +1,115 @@
+"""Exception hierarchy for the MANETKit reproduction.
+
+Every error raised by this library derives from :class:`ManetKitError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to discriminate the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ManetKitError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# OpenCom component-model errors
+# ---------------------------------------------------------------------------
+
+class ComponentError(ManetKitError):
+    """Base class for component-model failures."""
+
+
+class ComponentNotRegistered(ComponentError):
+    """A component class name was not found in the kernel registry."""
+
+
+class ComponentAlreadyRegistered(ComponentError):
+    """A component class name is already present in the kernel registry."""
+
+
+class InterfaceNotFound(ComponentError):
+    """A named interface does not exist on the target component."""
+
+
+class ReceptacleNotFound(ComponentError):
+    """A named receptacle does not exist on the target component."""
+
+
+class BindingError(ComponentError):
+    """A receptacle-to-interface binding could not be created or removed."""
+
+
+class LifecycleError(ComponentError):
+    """An operation was attempted in an invalid lifecycle state."""
+
+
+class IntegrityError(ComponentError):
+    """A component-framework integrity rule rejected a mutation.
+
+    Component frameworks actively maintain their own structural integrity:
+    attempts to insert, remove or replace plug-in components are policed by
+    the set of integrity rules registered with the framework (paper section
+    3).  A rule that vetoes a mutation raises this error and the framework
+    is left unchanged.
+    """
+
+
+class QuiescenceError(ComponentError):
+    """The quiescence mechanism could not reach (or left) a safe state."""
+
+
+# ---------------------------------------------------------------------------
+# PacketBB (RFC 5444-style) wire-format errors
+# ---------------------------------------------------------------------------
+
+class PacketBBError(ManetKitError):
+    """Base class for PacketBB format failures."""
+
+
+class SerializationError(PacketBBError):
+    """A packet or message could not be serialized to bytes."""
+
+
+class ParseError(PacketBBError):
+    """A byte sequence could not be parsed as a PacketBB packet."""
+
+
+# ---------------------------------------------------------------------------
+# Event-framework errors
+# ---------------------------------------------------------------------------
+
+class EventError(ManetKitError):
+    """Base class for event-framework failures."""
+
+
+class UnknownEventType(EventError):
+    """An event type name was not found in the ontology."""
+
+
+class EventWiringError(EventError):
+    """The framework manager could not derive a consistent event wiring."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation-substrate errors
+# ---------------------------------------------------------------------------
+
+class SimulationError(ManetKitError):
+    """Base class for simulation failures."""
+
+
+class UnknownNode(SimulationError):
+    """A node address was not found in the simulated network."""
+
+
+class NoRouteError(SimulationError):
+    """The kernel table had no route and no reactive hook was installed."""
+
+
+# ---------------------------------------------------------------------------
+# Reconfiguration errors
+# ---------------------------------------------------------------------------
+
+class ReconfigurationError(ManetKitError):
+    """A dynamic reconfiguration could not be enacted safely."""

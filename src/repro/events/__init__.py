@@ -1,0 +1,32 @@
+"""Event framework.
+
+Communication between CFS units in a MANETKit deployment — the flow of
+packets and context information — is carried out using *events* drawn from
+"an extensible polymorphic ontology" (paper section 4.2).  Each unit
+declares a ``<required-events, provided-events>`` tuple; the Framework
+Manager derives the stacking topology automatically from those tuples.
+
+This package provides:
+
+* :mod:`repro.events.types` — the ontology: named, parented
+  :class:`EventType` objects with ``is_a`` polymorphic matching, plus the
+  standard vocabulary used across this repository;
+* :mod:`repro.events.event` — :class:`Event` instances;
+* :mod:`repro.events.registry` — the per-protocol Event Registry mapping
+  event types to plug-in handlers, and the :class:`EventTuple` declaration
+  with exclusive-receive support.
+"""
+
+from repro.events.types import EventOntology, EventType, ontology
+from repro.events.event import Event
+from repro.events.registry import EventRegistry, EventTuple, Requirement
+
+__all__ = [
+    "EventOntology",
+    "EventType",
+    "ontology",
+    "Event",
+    "EventRegistry",
+    "EventTuple",
+    "Requirement",
+]

@@ -1,0 +1,73 @@
+"""Event instances.
+
+An :class:`Event` pairs an :class:`~repro.events.types.EventType` with a
+payload.  For message events the payload is a PacketBB
+:class:`~repro.packetbb.message.Message`; for kernel and context events it
+is a small dict (e.g. ``{"destination": Address, ...}`` for ``NO_ROUTE`` or
+``{"battery": 0.71}`` for ``POWER_STATUS``).
+
+``source`` records the network-level previous hop for incoming messages
+(which protocols need for link-sensing and route-table updates), and
+``origin`` records which component emitted the event locally (which the
+wiring uses for loop avoidance: a unit that both provides and requires the
+same event type must not receive its own emissions — paper section 4.2,
+footnote 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.events.types import EventType
+
+_event_ids = itertools.count(1)
+
+
+class Event:
+    """One event instance flowing through a deployment."""
+
+    __slots__ = ("etype", "payload", "source", "origin", "timestamp", "meta", "event_id")
+
+    def __init__(
+        self,
+        etype: EventType,
+        payload: Any = None,
+        source: Any = None,
+        origin: Optional[str] = None,
+        timestamp: float = 0.0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.etype = etype
+        self.payload = payload
+        self.source = source
+        self.origin = origin
+        self.timestamp = timestamp
+        self.meta: Dict[str, Any] = meta if meta is not None else {}
+        self.event_id = next(_event_ids)
+
+    def matches(self, required: EventType) -> bool:
+        """Polymorphic match against a required type."""
+        return self.etype.is_a(required)
+
+    def derive(
+        self,
+        etype: Optional[EventType] = None,
+        payload: Any = None,
+        origin: Optional[str] = None,
+    ) -> "Event":
+        """Create a follow-up event inheriting source/timestamp/meta."""
+        return Event(
+            etype if etype is not None else self.etype,
+            payload if payload is not None else self.payload,
+            source=self.source,
+            origin=origin if origin is not None else self.origin,
+            timestamp=self.timestamp,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Event #{self.event_id} {self.etype.name} src={self.source} "
+            f"origin={self.origin}>"
+        )

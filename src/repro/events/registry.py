@@ -1,0 +1,138 @@
+"""Event tuples and the per-protocol Event Registry.
+
+Every CFS unit declares an :class:`EventTuple` — the set of event types it
+*requires* (wants delivered) and the set it *provides* (can generate).  The
+Framework Manager reads these declarations to derive the deployment's
+stacking topology automatically (paper section 4.2).
+
+A requirement may be **exclusive**: the declaring unit then receives
+matching events *instead of* any non-exclusive requirer (footnote 2 in the
+paper).  The Netlink component, for example, exclusively consumes
+``ROUTE_FOUND`` so that buffered packets are re-injected exactly once.
+
+Inside a ManetProtocol, the :class:`EventRegistry` is the ManetControl
+component that maps event types to the plug-in Event Handler components and
+records the protocol's Event Sources (section 4.2, Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.events.event import Event
+from repro.events.types import EventOntology, EventType
+
+Handler = Callable[[Event], Any]
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One required event type, optionally exclusive."""
+
+    name: str
+    exclusive: bool = False
+
+
+def _as_requirement(spec: Any) -> Requirement:
+    if isinstance(spec, Requirement):
+        return spec
+    if isinstance(spec, str):
+        return Requirement(spec)
+    raise TypeError(f"cannot interpret {spec!r} as a Requirement")
+
+
+class EventTuple:
+    """A unit's ``<required-events, provided-events>`` declaration."""
+
+    def __init__(
+        self,
+        required: Iterable[Any] = (),
+        provided: Iterable[str] = (),
+    ) -> None:
+        self.required: Tuple[Requirement, ...] = tuple(
+            _as_requirement(spec) for spec in required
+        )
+        self.provided: Tuple[str, ...] = tuple(provided)
+
+    def requires(self, name: str) -> bool:
+        return any(req.name == name for req in self.required)
+
+    def provides(self, name: str) -> bool:
+        return name in self.provided
+
+    def required_names(self) -> List[str]:
+        return [req.name for req in self.required]
+
+    def with_required(self, *names: Any) -> "EventTuple":
+        """A copy with additional requirements appended."""
+        return EventTuple(list(self.required) + list(names), self.provided)
+
+    def with_provided(self, *names: str) -> "EventTuple":
+        return EventTuple(self.required, list(self.provided) + list(names))
+
+    def __repr__(self) -> str:
+        req = [
+            f"{r.name}!" if r.exclusive else r.name for r in self.required
+        ]
+        return f"EventTuple(required={req}, provided={list(self.provided)})"
+
+
+class EventRegistry:
+    """Maps event types to handlers within one ManetProtocol.
+
+    Handlers are registered against an event *type* and receive every event
+    whose type ``is_a`` that type.  Registration order is preserved, making
+    dispatch deterministic.  The registry also tracks named Event Source
+    components so the Configurator can start/stop them with the protocol.
+    """
+
+    def __init__(self, ontology: EventOntology) -> None:
+        self.ontology = ontology
+        self._handlers: List[Tuple[EventType, str, Handler]] = []
+        self._sources: Dict[str, Any] = {}
+
+    # -- handlers ----------------------------------------------------------
+
+    def register_handler(
+        self, etype_name: str, handler: Handler, label: Optional[str] = None
+    ) -> None:
+        etype = self.ontology.get(etype_name)
+        self._handlers.append((etype, label or getattr(handler, "__name__", "?"), handler))
+
+    def unregister_handler(self, handler: Handler) -> int:
+        """Remove every registration of ``handler``; returns count removed.
+
+        Comparison is by equality, not identity: bound methods are
+        re-created on each attribute access, so ``component._dispatch`` at
+        unregister time is a different object from (but equal to) the one
+        registered.
+        """
+        before = len(self._handlers)
+        self._handlers = [entry for entry in self._handlers if entry[2] != handler]
+        return before - len(self._handlers)
+
+    def handlers_for(self, event: Event) -> List[Handler]:
+        return [h for etype, _label, h in self._handlers if event.matches(etype)]
+
+    def dispatch(self, event: Event) -> int:
+        """Deliver ``event`` to every matching handler; returns the count."""
+        matched = self.handlers_for(event)
+        for handler in matched:
+            handler(event)
+        return len(matched)
+
+    def handler_table(self) -> List[Tuple[str, str]]:
+        """(event type, handler label) pairs for introspection."""
+        return [(etype.name, label) for etype, label, _h in self._handlers]
+
+    # -- event sources -------------------------------------------------------
+
+    def register_source(self, name: str, source: Any) -> None:
+        self._sources[name] = source
+
+    def unregister_source(self, name: str) -> None:
+        self._sources.pop(name, None)
+
+    def sources(self) -> Dict[str, Any]:
+        return dict(self._sources)

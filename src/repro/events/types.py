@@ -1,0 +1,145 @@
+"""The extensible polymorphic event ontology.
+
+Event types are named nodes in a single-inheritance hierarchy.  A consumer
+that requires ``MSG_IN`` receives *every* incoming message event because
+``HELLO_IN.is_a(MSG_IN)`` holds — that is the "polymorphic" part.  The
+ontology is *extensible*: protocols define new types at runtime (e.g. our
+DYMO implementation defines its protocol-specific context events, paper
+section 4.5) simply by calling :meth:`EventOntology.define`.
+
+A default ontology instance (:data:`ontology`) carries the standard
+vocabulary referenced throughout the paper:
+
+``HELLO_IN/OUT``, ``TC_IN/OUT`` (OLSR/MPR), ``RE_IN/OUT``, ``RERR_IN/OUT``,
+``UERR_IN/OUT`` (DYMO), ``NHOOD_CHANGE``, ``MPR_CHANGE``, ``LINK_BREAK``
+(topology), ``NO_ROUTE``, ``ROUTE_UPDATE``, ``SEND_ROUTE_ERR``,
+``ROUTE_FOUND`` (reactive kernel hooks), ``POWER_STATUS`` and the other
+context events (section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import EventError, UnknownEventType
+
+
+class EventType:
+    """A named node in the event ontology."""
+
+    __slots__ = ("name", "parent")
+
+    def __init__(self, name: str, parent: Optional["EventType"] = None) -> None:
+        self.name = name
+        self.parent = parent
+
+    def is_a(self, other: "EventType") -> bool:
+        """Polymorphic match: self is ``other`` or a descendant of it."""
+        node: Optional[EventType] = self
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    def lineage(self) -> List[str]:
+        """Names from this type up to the root (diagnostics)."""
+        names = []
+        node: Optional[EventType] = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return names
+
+    def __repr__(self) -> str:
+        return f"EventType({self.name!r})"
+
+
+class EventOntology:
+    """A registry of event types forming one hierarchy."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, EventType] = {}
+        self.root = self._register(EventType("EVENT"))
+
+    def _register(self, etype: EventType) -> EventType:
+        self._types[etype.name] = etype
+        return etype
+
+    # -- public API --------------------------------------------------------
+
+    def define(self, name: str, parent: Optional[str] = None) -> EventType:
+        """Add a new event type; idempotent if redefined identically."""
+        parent_type = self.get(parent) if parent is not None else self.root
+        existing = self._types.get(name)
+        if existing is not None:
+            if existing.parent is not parent_type:
+                raise EventError(
+                    f"event type {name!r} already defined with parent "
+                    f"{existing.parent.name if existing.parent else None!r}"
+                )
+            return existing
+        return self._register(EventType(name, parent_type))
+
+    def get(self, name: str) -> EventType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownEventType(
+                f"unknown event type {name!r}; define it on the ontology first"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+
+def _build_default_ontology() -> EventOntology:
+    onto = EventOntology()
+    # -- message events (packet flow) -----------------------------------
+    onto.define("MSG_IN")
+    onto.define("MSG_OUT")
+    for proto_msg in ("HELLO", "TC", "RE", "RERR", "UERR",
+                      "AODV_RREQ", "AODV_RREP", "AODV_RERR", "POWER"):
+        onto.define(f"{proto_msg}_IN", "MSG_IN")
+        onto.define(f"{proto_msg}_OUT", "MSG_OUT")
+    # -- topology events --------------------------------------------------
+    onto.define("TOPOLOGY")
+    onto.define("NHOOD_CHANGE", "TOPOLOGY")
+    onto.define("MPR_CHANGE", "TOPOLOGY")
+    onto.define("LINK_BREAK", "TOPOLOGY")
+    # -- reactive kernel hooks (Netlink component) -------------------------
+    onto.define("KERNEL")
+    onto.define("NO_ROUTE", "KERNEL")
+    onto.define("ROUTE_UPDATE", "KERNEL")
+    onto.define("SEND_ROUTE_ERR", "KERNEL")
+    onto.define("ROUTE_FOUND", "KERNEL")
+    # -- context events (section 4.5) --------------------------------------
+    onto.define("CONTEXT")
+    for ctx in (
+        "POWER_STATUS",
+        "LINK_QUALITY",
+        "SIGNAL_STRENGTH",
+        "SNR",
+        "BANDWIDTH",
+        "CPU_LOAD",
+        "MEMORY_USE",
+        "PACKET_LOSS",
+        "ROUTE_DISCOVERY_RATE",
+    ):
+        onto.define(ctx, "CONTEXT")
+    # -- framework-internal events -----------------------------------------
+    onto.define("CONTROL")
+    onto.define("PROTOCOL_STARTED", "CONTROL")
+    onto.define("PROTOCOL_STOPPED", "CONTROL")
+    onto.define("RECONFIGURED", "CONTROL")
+    return onto
+
+
+#: The default ontology shared by deployments that do not supply their own.
+ontology = _build_default_ontology()

@@ -1,0 +1,430 @@
+"""Unik-olsrd stand-in: a monolithic OLSR daemon.
+
+Everything lives in one class: link sensing, MPR selection, TC flooding,
+duplicate suppression and route calculation — no components, no event
+registry, no reflective layer.  The message formats and timing behaviour
+(including triggered HELLOs/TCs) match the MANETKit implementation so the
+two are protocol-equivalent; what differs is the *software architecture*,
+which is exactly what Table 1 / Table 2 compare.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.message import Message, MsgType
+from repro.packetbb.packet import Packet, decode, encode
+from repro.packetbb.tlv import TLV, TLVBlock
+from repro.protocols.common import LinkCode, TlvType, Willingness, seq_newer
+from repro.sim.kernel_table import KernelRoute
+from repro.sim.medium import BROADCAST
+from repro.sim.node import SimNode
+
+
+class OlsrdDaemon:
+    """A self-contained OLSR implementation bound to one node."""
+
+    def __init__(
+        self,
+        node: SimNode,
+        hello_interval: float = 2.0,
+        tc_interval: float = 5.0,
+        jitter: float = 0.25,
+        willingness: int = int(Willingness.DEFAULT),
+        processing_delay: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.node = node
+        self.hello_interval = hello_interval
+        self.tc_interval = tc_interval
+        self.jitter = jitter
+        self.willingness = willingness
+        self.rng = random.Random(seed if seed is not None else node.node_id)
+        # Link sensing state: neighbour -> (asym_until, sym_until)
+        self.links: Dict[int, Tuple[float, float]] = {}
+        self.two_hop: Dict[int, Set[int]] = {}
+        self.neighbour_willingness: Dict[int, int] = {}
+        self.mpr_set: Set[int] = set()
+        self.selectors: Dict[int, float] = {}
+        self.duplicates: Dict[Tuple[int, int], float] = {}
+        self.topology: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self.ansn_of: Dict[int, int] = {}
+        self.msg_seq_of: Dict[int, int] = {}
+        self.ansn = 0
+        self.last_advertised: Set[int] = set()
+        self.routes: Dict[int, Tuple[int, int]] = {}
+        self._hello_seq = 0
+        self._tc_seq = 0
+        self._packet_seq = 0
+        self._empty_tc_rounds = 0
+        self._last_hello_trigger = -1e9
+        self._last_tc_trigger = -1e9
+        self._hello_timer = None
+        self._tc_timer = None
+        self._running = False
+        self.messages_processed = 0
+        self._processing_delay = processing_delay
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.node.ip_forward = True
+        self.node.icmp_redirects = False
+        self.node.add_control_receiver(
+            self.on_wire, processing_delay=self._processing_delay
+        )
+        self._schedule_hello(0.1)
+        self._schedule_tc(self._jittered(self.tc_interval))
+
+    def stop(self) -> None:
+        self._running = False
+        self.node.remove_control_receiver(self.on_wire)
+        for handle in (self._hello_timer, self._tc_timer):
+            if handle is not None:
+                handle.cancel()
+
+    # -- timers ----------------------------------------------------------------
+
+    def _jittered(self, interval: float) -> float:
+        return interval - self.rng.uniform(0, self.jitter) * interval
+
+    def _schedule_hello(self, delay: float) -> None:
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+        self._hello_timer = self.node.scheduler.call_later(delay, self._hello_tick)
+
+    def _schedule_tc(self, delay: float) -> None:
+        if self._tc_timer is not None:
+            self._tc_timer.cancel()
+        self._tc_timer = self.node.scheduler.call_later(delay, self._tc_tick)
+
+    def _hello_tick(self) -> None:
+        if not self._running:
+            return
+        self._expire()
+        self.send_hello()
+        self._schedule_hello(self._jittered(self.hello_interval))
+
+    def _tc_tick(self) -> None:
+        if not self._running:
+            return
+        self.send_tc()
+        self._schedule_tc(self._jittered(self.tc_interval))
+
+    # -- transmit ------------------------------------------------------------------
+
+    def _transmit(self, message: Message, link_dst: int = BROADCAST) -> None:
+        self._packet_seq = (self._packet_seq + 1) & 0xFFFF
+        self.node.send_control(
+            encode(Packet([message], seqnum=self._packet_seq)), link_dst
+        )
+
+    def send_hello(self) -> None:
+        now = self.node.scheduler.now
+        sym = {n for n, (_a, s) in self.links.items() if s > now}
+        mprs = self.mpr_set & sym
+        asym = {
+            n for n, (a, s) in self.links.items() if a > now and s <= now
+        }
+        blocks = []
+        for addresses, code in (
+            (mprs, LinkCode.MPR),
+            (sym - mprs, LinkCode.SYM),
+            (asym, LinkCode.ASYM),
+        ):
+            if addresses:
+                block = AddressBlock(
+                    [Address.from_node_id(a) for a in sorted(addresses)]
+                )
+                block.tlv_block.add(
+                    TLV.of_int(TlvType.LINK_STATUS, int(code), width=1)
+                )
+                blocks.append(block)
+        self._hello_seq = (self._hello_seq + 1) & 0xFFFF
+        self._transmit(
+            Message(
+                MsgType.HELLO,
+                originator=Address.from_node_id(self.node.node_id),
+                hop_limit=1,
+                hop_count=0,
+                seqnum=self._hello_seq,
+                tlv_block=TLVBlock(
+                    [TLV.of_int(TlvType.WILLINGNESS, self.willingness, width=1)]
+                ),
+                address_blocks=blocks,
+            )
+        )
+
+    def send_tc(self) -> None:
+        now = self.node.scheduler.now
+        self._purge_topology(now)
+        advertised = {n for n, until in self.selectors.items() if until > now}
+        if advertised != self.last_advertised:
+            self.ansn = (self.ansn + 1) & 0xFFFF
+            self.last_advertised = set(advertised)
+        if not advertised:
+            self._empty_tc_rounds += 1
+            if self._empty_tc_rounds > 3:
+                return
+        else:
+            self._empty_tc_rounds = 0
+        self._tc_seq = (self._tc_seq + 1) & 0xFFFF
+        self._transmit(
+            Message(
+                MsgType.TC,
+                originator=Address.from_node_id(self.node.node_id),
+                hop_limit=255,
+                hop_count=0,
+                seqnum=self._tc_seq,
+                tlv_block=TLVBlock([TLV.of_int(TlvType.ANSN, self.ansn, width=2)]),
+                address_blocks=(
+                    [
+                        AddressBlock(
+                            [Address.from_node_id(a) for a in sorted(advertised)]
+                        )
+                    ]
+                    if advertised
+                    else []
+                ),
+            )
+        )
+
+    # -- receive ----------------------------------------------------------------------
+
+    def on_wire(self, payload: bytes, sender: int) -> None:
+        if not self._running:
+            return
+        packet = decode(payload)
+        for message in packet.messages:
+            self.messages_processed += 1
+            if message.msg_type == int(MsgType.HELLO):
+                self._handle_hello(message, sender)
+            elif message.msg_type == int(MsgType.TC):
+                self._handle_tc(message, sender)
+
+    def _handle_hello(self, message: Message, sender: int) -> None:
+        if sender == self.node.node_id:
+            return
+        now = self.node.scheduler.now
+        validity = self.hello_interval * 3.0
+        asym_until, sym_until = self.links.get(sender, (0.0, 0.0))
+        is_new = sender not in self.links
+        sym_of_sender: Set[int] = set()
+        selected_us = False
+        listed = False
+        for block in message.address_blocks:
+            status = block.tlv_block.find(TlvType.LINK_STATUS)
+            code = status.as_int() if status is not None else int(LinkCode.SYM)
+            addresses = {a.node_id for a in block.addresses}
+            if self.node.node_id in addresses:
+                listed = True
+                if code == int(LinkCode.MPR):
+                    selected_us = True
+            if code in (int(LinkCode.SYM), int(LinkCode.MPR)):
+                sym_of_sender |= addresses
+        newly_symmetric = listed and sym_until <= now
+        self.links[sender] = (
+            now + validity,
+            now + validity if listed else sym_until,
+        )
+        self.two_hop[sender] = sym_of_sender - {self.node.node_id}
+        will = message.tlv_block.find(TlvType.WILLINGNESS)
+        if will is not None:
+            self.neighbour_willingness[sender] = will.as_int()
+        if selected_us:
+            self.selectors[sender] = now + validity
+        if is_new or newly_symmetric:
+            self._trigger_hello(now)
+        self._recalculate_mprs(now)
+        self._recalculate_routes(now)
+        self._maybe_trigger_tc(now)
+
+    def _handle_tc(self, message: Message, sender: int) -> None:
+        if message.originator is None or message.seqnum is None:
+            return
+        originator = message.originator.node_id
+        now = self.node.scheduler.now
+        if originator != self.node.node_id:
+            previous = self.msg_seq_of.get(originator)
+            if previous is None or seq_newer(message.seqnum, previous):
+                self.msg_seq_of[originator] = message.seqnum
+                ansn_tlv = message.tlv_block.find(TlvType.ANSN)
+                if ansn_tlv is not None:
+                    ansn = ansn_tlv.as_int()
+                    prev_ansn = self.ansn_of.get(originator)
+                    if prev_ansn is None or not seq_newer(prev_ansn, ansn):
+                        self.ansn_of[originator] = ansn
+                        for key in [
+                            k
+                            for k, (a, _e) in self.topology.items()
+                            if k[0] == originator and seq_newer(ansn, a)
+                        ]:
+                            del self.topology[key]
+                        expiry = now + self.tc_interval * 3.0
+                        for address in message.all_addresses():
+                            self.topology[(originator, address.node_id)] = (
+                                ansn,
+                                expiry,
+                            )
+                        self._recalculate_routes(now)
+        self._relay(message, sender, now)
+
+    def _relay(self, message: Message, sender: int, now: float) -> None:
+        """RFC 3626 default forwarding: MPR-selector-gated flooding."""
+        if message.originator is None or message.seqnum is None:
+            return
+        originator = message.originator.node_id
+        if originator == self.node.node_id:
+            return
+        key = (originator, message.msg_type, message.seqnum)
+        if key in self.duplicates:
+            return
+        self.duplicates[key] = now + 30.0
+        if self.selectors.get(sender, 0.0) <= now:
+            return
+        if message.hop_limit is None or message.hop_limit <= 0:
+            return
+        self._transmit(
+            Message(
+                message.msg_type,
+                originator=message.originator,
+                hop_limit=message.hop_limit - 1,
+                hop_count=(message.hop_count or 0) + 1,
+                seqnum=message.seqnum,
+                tlv_block=message.tlv_block,
+                address_blocks=message.address_blocks,
+            )
+        )
+
+    # -- triggered messages --------------------------------------------------------------
+
+    def _trigger_hello(self, now: float) -> None:
+        if now - self._last_hello_trigger < 0.5:
+            return
+        self._last_hello_trigger = now
+        self._schedule_hello(0.1)
+
+    def _maybe_trigger_tc(self, now: float) -> None:
+        advertised = {n for n, until in self.selectors.items() if until > now}
+        if advertised == self.last_advertised:
+            return
+        if now - self._last_tc_trigger < 0.25:
+            return
+        self._last_tc_trigger = now
+        self._schedule_tc(0.25)
+
+    # -- table maintenance ----------------------------------------------------------------
+
+    def _expire(self) -> None:
+        now = self.node.scheduler.now
+        for neighbour in [n for n, (a, _s) in self.links.items() if a <= now]:
+            del self.links[neighbour]
+            self.two_hop.pop(neighbour, None)
+            self.neighbour_willingness.pop(neighbour, None)
+            self.mpr_set.discard(neighbour)
+        for neighbour in [n for n, t in self.selectors.items() if t <= now]:
+            del self.selectors[neighbour]
+        for key in [k for k, t in self.duplicates.items() if t <= now]:
+            del self.duplicates[key]
+        self._recalculate_mprs(now)
+        self._recalculate_routes(now)
+
+    def _purge_topology(self, now: float) -> None:
+        for key in [k for k, (_a, e) in self.topology.items() if e <= now]:
+            del self.topology[key]
+
+    # -- MPR selection (inline greedy cover) ---------------------------------------------------
+
+    def _recalculate_mprs(self, now: float) -> None:
+        sym = {n for n, (_a, s) in self.links.items() if s > now}
+        strict: Set[int] = set()
+        coverage: Dict[int, Set[int]] = {}
+        for neighbour in sym:
+            if (
+                self.neighbour_willingness.get(neighbour, int(Willingness.DEFAULT))
+                == int(Willingness.NEVER)
+            ):
+                continue
+            covered = self.two_hop.get(neighbour, set()) - sym - {self.node.node_id}
+            coverage[neighbour] = covered
+            strict |= covered
+        mprs: Set[int] = set()
+        uncovered = set(strict)
+        for neighbour, covered in sorted(coverage.items()):
+            if (
+                self.neighbour_willingness.get(neighbour, int(Willingness.DEFAULT))
+                == int(Willingness.ALWAYS)
+            ):
+                mprs.add(neighbour)
+                uncovered -= covered
+        while uncovered:
+            best, best_key = None, None
+            for neighbour, covered in sorted(coverage.items()):
+                if neighbour in mprs:
+                    continue
+                gain = len(covered & uncovered)
+                if gain == 0:
+                    continue
+                key = (
+                    self.neighbour_willingness.get(
+                        neighbour, int(Willingness.DEFAULT)
+                    ),
+                    gain,
+                    len(covered),
+                    -neighbour,
+                )
+                if best_key is None or key > best_key:
+                    best, best_key = neighbour, key
+            if best is None:
+                break
+            mprs.add(best)
+            uncovered -= coverage[best]
+        self.mpr_set = mprs
+
+    # -- route calculation (inline BFS) -----------------------------------------------------------
+
+    def _recalculate_routes(self, now: float) -> None:
+        self._purge_topology(now)
+        local = self.node.node_id
+        sym = {n for n, (_a, s) in self.links.items() if s > now}
+        graph: Dict[int, Set[int]] = {local: set(sym)}
+        for neighbour in sym:
+            graph.setdefault(neighbour, set()).add(local)
+            for two_hop in self.two_hop.get(neighbour, set()):
+                graph[neighbour].add(two_hop)
+                graph.setdefault(two_hop, set())
+        for last_hop, destination in self.topology:
+            graph.setdefault(last_hop, set()).add(destination)
+            graph.setdefault(destination, set())
+        routes: Dict[int, Tuple[int, int]] = {}
+        visited = {local}
+        frontier = [(n, n, 1) for n in sorted(graph[local])]
+        index = 0
+        while index < len(frontier):
+            node, first_hop, distance = frontier[index]
+            index += 1
+            if node in visited:
+                continue
+            visited.add(node)
+            routes[node] = (first_hop, distance)
+            for successor in sorted(graph.get(node, ())):
+                if successor not in visited:
+                    frontier.append((successor, first_hop, distance + 1))
+        if routes != self.routes:
+            self.routes = routes
+            self.node.kernel_table.replace_all(
+                [
+                    KernelRoute(destination, next_hop, metric=hops)
+                    for destination, (next_hop, hops) in sorted(routes.items())
+                ]
+            )
+
+    # -- inspection ------------------------------------------------------------------------------------
+
+    def routing_table(self) -> Dict[int, Tuple[int, int]]:
+        return dict(self.routes)

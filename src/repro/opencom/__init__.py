@@ -1,0 +1,42 @@
+"""OpenCom: a reflective runtime component model (paper section 3).
+
+This package is a from-scratch Python reproduction of the OpenCom component
+model [Coulson et al., ACM TOCS 2008] that MANETKit is built on:
+
+* a small runtime **kernel** supporting dynamic loading/unloading,
+  instantiation/destruction and composition/decomposition of lightweight
+  components (:mod:`repro.opencom.kernel`);
+* **components** with *interfaces* (provided) and *receptacles* (required)
+  describing their points of interaction (:mod:`repro.opencom.component`);
+* first-class **bindings** between receptacles and interfaces
+  (:mod:`repro.opencom.binding`);
+* **reflective meta-models**: an *interface meta-model* for runtime
+  inspection of a component's interaction points and an *architecture
+  meta-model* exposing a generic API for inspecting and reconfiguring a
+  composition (:mod:`repro.opencom.meta`);
+* **component frameworks** (CFs): domain-tailored composite components that
+  accept plug-ins and actively police their own structural integrity via
+  registered integrity rules (:mod:`repro.opencom.framework`);
+* a general-purpose **quiescence** mechanism for complex, transactional
+  reconfigurations (:mod:`repro.opencom.quiescence`).
+"""
+
+from repro.opencom.component import Component, Interface, Receptacle
+from repro.opencom.binding import Binding
+from repro.opencom.kernel import OpenComKernel
+from repro.opencom.meta import ArchitectureMetaModel, InterfaceMetaModel
+from repro.opencom.framework import ComponentFramework, IntegrityRule
+from repro.opencom.quiescence import QuiescenceManager
+
+__all__ = [
+    "Component",
+    "Interface",
+    "Receptacle",
+    "Binding",
+    "OpenComKernel",
+    "InterfaceMetaModel",
+    "ArchitectureMetaModel",
+    "ComponentFramework",
+    "IntegrityRule",
+    "QuiescenceManager",
+]

@@ -1,0 +1,57 @@
+"""First-class bindings between receptacles and interfaces.
+
+Bindings are created and destroyed by the kernel (or by an architecture
+meta-model acting on a component framework).  Making them first-class
+objects — rather than bare references — is what lets the reflective layer
+enumerate, inspect and atomically rewire a running composition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindingError
+from repro.opencom.component import Interface, Receptacle
+
+
+class Binding:
+    """A live connection from a receptacle to a compatible interface."""
+
+    __slots__ = ("receptacle", "interface", "alive")
+
+    def __init__(self, receptacle: Receptacle, interface: Interface) -> None:
+        if receptacle.iface_type != interface.iface_type:
+            raise BindingError(
+                f"type mismatch binding {receptacle.owner.name}.{receptacle.name}"
+                f" ({receptacle.iface_type}) to {interface.provider.name}."
+                f"{interface.name} ({interface.iface_type})"
+            )
+        if receptacle.bindings and not receptacle.multiple:
+            raise BindingError(
+                f"receptacle {receptacle.owner.name}.{receptacle.name} is "
+                "single-valued and already bound"
+            )
+        if any(b.interface is interface for b in receptacle.bindings):
+            raise BindingError(
+                f"receptacle {receptacle.owner.name}.{receptacle.name} is "
+                f"already bound to {interface.provider.name}.{interface.name}"
+            )
+        self.receptacle = receptacle
+        self.interface = interface
+        self.alive = True
+        receptacle.bindings.append(self)
+
+    def destroy(self) -> None:
+        """Disconnect (idempotent)."""
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self.receptacle.bindings.remove(self)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def __repr__(self) -> str:
+        state = "live" if self.alive else "dead"
+        return (
+            f"<Binding {self.receptacle.owner.name}.{self.receptacle.name} -> "
+            f"{self.interface.provider.name}.{self.interface.name} [{state}]>"
+        )

@@ -1,0 +1,226 @@
+"""Components, interfaces and receptacles.
+
+An OpenCom component exposes *interfaces* (services it provides) and
+*receptacles* (services it requires).  A receptacle is connected to a
+compatible interface by a :class:`~repro.opencom.binding.Binding`; the
+component then calls through the receptacle as if it held the provider
+directly.  Interface compatibility is by *interface type name* — a string
+such as ``"IForward"`` — mirroring OpenCom's language-independent typing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    InterfaceNotFound,
+    LifecycleError,
+    ReceptacleNotFound,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.opencom.binding import Binding
+
+
+class Interface:
+    """A named, typed service access point provided by a component.
+
+    ``target`` is the Python object implementing the service (frequently
+    the component itself).  Calls made through a bound receptacle are
+    forwarded to ``target``.
+    """
+
+    __slots__ = ("name", "iface_type", "provider", "target")
+
+    def __init__(
+        self, name: str, iface_type: str, provider: "Component", target: Any
+    ) -> None:
+        self.name = name
+        self.iface_type = iface_type
+        self.provider = provider
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"<Interface {self.name}:{self.iface_type} of {self.provider.name}>"
+
+
+class Receptacle:
+    """A named, typed dependency declared by a component.
+
+    ``multiple=True`` receptacles ("multi-receptacles") may hold several
+    simultaneous bindings — the event framework uses these for broadcast
+    event propagation, where one provider fans out to many consumers.
+    """
+
+    __slots__ = ("name", "iface_type", "owner", "multiple", "bindings")
+
+    def __init__(
+        self,
+        name: str,
+        iface_type: str,
+        owner: "Component",
+        multiple: bool = False,
+    ) -> None:
+        self.name = name
+        self.iface_type = iface_type
+        self.owner = owner
+        self.multiple = multiple
+        self.bindings: List["Binding"] = []
+
+    # -- call-through helpers ----------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return bool(self.bindings)
+
+    def provider(self) -> Any:
+        """Return the single bound target, or raise if unbound."""
+        if not self.bindings:
+            raise ReceptacleNotFound(
+                f"receptacle {self.owner.name}.{self.name} is not bound"
+            )
+        return self.bindings[0].interface.target
+
+    def providers(self) -> List[Any]:
+        """Return every bound target (multi-receptacles)."""
+        return [binding.interface.target for binding in self.bindings]
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``method`` on the single bound provider."""
+        return getattr(self.provider(), method)(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Receptacle {self.name}:{self.iface_type} of {self.owner.name} "
+            f"({len(self.bindings)} bound)>"
+        )
+
+
+class Component:
+    """Base class for all OpenCom components.
+
+    Lifecycle: ``CREATED`` → :meth:`start` → ``STARTED`` → :meth:`stop` →
+    ``STOPPED`` (restartable) → :meth:`destroy` → ``DESTROYED``.  Subclasses
+    override the ``on_*`` hooks rather than the lifecycle methods
+    themselves, so state bookkeeping stays in one place.
+    """
+
+    CREATED = "created"
+    STARTED = "started"
+    STOPPED = "stopped"
+    DESTROYED = "destroyed"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lifecycle = Component.CREATED
+        self._interfaces: Dict[str, Interface] = {}
+        self._receptacles: Dict[str, Receptacle] = {}
+        #: set by ComponentFramework when the component is plugged in
+        self.parent: Optional["Component"] = None
+
+    # -- declaration --------------------------------------------------------
+
+    def provide_interface(
+        self, name: str, iface_type: str, target: Optional[Any] = None
+    ) -> Interface:
+        """Declare a provided interface; ``target`` defaults to ``self``."""
+        iface = Interface(name, iface_type, self, target if target is not None else self)
+        self._interfaces[name] = iface
+        return iface
+
+    def add_receptacle(
+        self, name: str, iface_type: str, multiple: bool = False
+    ) -> Receptacle:
+        """Declare a required interface."""
+        recep = Receptacle(name, iface_type, self, multiple=multiple)
+        self._receptacles[name] = recep
+        return recep
+
+    # -- lookup ---------------------------------------------------------------
+
+    def interface(self, name: str) -> Interface:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise InterfaceNotFound(
+                f"component {self.name!r} has no interface {name!r} "
+                f"(has: {sorted(self._interfaces)})"
+            ) from None
+
+    def receptacle(self, name: str) -> Receptacle:
+        try:
+            return self._receptacles[name]
+        except KeyError:
+            raise ReceptacleNotFound(
+                f"component {self.name!r} has no receptacle {name!r} "
+                f"(has: {sorted(self._receptacles)})"
+            ) from None
+
+    def interfaces(self) -> List[Interface]:
+        return list(self._interfaces.values())
+
+    def receptacles(self) -> List[Receptacle]:
+        return list(self._receptacles.values())
+
+    def find_interface_by_type(self, iface_type: str) -> Optional[Interface]:
+        """First provided interface of the given type, if any.
+
+        This is the dynamic-discovery operation that OpenCom's interface
+        meta-model supports; direct calls between CFS units "typically
+        benefit from [it] to dynamically discover interfaces at runtime"
+        (paper section 4.2, footnote 1).
+        """
+        for iface in self._interfaces.values():
+            if iface.iface_type == iface_type:
+                return iface
+        return None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.lifecycle == Component.DESTROYED:
+            raise LifecycleError(f"cannot start destroyed component {self.name!r}")
+        if self.lifecycle == Component.STARTED:
+            return
+        self.lifecycle = Component.STARTED
+        self.on_start()
+
+    def stop(self) -> None:
+        if self.lifecycle != Component.STARTED:
+            return
+        self.lifecycle = Component.STOPPED
+        self.on_stop()
+
+    def destroy(self) -> None:
+        if self.lifecycle == Component.STARTED:
+            self.stop()
+        self.lifecycle = Component.DESTROYED
+        self.on_destroy()
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Hook invoked when the component transitions to STARTED."""
+
+    def on_stop(self) -> None:
+        """Hook invoked when the component transitions to STOPPED."""
+
+    def on_destroy(self) -> None:
+        """Hook invoked when the component is destroyed."""
+
+    # -- state transfer (dynamic reconfiguration support) -----------------------
+
+    def get_state(self) -> Dict[str, Any]:
+        """Export transferable state for component replacement.
+
+        The CFS pattern encourages factoring protocol state into distinct S
+        components (paper section 4.5); components that carry state override
+        this pair so a replacement can take over mid-flight.
+        """
+        return {}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Import state previously produced by :meth:`get_state`."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} [{self.lifecycle}]>"

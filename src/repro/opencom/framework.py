@@ -1,0 +1,286 @@
+"""Component frameworks (CFs).
+
+"Component frameworks are domain tailored composite components that accept
+'plug-in' components that modify or augment the CF's behaviour. [...]
+Crucially, CFs actively maintain their integrity to avoid 'illegal'
+configurations of plug-ins — attempts to insert and manipulate plug-ins are
+policed by sets of integrity rules registered with the CF.  As CFs are
+themselves components, they can easily be nested" (paper section 3).
+
+A :class:`ComponentFramework` therefore:
+
+* is a :class:`~repro.opencom.component.Component` (nestable, has its own
+  interfaces/receptacles, participates in lifecycle);
+* contains named child components and the internal bindings between them;
+* polices every structural mutation with registered
+  :class:`IntegrityRule` callables, raising
+  :class:`~repro.errors.IntegrityError` and leaving the CF unchanged when a
+  rule vetoes;
+* owns a reentrant *critical-section* lock — the mechanism that makes
+  event handling atomic per ManetProtocol and reconfiguration safe
+  (paper sections 4.4 and 4.5);
+* exports an architecture reflective meta-model through which plug-ins are
+  inserted and manipulated (``ICFMeta`` in the paper's figures).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import BindingError, IntegrityError
+from repro.opencom.binding import Binding
+from repro.opencom.component import Component
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Description of a structural change, handed to integrity rules."""
+
+    kind: str  # "insert" | "remove" | "replace" | "bind" | "unbind"
+    component: Optional[Component] = None
+    old_component: Optional[Component] = None
+    binding: Optional[Binding] = None
+
+
+#: An integrity rule inspects a proposed mutation against the CF and raises
+#: :class:`~repro.errors.IntegrityError` to veto it.
+IntegrityRule = Callable[["ComponentFramework", Mutation], None]
+
+
+class ComponentFramework(Component):
+    """A composite component with policed plug-in structure."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._children: Dict[str, Component] = {}
+        self._internal_bindings: List[Binding] = []
+        self._rules: List[IntegrityRule] = []
+        # The per-CF critical section.  RLock so that a handler running
+        # inside the CF can re-enter (e.g. emit an event that loops back).
+        self._lock = threading.RLock()
+        self.provide_interface("ICFMeta", "ICFMeta", target=self)
+
+    # -- critical section ---------------------------------------------------
+
+    @property
+    def lock(self) -> threading.RLock:
+        return self._lock
+
+    def __enter__(self) -> "ComponentFramework":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._lock.release()
+
+    # -- integrity rules ----------------------------------------------------
+
+    def register_integrity_rule(self, rule: IntegrityRule) -> None:
+        self._rules.append(rule)
+
+    def _police(self, mutation: Mutation) -> None:
+        for rule in self._rules:
+            rule(self, mutation)
+
+    # -- plug-in management --------------------------------------------------
+
+    def insert(self, component: Component) -> Component:
+        """Plug ``component`` in (policed, under the critical section)."""
+        with self._lock:
+            if component.name in self._children:
+                raise IntegrityError(
+                    f"{self.name}: a child named {component.name!r} already exists"
+                )
+            self._police(Mutation("insert", component=component))
+            self._children[component.name] = component
+            component.parent = self
+            if self.lifecycle == Component.STARTED:
+                component.start()
+            return component
+
+    def remove(self, name: str) -> Component:
+        """Unplug the child called ``name``, severing its internal bindings."""
+        with self._lock:
+            component = self.child(name)
+            self._police(Mutation("remove", component=component))
+            for binding in list(self._internal_bindings):
+                if (
+                    binding.receptacle.owner is component
+                    or binding.interface.provider is component
+                ):
+                    self.disconnect(binding)
+            del self._children[name]
+            component.parent = None
+            component.stop()
+            return component
+
+    def replace(
+        self,
+        name: str,
+        replacement: Component,
+        transfer_state: bool = True,
+    ) -> Component:
+        """Swap the child called ``name`` for ``replacement``.
+
+        Bindings that touched the old child are re-created against the
+        replacement (matched by receptacle/interface type), and — by
+        default — exported state is carried over, which is the standard
+        state-management story for CFS-pattern reconfiguration (paper
+        section 4.5).  Returns the old component.
+        """
+        with self._lock:
+            old = self.child(name)
+            self._police(
+                Mutation("replace", component=replacement, old_component=old)
+            )
+            if transfer_state:
+                replacement.set_state(old.get_state())
+            # Record how the old child was wired before severing.  A
+            # binding with both endpoints on the old child (self-binding)
+            # must be re-created entirely on the replacement — treating it
+            # as inbound or outbound would resurrect the dead component's
+            # receptacle or interface.
+            inbound = [
+                (b.receptacle, b.interface.iface_type)
+                for b in self._internal_bindings
+                if b.interface.provider is old and b.receptacle.owner is not old
+            ]
+            outbound = [
+                (b.receptacle.name, b.interface)
+                for b in self._internal_bindings
+                if b.receptacle.owner is old and b.interface.provider is not old
+            ]
+            self_links = [
+                (b.receptacle.name, b.interface.iface_type)
+                for b in self._internal_bindings
+                if b.receptacle.owner is old and b.interface.provider is old
+            ]
+            for binding in list(self._internal_bindings):
+                if (
+                    binding.receptacle.owner is old
+                    or binding.interface.provider is old
+                ):
+                    self.disconnect(binding)
+            del self._children[old.name]
+            old.parent = None
+            old.stop()
+
+            self._children[replacement.name] = replacement
+            replacement.parent = self
+            # Rewire: consumers of the old child now consume the new one.
+            for recep, iface_type in inbound:
+                iface = replacement.find_interface_by_type(iface_type)
+                if iface is None:
+                    raise BindingError(
+                        f"replacement {replacement.name!r} provides no interface "
+                        f"of type {iface_type!r} needed to rewire "
+                        f"{recep.owner.name}.{recep.name}"
+                    )
+                self._connect_objects(recep, iface)
+            # Rewire: dependencies the old child held are re-established
+            # on the replacement where it declares matching receptacles.
+            for recep_name, iface in outbound:
+                try:
+                    new_recep = replacement.receptacle(recep_name)
+                except Exception:
+                    continue
+                if new_recep.iface_type == iface.iface_type:
+                    self._connect_objects(new_recep, iface)
+            # Self-bindings come back as self-bindings on the replacement.
+            for recep_name, iface_type in self_links:
+                try:
+                    new_recep = replacement.receptacle(recep_name)
+                except Exception:
+                    continue
+                new_iface = replacement.find_interface_by_type(iface_type)
+                if new_iface is not None and new_recep.iface_type == iface_type:
+                    self._connect_objects(new_recep, new_iface)
+            if self.lifecycle == Component.STARTED:
+                replacement.start()
+            return old
+
+    # -- child access ---------------------------------------------------------
+
+    def child(self, name: str) -> Component:
+        try:
+            return self._children[name]
+        except KeyError:
+            raise IntegrityError(
+                f"{self.name}: no child named {name!r} (has: {sorted(self._children)})"
+            ) from None
+
+    def has_child(self, name: str) -> bool:
+        return name in self._children
+
+    def children(self) -> List[Component]:
+        return list(self._children.values())
+
+    def child_names(self) -> List[str]:
+        return sorted(self._children)
+
+    def find_child(self, name: str) -> Optional[Component]:
+        return self._children.get(name)
+
+    # -- internal composition ---------------------------------------------------
+
+    def connect(
+        self,
+        source: Component,
+        receptacle_name: str,
+        provider: Component,
+        interface_name: Optional[str] = None,
+    ) -> Binding:
+        """Bind two children of this CF (policed)."""
+        recep = source.receptacle(receptacle_name)
+        if interface_name is not None:
+            iface = provider.interface(interface_name)
+        else:
+            found = provider.find_interface_by_type(recep.iface_type)
+            if found is None:
+                raise BindingError(
+                    f"{provider.name!r} provides no interface of type "
+                    f"{recep.iface_type!r} required by {source.name}.{receptacle_name}"
+                )
+            iface = found
+        return self._connect_objects(recep, iface)
+
+    def _connect_objects(self, recep, iface) -> Binding:
+        with self._lock:
+            binding = Binding(recep, iface)
+            try:
+                self._police(Mutation("bind", binding=binding))
+            except IntegrityError:
+                binding.destroy()
+                raise
+            self._internal_bindings.append(binding)
+            return binding
+
+    def disconnect(self, binding: Binding) -> None:
+        with self._lock:
+            self._police(Mutation("unbind", binding=binding))
+            binding.destroy()
+            if binding in self._internal_bindings:
+                self._internal_bindings.remove(binding)
+
+    def internal_bindings(self) -> List[Binding]:
+        return list(self._internal_bindings)
+
+    # -- lifecycle cascade --------------------------------------------------------
+
+    def on_start(self) -> None:
+        for component in self._children.values():
+            component.start()
+
+    def on_stop(self) -> None:
+        for component in self._children.values():
+            component.stop()
+
+    def on_destroy(self) -> None:
+        for binding in list(self._internal_bindings):
+            binding.destroy()
+        self._internal_bindings.clear()
+        for component in list(self._children.values()):
+            component.destroy()
+        self._children.clear()

@@ -1,0 +1,170 @@
+"""The OpenCom runtime kernel.
+
+"OpenCom is a run-time component model that uses a small runtime kernel to
+support the dynamic loading, unloading, instantiation/destruction,
+composition/decomposition of lightweight programming language independent
+software components" (paper section 3).
+
+In this Python reproduction, *loading* a component means registering its
+class under a string name in the kernel's registry (the analog of loading a
+shared object and registering its factory); *instantiation* creates live
+component instances; and *composition* creates bindings between receptacles
+and interfaces.  The kernel can itself be "unloaded" after a deployment has
+been configured (paper section 6.2, footnote 3) — the registry is dropped
+and only live instances remain, which the footprint benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.errors import (
+    BindingError,
+    ComponentAlreadyRegistered,
+    ComponentNotRegistered,
+    LifecycleError,
+)
+from repro.opencom.binding import Binding
+from repro.opencom.component import Component
+
+ComponentFactory = Callable[..., Component]
+
+
+class OpenComKernel:
+    """Registry + lifecycle + composition manager for components."""
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, ComponentFactory] = {}
+        self._instances: List[Component] = []
+        self._bindings: List[Binding] = []
+        self._unloaded = False
+
+    # -- dynamic loading / unloading -------------------------------------
+
+    def load(self, name: str, factory: ComponentFactory) -> None:
+        """Register a component class/factory under ``name``."""
+        self._check_alive()
+        if name in self._registry:
+            raise ComponentAlreadyRegistered(f"component class {name!r} already loaded")
+        self._registry[name] = factory
+
+    def unload(self, name: str) -> None:
+        """Remove a component class from the registry.
+
+        Live instances are unaffected — unloading only prevents *new*
+        instantiations, exactly as dropping a shared object would.
+        """
+        self._check_alive()
+        if name not in self._registry:
+            raise ComponentNotRegistered(f"component class {name!r} is not loaded")
+        del self._registry[name]
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._registry
+
+    def loaded_names(self) -> List[str]:
+        return sorted(self._registry)
+
+    # -- instantiation / destruction --------------------------------------
+
+    def instantiate(self, name: str, *args: Any, **kwargs: Any) -> Component:
+        """Create an instance of a loaded component class."""
+        self._check_alive()
+        try:
+            factory = self._registry[name]
+        except KeyError:
+            raise ComponentNotRegistered(
+                f"component class {name!r} is not loaded (loaded: {self.loaded_names()})"
+            ) from None
+        instance = factory(*args, **kwargs)
+        self._instances.append(instance)
+        return instance
+
+    def adopt(self, instance: Component) -> Component:
+        """Track an externally created instance (used by nested CFs)."""
+        if instance not in self._instances:
+            self._instances.append(instance)
+        return instance
+
+    def destroy_instance(self, instance: Component) -> None:
+        """Destroy an instance, severing all bindings that touch it."""
+        for binding in list(self._bindings):
+            if (
+                binding.receptacle.owner is instance
+                or binding.interface.provider is instance
+            ):
+                self.unbind(binding)
+        if instance in self._instances:
+            self._instances.remove(instance)
+        instance.destroy()
+
+    def instances(self) -> List[Component]:
+        return list(self._instances)
+
+    # -- composition / decomposition --------------------------------------
+
+    def bind(
+        self,
+        source: Component,
+        receptacle_name: str,
+        provider: Component,
+        interface_name: Optional[str] = None,
+    ) -> Binding:
+        """Bind ``source``'s receptacle to an interface on ``provider``.
+
+        When ``interface_name`` is omitted, the provider is searched for an
+        interface whose *type* matches the receptacle's required type.
+        """
+        recep = source.receptacle(receptacle_name)
+        if interface_name is not None:
+            iface = provider.interface(interface_name)
+        else:
+            found = provider.find_interface_by_type(recep.iface_type)
+            if found is None:
+                raise BindingError(
+                    f"{provider.name!r} provides no interface of type "
+                    f"{recep.iface_type!r} required by {source.name}.{receptacle_name}"
+                )
+            iface = found
+        binding = Binding(recep, iface)
+        self._bindings.append(binding)
+        return binding
+
+    def unbind(self, binding: Binding) -> None:
+        binding.destroy()
+        if binding in self._bindings:
+            self._bindings.remove(binding)
+
+    def bindings(self) -> List[Binding]:
+        return list(self._bindings)
+
+    def bindings_of(self, component: Component) -> List[Binding]:
+        """Every binding in which ``component`` participates."""
+        return [
+            b
+            for b in self._bindings
+            if b.receptacle.owner is component or b.interface.provider is component
+        ]
+
+    # -- kernel unload (footprint optimisation) ----------------------------
+
+    def unload_kernel(self) -> None:
+        """Drop the registry to free memory once configuration is final.
+
+        After this, no further loads or instantiations are possible, but
+        existing instances and bindings keep running (paper section 6.2,
+        footnote 3).
+        """
+        self._registry.clear()
+        self._unloaded = True
+
+    @property
+    def kernel_unloaded(self) -> bool:
+        return self._unloaded
+
+    def _check_alive(self) -> None:
+        if self._unloaded:
+            raise LifecycleError(
+                "the OpenCom kernel has been unloaded; no further dynamic "
+                "loading or instantiation is possible"
+            )

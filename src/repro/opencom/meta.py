@@ -1,0 +1,120 @@
+"""Reflective meta-models.
+
+OpenCom "employs (i) an interface meta-model to provide runtime information
+on the interfaces and receptacles supported by a component; and (ii) an
+architecture meta-model that offers a generic API through which the
+interconnections in a composed set of components can be inspected and
+reconfigured" (paper section 3).
+
+The meta-models are deliberately thin adapters over the underlying objects:
+they exist so that *generic* tooling (the Framework Manager, the
+reconfiguration engine, the analysis code) can manipulate arbitrary
+compositions without knowing concrete component types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.opencom.binding import Binding
+from repro.opencom.component import Component
+from repro.opencom.framework import ComponentFramework
+
+
+class InterfaceMetaModel:
+    """Runtime inspection of one component's interaction points."""
+
+    def __init__(self, component: Component) -> None:
+        self.component = component
+
+    def interface_descriptions(self) -> List[Dict[str, str]]:
+        return [
+            {"name": i.name, "type": i.iface_type, "provider": i.provider.name}
+            for i in self.component.interfaces()
+        ]
+
+    def receptacle_descriptions(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "name": r.name,
+                "type": r.iface_type,
+                "multiple": r.multiple,
+                "bound": len(r.bindings),
+            }
+            for r in self.component.receptacles()
+        ]
+
+    def provides(self, iface_type: str) -> bool:
+        return self.component.find_interface_by_type(iface_type) is not None
+
+    def requires(self, iface_type: str) -> bool:
+        return any(
+            r.iface_type == iface_type for r in self.component.receptacles()
+        )
+
+
+class ArchitectureMetaModel:
+    """Generic inspect/reconfigure API over a component framework.
+
+    All mutating operations funnel through the CF itself so that integrity
+    rules and the critical section always apply — reflection never offers a
+    back door around the CF's self-policing.
+    """
+
+    def __init__(self, framework: ComponentFramework) -> None:
+        self.framework = framework
+
+    # -- inspection ---------------------------------------------------------
+
+    def components(self) -> List[Component]:
+        return self.framework.children()
+
+    def component_names(self) -> List[str]:
+        return self.framework.child_names()
+
+    def bindings(self) -> List[Binding]:
+        return self.framework.internal_bindings()
+
+    def graph(self) -> Dict[str, List[str]]:
+        """Adjacency mapping: child name -> names its receptacles point at."""
+        adjacency: Dict[str, List[str]] = {
+            name: [] for name in self.framework.child_names()
+        }
+        for binding in self.framework.internal_bindings():
+            src = binding.receptacle.owner.name
+            dst = binding.interface.provider.name
+            adjacency.setdefault(src, []).append(dst)
+        return adjacency
+
+    def find(self, name: str) -> Optional[Component]:
+        return self.framework.find_child(name)
+
+    # -- reconfiguration ------------------------------------------------------
+
+    def insert(self, component: Component) -> Component:
+        return self.framework.insert(component)
+
+    def remove(self, name: str) -> Component:
+        return self.framework.remove(name)
+
+    def replace(
+        self, name: str, replacement: Component, transfer_state: bool = True
+    ) -> Component:
+        return self.framework.replace(name, replacement, transfer_state)
+
+    def connect(
+        self,
+        source_name: str,
+        receptacle_name: str,
+        provider_name: str,
+        interface_name: Optional[str] = None,
+    ) -> Binding:
+        return self.framework.connect(
+            self.framework.child(source_name),
+            receptacle_name,
+            self.framework.child(provider_name),
+            interface_name,
+        )
+
+    def disconnect(self, binding: Binding) -> None:
+        self.framework.disconnect(binding)

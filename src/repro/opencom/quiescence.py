@@ -1,0 +1,97 @@
+"""General-purpose quiescence for complex reconfigurations.
+
+"For very complex reconfigurations (e.g. involving transactional changes
+across multiple ManetProtocol instances), we can fall back on OpenCom's
+general-purpose 'quiescence' mechanism" (paper section 4.5, citing Pissias &
+Coulson [25]).
+
+The idea: to mutate a set of component frameworks atomically, first drive
+each of them to *quiescence* — no thread inside, no new thread admitted —
+then apply the change set, then release.  Our reproduction implements this
+as ordered acquisition of every involved CF's critical-section lock (a
+deadlock-free total order by object id), plus a transactional apply/rollback
+protocol over a list of mutation closures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import QuiescenceError
+from repro.opencom.framework import ComponentFramework
+
+#: A reconfiguration step: (apply, rollback).  ``rollback`` must undo
+#: ``apply``; it is only invoked if a later step fails.
+TransactionStep = Tuple[Callable[[], None], Callable[[], None]]
+
+
+class QuiescenceManager:
+    """Drives sets of CFs to a safe state and applies transactions there."""
+
+    def __init__(self, frameworks: Sequence[ComponentFramework]) -> None:
+        if not frameworks:
+            raise QuiescenceError("no frameworks given to quiesce")
+        # Total lock order prevents deadlock between concurrent managers.
+        self._frameworks = sorted(set(frameworks), key=id)
+        self._held = False
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "QuiescenceManager":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def acquire(self) -> None:
+        """Block until every framework is quiescent (locks held)."""
+        if self._held:
+            raise QuiescenceError("quiescence already held")
+        acquired: List[ComponentFramework] = []
+        try:
+            for framework in self._frameworks:
+                framework.lock.acquire()
+                acquired.append(framework)
+        except BaseException:  # pragma: no cover - defensive
+            for framework in reversed(acquired):
+                framework.lock.release()
+            raise
+        self._held = True
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        for framework in reversed(self._frameworks):
+            framework.lock.release()
+        self._held = False
+
+    @property
+    def quiescent(self) -> bool:
+        return self._held
+
+    # -- transactional apply ----------------------------------------------
+
+    def run_transaction(self, steps: Sequence[TransactionStep]) -> None:
+        """Apply ``steps`` atomically across the quiesced frameworks.
+
+        If any step raises, previously applied steps are rolled back in
+        reverse order and the original error is re-raised wrapped in
+        :class:`~repro.errors.QuiescenceError`.
+        """
+        if not self._held:
+            raise QuiescenceError(
+                "run_transaction requires quiescence to be held first"
+            )
+        applied: List[TransactionStep] = []
+        try:
+            for step in steps:
+                apply, _rollback = step
+                apply()
+                applied.append(step)
+        except Exception as exc:
+            for _apply, rollback in reversed(applied):
+                rollback()
+            raise QuiescenceError(
+                f"transaction failed and was rolled back: {exc}"
+            ) from exc

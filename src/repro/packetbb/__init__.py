@@ -1,0 +1,42 @@
+"""PacketBB: the generalized MANET packet/message format.
+
+MANETKit bases its event structure on "the increasingly-used PacketBB packet
+format" (paper section 4.2, citing draft-ietf-manet-packetbb, which became
+RFC 5444).  Every control message exchanged by the protocols in this
+repository — OLSR HELLOs and TCs, DYMO Routing Elements and RERRs, AODV
+messages, and the monolithic comparators' traffic alike — is carried in this
+format.
+
+The format is hierarchical:
+
+* a :class:`~repro.packetbb.packet.Packet` carries an optional sequence
+  number, an optional packet-level TLV block and a list of messages;
+* a :class:`~repro.packetbb.message.Message` has a type, optional
+  originator / hop-limit / hop-count / sequence-number header fields, a
+  message-level TLV block and a list of address blocks;
+* an :class:`~repro.packetbb.address.AddressBlock` holds a list of
+  addresses compressed against a shared head, with an attached TLV block
+  whose TLVs may target individual address indices;
+* a :class:`~repro.packetbb.tlv.TLV` is a type/value attribute.
+
+Serialization is to a compact binary encoding (:func:`encode`), parsing back
+via :func:`decode`; the two are exact inverses, which the property-based
+tests verify.
+"""
+
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.tlv import TLV, TLVBlock
+from repro.packetbb.message import Message, MsgType
+from repro.packetbb.packet import Packet, decode, encode
+
+__all__ = [
+    "Address",
+    "AddressBlock",
+    "TLV",
+    "TLVBlock",
+    "Message",
+    "MsgType",
+    "Packet",
+    "encode",
+    "decode",
+]

@@ -1,0 +1,184 @@
+"""Addresses and address blocks.
+
+Addresses are fixed-width (4 bytes, IPv4-like) network identifiers.  An
+address block stores several addresses compactly by factoring out their
+longest common *head* prefix — the RFC 5444 compression that matters in
+MANET control traffic, where advertised addresses usually share a network
+prefix.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ParseError, SerializationError
+from repro.packetbb.tlv import TLVBlock
+
+ADDR_LEN = 4
+_MAX_ADDR = (1 << (8 * ADDR_LEN)) - 1
+
+
+class Address:
+    """A fixed-width network address (4 bytes, rendered dotted-quad)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value <= _MAX_ADDR:
+            raise ValueError(f"address out of range: {value}")
+        self.value = value
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Address":
+        parts = text.split(".")
+        if len(parts) != ADDR_LEN:
+            raise ValueError(f"malformed address {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"malformed address {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_node_id(cls, node_id: int) -> "Address":
+        """Map a simulator node id into the 10.0.0.0/8 test network."""
+        if not 0 <= node_id <= 0x00FFFFFF:
+            raise ValueError(f"node id out of range: {node_id}")
+        return cls((10 << 24) | node_id)
+
+    @property
+    def node_id(self) -> int:
+        """Inverse of :meth:`from_node_id`."""
+        return self.value & 0x00FFFFFF
+
+    # -- codec ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!I", self.value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Address":
+        if len(data) != ADDR_LEN:
+            raise ParseError(f"address needs {ADDR_LEN} bytes, got {len(data)}")
+        return cls(struct.unpack("!I", data)[0])
+
+    # -- value semantics ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Address) and self.value == other.value
+
+    def __lt__(self, other: "Address") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return ".".join(str(o) for o in octets)
+
+    def __repr__(self) -> str:
+        return f"Address('{self}')"
+
+
+def _common_head(encoded: List[bytes]) -> bytes:
+    """Longest common prefix of the encoded addresses."""
+    if not encoded:
+        return b""
+    head = encoded[0]
+    for addr in encoded[1:]:
+        limit = min(len(head), len(addr))
+        i = 0
+        while i < limit and head[i] == addr[i]:
+            i += 1
+        head = head[:i]
+        if not head:
+            break
+    return head
+
+
+class AddressBlock:
+    """A compressed list of addresses with an attached TLV block."""
+
+    _HAS_HEAD = 0x80
+
+    def __init__(
+        self,
+        addresses: Iterable[Address],
+        tlv_block: Optional[TLVBlock] = None,
+    ) -> None:
+        self.addresses: List[Address] = list(addresses)
+        if len(self.addresses) > 255:
+            raise SerializationError("address block limited to 255 addresses")
+        self.tlv_block = tlv_block if tlv_block is not None else TLVBlock()
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AddressBlock)
+            and self.addresses == other.addresses
+            and self.tlv_block == other.tlv_block
+        )
+
+    def __repr__(self) -> str:
+        return f"AddressBlock({[str(a) for a in self.addresses]}, {self.tlv_block!r})"
+
+    # -- codec ---------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        encoded = [addr.to_bytes() for addr in self.addresses]
+        head = _common_head(encoded)
+        # A full-length head would leave zero mid bytes; cap so every
+        # address still contributes at least one byte (simplifies parsing
+        # of blocks containing one repeated address).
+        if len(head) >= ADDR_LEN:
+            head = head[: ADDR_LEN - 1]
+        out = bytearray()
+        out.append(len(self.addresses))
+        flags = self._HAS_HEAD if head else 0
+        out.append(flags)
+        if head:
+            out.append(len(head))
+            out.extend(head)
+        for addr in encoded:
+            out.extend(addr[len(head):])
+        out.extend(self.tlv_block.serialize())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int) -> Tuple["AddressBlock", int]:
+        if offset + 2 > len(data):
+            raise ParseError("truncated address block header")
+        count = data[offset]
+        flags = data[offset + 1]
+        offset += 2
+        head = b""
+        if flags & cls._HAS_HEAD:
+            if offset >= len(data):
+                raise ParseError("truncated address block head length")
+            head_len = data[offset]
+            offset += 1
+            if head_len >= ADDR_LEN:
+                raise ParseError(f"address head too long: {head_len}")
+            if offset + head_len > len(data):
+                raise ParseError("truncated address block head")
+            head = data[offset : offset + head_len]
+            offset += head_len
+        mid_len = ADDR_LEN - len(head)
+        addresses = []
+        for _ in range(count):
+            if offset + mid_len > len(data):
+                raise ParseError("truncated address in block")
+            addresses.append(
+                Address.from_bytes(head + data[offset : offset + mid_len])
+            )
+            offset += mid_len
+        tlv_block, offset = TLVBlock.parse(data, offset)
+        return cls(addresses, tlv_block), offset

@@ -1,0 +1,206 @@
+"""PacketBB messages.
+
+A message is the protocol-visible unit: it names a message *type* (HELLO,
+TC, RE, ...), optionally carries the originator address, hop limit, hop
+count and a message sequence number, and bundles a message-level TLV block
+plus any number of address blocks.
+
+Hop limit / hop count are what flooding strategies manipulate: plain
+flooding decrements the hop limit at each relay, MPR flooding additionally
+gates on relay selection, and the fish-eye variant rewrites the hop limit of
+outgoing TCs according to its scoping sequence (paper section 5.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SerializationError
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.tlv import TLVBlock
+
+
+class MsgType(IntEnum):
+    """Well-known message type numbers used across this repository."""
+
+    HELLO = 1
+    TC = 2
+    RE = 10          # DYMO Routing Element (carries both RREQ and RREP)
+    RERR = 11        # DYMO Route Error
+    UERR = 12        # DYMO Unsupported-Element Error
+    AODV_RREQ = 20
+    AODV_RREP = 21
+    AODV_RERR = 22
+    POWER = 30       # Residual-power dissemination (power-aware OLSR)
+
+
+class Message:
+    """One PacketBB message."""
+
+    _HAS_ORIG = 0x80
+    _HAS_HOP_LIMIT = 0x40
+    _HAS_HOP_COUNT = 0x20
+    _HAS_SEQNUM = 0x10
+
+    def __init__(
+        self,
+        msg_type: int,
+        originator: Optional[Address] = None,
+        hop_limit: Optional[int] = None,
+        hop_count: Optional[int] = None,
+        seqnum: Optional[int] = None,
+        tlv_block: Optional[TLVBlock] = None,
+        address_blocks: Optional[List[AddressBlock]] = None,
+    ) -> None:
+        if not 0 <= msg_type <= 255:
+            raise SerializationError(f"message type out of range: {msg_type}")
+        if hop_limit is not None and not 0 <= hop_limit <= 255:
+            raise SerializationError(f"hop limit out of range: {hop_limit}")
+        if hop_count is not None and not 0 <= hop_count <= 255:
+            raise SerializationError(f"hop count out of range: {hop_count}")
+        if seqnum is not None and not 0 <= seqnum <= 0xFFFF:
+            raise SerializationError(f"message seqnum out of range: {seqnum}")
+        self.msg_type = int(msg_type)
+        self.originator = originator
+        self.hop_limit = hop_limit
+        self.hop_count = hop_count
+        self.seqnum = seqnum
+        self.tlv_block = tlv_block if tlv_block is not None else TLVBlock()
+        self.address_blocks: List[AddressBlock] = (
+            list(address_blocks) if address_blocks is not None else []
+        )
+
+    # -- relay bookkeeping ----------------------------------------------------
+
+    def decrement_hop_limit(self) -> "Message":
+        """Account for one relay hop in place (and bump hop count)."""
+        if self.hop_limit is not None:
+            if self.hop_limit == 0:
+                raise SerializationError("hop limit already zero")
+            self.hop_limit -= 1
+        if self.hop_count is not None:
+            self.hop_count += 1
+        return self
+
+    @property
+    def forwardable(self) -> bool:
+        """Whether a relay may propagate this message further."""
+        return self.hop_limit is None or self.hop_limit > 0
+
+    def all_addresses(self) -> List[Address]:
+        """Every address across all blocks, in wire order."""
+        return [addr for block in self.address_blocks for addr in block.addresses]
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Message)
+            and self.msg_type == other.msg_type
+            and self.originator == other.originator
+            and self.hop_limit == other.hop_limit
+            and self.hop_count == other.hop_count
+            and self.seqnum == other.seqnum
+            and self.tlv_block == other.tlv_block
+            and self.address_blocks == other.address_blocks
+        )
+
+    def __repr__(self) -> str:
+        try:
+            label = MsgType(self.msg_type).name
+        except ValueError:
+            label = str(self.msg_type)
+        return (
+            f"<Message {label} orig={self.originator} seq={self.seqnum} "
+            f"hl={self.hop_limit} hc={self.hop_count} "
+            f"blocks={len(self.address_blocks)}>"
+        )
+
+    # -- codec --------------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        flags = 0
+        header = bytearray()
+        if self.originator is not None:
+            flags |= self._HAS_ORIG
+            header.extend(self.originator.to_bytes())
+        if self.hop_limit is not None:
+            flags |= self._HAS_HOP_LIMIT
+            header.append(self.hop_limit)
+        if self.hop_count is not None:
+            flags |= self._HAS_HOP_COUNT
+            header.append(self.hop_count)
+        if self.seqnum is not None:
+            flags |= self._HAS_SEQNUM
+            header.extend(struct.pack("!H", self.seqnum))
+        body = bytearray()
+        body.extend(self.tlv_block.serialize())
+        body.append(len(self.address_blocks))
+        for block in self.address_blocks:
+            body.extend(block.serialize())
+        total = 4 + len(header) + len(body)  # type, flags, size16
+        if total > 0xFFFF:
+            raise SerializationError(f"message too large: {total} bytes")
+        return (
+            bytes((self.msg_type, flags))
+            + struct.pack("!H", total)
+            + bytes(header)
+            + bytes(body)
+        )
+
+    @classmethod
+    def parse(cls, data: bytes, offset: int) -> Tuple["Message", int]:
+        if offset + 4 > len(data):
+            raise ParseError("truncated message header")
+        msg_type = data[offset]
+        flags = data[offset + 1]
+        (size,) = struct.unpack_from("!H", data, offset + 2)
+        end = offset + size
+        if end > len(data):
+            raise ParseError(
+                f"message size field ({size}) exceeds available bytes"
+            )
+        offset += 4
+        originator = hop_limit = hop_count = seqnum = None
+        if flags & cls._HAS_ORIG:
+            if offset + 4 > end:
+                raise ParseError("truncated message originator")
+            originator = Address.from_bytes(data[offset : offset + 4])
+            offset += 4
+        if flags & cls._HAS_HOP_LIMIT:
+            if offset + 1 > end:
+                raise ParseError("truncated hop limit")
+            hop_limit = data[offset]
+            offset += 1
+        if flags & cls._HAS_HOP_COUNT:
+            if offset + 1 > end:
+                raise ParseError("truncated hop count")
+            hop_count = data[offset]
+            offset += 1
+        if flags & cls._HAS_SEQNUM:
+            if offset + 2 > end:
+                raise ParseError("truncated message seqnum")
+            (seqnum,) = struct.unpack_from("!H", data, offset)
+            offset += 2
+        tlv_block, offset = TLVBlock.parse(data, offset)
+        if offset >= end + 1 and offset > end:
+            raise ParseError("message TLV block overruns message")
+        if offset + 1 > end:
+            raise ParseError("truncated address-block count")
+        block_count = data[offset]
+        offset += 1
+        blocks = []
+        for _ in range(block_count):
+            block, offset = AddressBlock.parse(data, offset)
+            blocks.append(block)
+        if offset != end:
+            raise ParseError(
+                f"message body length mismatch (parsed to {offset}, "
+                f"declared end {end})"
+            )
+        return (
+            cls(msg_type, originator, hop_limit, hop_count, seqnum, tlv_block, blocks),
+            offset,
+        )

@@ -1,0 +1,104 @@
+"""PacketBB packets and the top-level encode/decode entry points.
+
+A packet is the on-air unit: several messages from several protocols can be
+aggregated into one packet (which is also how the Neighbour Detection CF's
+piggybacking service works — it appends extra messages to packets it was
+going to transmit anyway).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SerializationError
+from repro.packetbb.message import Message
+from repro.packetbb.tlv import TLVBlock
+
+_VERSION = 0
+
+
+class Packet:
+    """One on-air PacketBB packet."""
+
+    _HAS_SEQNUM = 0x08
+    _HAS_TLV = 0x04
+
+    def __init__(
+        self,
+        messages: Optional[List[Message]] = None,
+        seqnum: Optional[int] = None,
+        tlv_block: Optional[TLVBlock] = None,
+    ) -> None:
+        if seqnum is not None and not 0 <= seqnum <= 0xFFFF:
+            raise SerializationError(f"packet seqnum out of range: {seqnum}")
+        self.messages: List[Message] = list(messages) if messages else []
+        self.seqnum = seqnum
+        self.tlv_block = tlv_block
+
+    def add_message(self, message: Message) -> "Packet":
+        self.messages.append(message)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Packet)
+            and self.messages == other.messages
+            and self.seqnum == other.seqnum
+            and self.tlv_block == other.tlv_block
+        )
+
+    def __repr__(self) -> str:
+        return f"<Packet seq={self.seqnum} messages={self.messages!r}>"
+
+    # -- codec ------------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        flags = _VERSION << 4
+        out = bytearray()
+        if self.seqnum is not None:
+            flags |= self._HAS_SEQNUM
+        if self.tlv_block is not None:
+            flags |= self._HAS_TLV
+        out.append(flags)
+        if self.seqnum is not None:
+            out.extend(struct.pack("!H", self.seqnum))
+        if self.tlv_block is not None:
+            out.extend(self.tlv_block.serialize())
+        for message in self.messages:
+            out.extend(message.serialize())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        if not data:
+            raise ParseError("empty packet")
+        flags = data[0]
+        version = flags >> 4
+        if version != _VERSION:
+            raise ParseError(f"unsupported PacketBB version {version}")
+        offset = 1
+        seqnum = None
+        tlv_block = None
+        if flags & cls._HAS_SEQNUM:
+            if offset + 2 > len(data):
+                raise ParseError("truncated packet seqnum")
+            (seqnum,) = struct.unpack_from("!H", data, offset)
+            offset += 2
+        if flags & cls._HAS_TLV:
+            tlv_block, offset = TLVBlock.parse(data, offset)
+        messages = []
+        while offset < len(data):
+            message, offset = Message.parse(data, offset)
+            messages.append(message)
+        return cls(messages, seqnum, tlv_block)
+
+
+def encode(packet: Packet) -> bytes:
+    """Serialize ``packet`` to its binary wire form."""
+    return packet.serialize()
+
+
+def decode(data: bytes) -> Packet:
+    """Parse binary wire data back into a :class:`Packet`."""
+    return Packet.parse(data)

@@ -1,0 +1,30 @@
+"""Ad-hoc routing protocols built inside MANETKit (paper section 5).
+
+* :mod:`repro.protocols.mpr` — Multipoint Relaying: link sensing, relay
+  selection and optimised flooding (used by OLSR, shareable with DYMO);
+* :mod:`repro.protocols.olsr` — the proactive OLSR protocol plus its
+  fish-eye and power-aware variants;
+* :mod:`repro.protocols.dymo` — the reactive DYMO protocol plus its
+  multipath and optimised-flooding variants;
+* :mod:`repro.protocols.aodv` — AODV (the original Java-MANETKit proof of
+  concept, section 5), stacked on the Neighbour Detection CF;
+* :mod:`repro.protocols.common` — sequence-number arithmetic and shared
+  TLV vocabulary.
+
+Importing this package registers every protocol with
+:data:`repro.core.manetkit.PROTOCOL_REGISTRY`, enabling
+``kit.load_protocol("olsr")``-style dynamic deployment.
+"""
+
+from repro.core.manetkit import register_protocol
+from repro.protocols.mpr.protocol import MprCF
+from repro.protocols.olsr.protocol import OlsrCF
+from repro.protocols.dymo.protocol import DymoCF
+from repro.protocols.aodv.protocol import AodvCF
+
+register_protocol("mpr", MprCF)
+register_protocol("olsr", OlsrCF)
+register_protocol("dymo", DymoCF)
+register_protocol("aodv", AodvCF)
+
+__all__ = ["MprCF", "OlsrCF", "DymoCF", "AodvCF"]

@@ -1,0 +1,33 @@
+"""AODV in MANETKit.
+
+AODV was the original proof-of-concept protocol of the Java MANETKit
+prototype (paper section 5, citing [35]); re-implementing it here gives a
+third data point for the code-reuse analysis (Table 3 / Fig 7) and
+exercises the Neighbour Detection CF's piggybacking service — "an AODV
+implementation might piggyback routing table entries so that neighbours
+can learn new routes" (section 4.3).
+
+Unlike DYMO, AODV builds routes hop-by-hop (reverse routes from RREQs,
+forward routes from RREPs) instead of accumulating whole paths.
+"""
+
+from repro.protocols.aodv.messages import (
+    build_rrep,
+    build_rreq,
+    build_aodv_rerr,
+    parse_rrep,
+    parse_rreq,
+    parse_aodv_rerr,
+)
+from repro.protocols.aodv.protocol import AodvCF, AodvState
+
+__all__ = [
+    "AodvCF",
+    "AodvState",
+    "build_rreq",
+    "build_rrep",
+    "build_aodv_rerr",
+    "parse_rreq",
+    "parse_rrep",
+    "parse_aodv_rerr",
+]

@@ -1,0 +1,416 @@
+"""The AODV CF: state, handlers and assembly.
+
+AODV reuses the same generic substrate as DYMO — the Neighbour Detection
+CF, the NetLink plug-in, the routing-table template, timers — which is the
+code-reuse story of Table 3 extended to a third protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.manet_protocol import (
+    EventHandlerComponent,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.events.event import Event
+from repro.events.registry import EventTuple
+from repro.events.types import EventOntology
+from repro.packetbb.message import Message, MsgType
+from repro.protocols.common import seq_increment, seq_newer
+from repro.protocols.aodv.messages import (
+    build_aodv_rerr,
+    build_rrep,
+    build_rreq,
+    parse_aodv_rerr,
+    parse_rrep,
+    parse_rreq,
+)
+from repro.protocols.dymo.state import PendingDiscovery
+from repro.utils.routing_table import Route, RoutingTable
+
+ACTIVE_ROUTE_TIMEOUT = 5.0
+RREQ_WAIT = 1.0
+RREQ_TRIES = 2
+PIGGYBACK_LIMIT = 5
+
+
+class AodvState(StateComponent):
+    """S element: sequence numbers, RREQ ids, route table, pending."""
+
+    def __init__(self) -> None:
+        super().__init__("aodv-state")
+        self.own_seqnum = 1
+        self.rreq_id = 0
+        self.table = RoutingTable()
+        self.pending: Dict[int, PendingDiscovery] = {}
+        #: (originator, rreq_id) -> expiry, for RREQ duplicate suppression
+        self.rreq_seen: Dict[Tuple[int, int], float] = {}
+        self.provide_interface("IAODVState", "IAODVState")
+
+    def next_seqnum(self) -> int:
+        self.own_seqnum = seq_increment(self.own_seqnum) or 1
+        return self.own_seqnum
+
+    def next_rreq_id(self) -> int:
+        self.rreq_id = seq_increment(self.rreq_id)
+        return self.rreq_id
+
+    def seen(self, originator: int, rreq_id: int) -> bool:
+        return (originator, rreq_id) in self.rreq_seen
+
+    def note(self, originator: int, rreq_id: int, now: float) -> None:
+        self.rreq_seen[(originator, rreq_id)] = now + 10.0
+
+    def get_state(self) -> Dict[str, object]:
+        return {
+            "own_seqnum": self.own_seqnum,
+            "rreq_id": self.rreq_id,
+            "routes": [
+                (r.destination, r.next_hop, r.hop_count, r.seqnum, r.expiry, r.valid)
+                for r in self.table.snapshot()
+            ],
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        self.own_seqnum = state.get("own_seqnum", self.own_seqnum)
+        self.rreq_id = state.get("rreq_id", self.rreq_id)
+        routes = state.get("routes")
+        if isinstance(routes, list):
+            for destination, next_hop, hops, seqnum, expiry, valid in routes:
+                self.table.add(Route(destination, next_hop, hops, seqnum, expiry, valid))
+
+
+class RreqHandler(EventHandlerComponent):
+    handles = ("AODV_RREQ_IN",)
+
+    def __init__(self, cf: "AodvCF") -> None:
+        super().__init__("aodv-rreq-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        info = parse_rreq(event.payload)
+        cf = self.cf
+        if info is None or event.source is None:
+            return
+        if info.originator == cf.local_address:
+            return
+        state = cf.aodv_state
+        # Reverse route to the originator through the previous hop.
+        cf.update_route(
+            info.originator, event.source, info.hop_count + 1, info.orig_seqnum
+        )
+        if state.seen(info.originator, info.rreq_id):
+            return
+        state.note(info.originator, info.rreq_id, event.timestamp)
+        if info.destination == cf.local_address:
+            # We are the destination: freshen our seqnum and reply.
+            if info.dest_seqnum is not None and seq_newer(
+                info.dest_seqnum, state.own_seqnum
+            ):
+                state.own_seqnum = info.dest_seqnum
+            state.next_seqnum()
+            rrep = build_rrep(
+                cf.local_address,
+                state.own_seqnum,
+                info.originator,
+                hop_count=0,
+                lifetime=cf.route_timeout(),
+            )
+            cf.send_message("AODV_RREP_OUT", rrep, link_dst=event.source)
+            return
+        message: Message = event.payload
+        if message.forwardable:
+            relayed = build_rreq(
+                info.originator,
+                info.orig_seqnum,
+                info.rreq_id,
+                info.destination,
+                info.dest_seqnum,
+                hop_count=info.hop_count + 1,
+                hop_limit=(message.hop_limit or 1) - 1,
+            )
+            cf.send_message("AODV_RREQ_OUT", relayed)
+
+
+class RrepHandler(EventHandlerComponent):
+    handles = ("AODV_RREP_IN",)
+
+    def __init__(self, cf: "AodvCF") -> None:
+        super().__init__("aodv-rrep-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        info = parse_rrep(event.payload)
+        cf = self.cf
+        if info is None or event.source is None:
+            return
+        if info.destination == cf.local_address:
+            return
+        # Forward route to the destination through the previous hop.
+        cf.update_route(
+            info.destination, event.source, info.hop_count + 1, info.dest_seqnum
+        )
+        if info.originator == cf.local_address:
+            return  # discovery complete
+        route = cf.aodv_state.table.lookup(info.originator)
+        if route is None:
+            return
+        forwarded = build_rrep(
+            info.destination,
+            info.dest_seqnum,
+            info.originator,
+            hop_count=info.hop_count + 1,
+            lifetime=info.lifetime,
+        )
+        cf.send_message("AODV_RREP_OUT", forwarded, link_dst=route.next_hop)
+
+
+class AodvKernelHandler(EventHandlerComponent):
+    handles = ("NO_ROUTE", "ROUTE_UPDATE", "SEND_ROUTE_ERR")
+
+    def __init__(self, cf: "AodvCF") -> None:
+        super().__init__("aodv-kernel-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        destination = event.payload["destination"]
+        if event.etype.name == "NO_ROUTE":
+            self.cf.start_discovery(destination)
+        elif event.etype.name == "ROUTE_UPDATE":
+            self.cf.refresh_route(destination)
+        else:
+            self.cf.originate_rerr([destination])
+
+
+class AodvRerrHandler(EventHandlerComponent):
+    handles = ("AODV_RERR_IN", "NHOOD_CHANGE", "LINK_BREAK")
+
+    def __init__(self, cf: "AodvCF") -> None:
+        super().__init__("aodv-rerr-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        cf = self.cf
+        if event.etype.name == "AODV_RERR_IN":
+            broken = []
+            for destination, _seq in parse_aodv_rerr(event.payload):
+                route = cf.aodv_state.table.get(destination)
+                if route is not None and route.valid and route.next_hop == event.source:
+                    cf.drop_route(destination)
+                    broken.append(destination)
+            if broken:
+                cf.originate_rerr(broken)
+            return
+        if event.etype.name == "LINK_BREAK":
+            lost = [event.payload["neighbour"]]
+        else:
+            lost = event.payload.get("lost", [])
+        broken = []
+        for neighbour in lost:
+            for route in cf.aodv_state.table.routes_via(neighbour):
+                cf.drop_route(route.destination)
+                broken.append(route.destination)
+        if broken:
+            cf.originate_rerr(broken)
+
+
+class AodvCF(ManetProtocol):
+    """AODV: hop-by-hop reactive routing."""
+
+    protocol_class = "reactive"
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        route_timeout: float = ACTIVE_ROUTE_TIMEOUT,
+        name: str = "aodv",
+    ) -> None:
+        super().__init__(name, ontology)
+        self.configurator.update(
+            {
+                "route_timeout": route_timeout,
+                "rreq_wait": RREQ_WAIT,
+                "rreq_tries": RREQ_TRIES,
+                "piggyback_routes": False,
+            }
+        )
+        self.aodv_state = AodvState()
+        self.set_state(self.aodv_state)
+        self.add_handler(RreqHandler(self))
+        self.add_handler(RrepHandler(self))
+        self.add_handler(AodvKernelHandler(self))
+        self.add_handler(AodvRerrHandler(self))
+        self.set_event_tuple(
+            EventTuple(
+                required=[
+                    "AODV_RREQ_IN",
+                    "AODV_RREP_IN",
+                    "AODV_RERR_IN",
+                    "NO_ROUTE",
+                    "ROUTE_UPDATE",
+                    "SEND_ROUTE_ERR",
+                    "NHOOD_CHANGE",
+                    "LINK_BREAK",
+                ],
+                provided=[
+                    "AODV_RREQ_OUT",
+                    "AODV_RREP_OUT",
+                    "AODV_RERR_OUT",
+                    "ROUTE_FOUND",
+                ],
+            )
+        )
+
+    # -- installation -----------------------------------------------------------
+
+    def on_install(self, deployment) -> None:
+        deployment.system.load_netlink()
+        deployment.system.load_network_driver(
+            "aodv-driver",
+            [
+                (int(MsgType.AODV_RREQ), "AODV_RREQ_IN", "AODV_RREQ_OUT"),
+                (int(MsgType.AODV_RREP), "AODV_RREP_IN", "AODV_RREP_OUT"),
+                (int(MsgType.AODV_RERR), "AODV_RERR_IN", "AODV_RERR_OUT"),
+            ],
+        )
+        self.aodv_state.table._clock = lambda: deployment.now
+        if deployment.manager.unit("neighbour-detection") is None:
+            from repro.core.neighbour_detection import NeighbourDetectionCF
+
+            deployment.deploy(NeighbourDetectionCF(self.ontology))
+        if self.config("piggyback_routes"):
+            self.enable_route_piggyback()
+
+    def enable_route_piggyback(self) -> None:
+        """Advertise routes on the Neighbour Detection CF's HELLOs.
+
+        The section 4.3 use case: neighbours learn fresh routes without any
+        extra transmissions (gratuitous RREPs ride on HELLO packets).
+        """
+        nd = self.deployment.manager.unit("neighbour-detection")
+        if nd is None:
+            return
+        self.configurator.set("piggyback_routes", True)
+        nd.add_piggyback_supplier(self._piggyback_routes)
+
+    def _piggyback_routes(self) -> List[Message]:
+        routes = [r for r in self.aodv_state.table if r.valid][:PIGGYBACK_LIMIT]
+        return [
+            build_rrep(
+                route.destination,
+                route.seqnum or 0,
+                self.local_address,
+                hop_count=route.hop_count,
+                lifetime=self.route_timeout(),
+            )
+            for route in routes
+        ]
+
+    # -- route table ---------------------------------------------------------------
+
+    def route_timeout(self) -> float:
+        return self.config("route_timeout")
+
+    def update_route(
+        self, destination: int, next_hop: int, hop_count: int, seqnum: Optional[int]
+    ) -> bool:
+        """Install if fresher (newer seqnum, or equal and fewer hops)."""
+        state = self.aodv_state
+        existing = state.table.get(destination)
+        if existing is not None and existing.valid and seqnum is not None:
+            current = existing.seqnum or 0
+            if seq_newer(current, seqnum):
+                return False
+            if current == seqnum and existing.hop_count <= hop_count:
+                return False
+        timeout = self.route_timeout()
+        state.table.add(
+            Route(
+                destination,
+                next_hop,
+                hop_count,
+                seqnum,
+                expiry=self.deployment.now + timeout,
+            )
+        )
+        self.sys_state().add_route(
+            destination, next_hop, hop_count, lifetime=timeout, proto=self.name
+        )
+        pending = state.pending.pop(destination, None)
+        if pending is not None:
+            pending.cancel()
+        self.emit("ROUTE_FOUND", payload={"destination": destination})
+        return True
+
+    def refresh_route(self, destination: int) -> None:
+        route = self.aodv_state.table.lookup(destination)
+        if route is None:
+            return
+        route.expiry = self.deployment.now + self.route_timeout()
+        self.sys_state().refresh_route(destination, self.route_timeout())
+
+    def drop_route(self, destination: int) -> None:
+        self.aodv_state.table.invalidate(destination)
+        self.sys_state().del_route(destination)
+
+    # -- discovery ---------------------------------------------------------------------
+
+    def start_discovery(self, destination: int) -> None:
+        state = self.aodv_state
+        if destination in state.pending:
+            return
+        pending = PendingDiscovery(destination, tries=1, wait=self.config("rreq_wait"))
+        state.pending[destination] = pending
+        self._send_rreq(destination)
+        pending.timer = self.deployment.timers.one_shot(
+            pending.wait, lambda: self._retry(destination)
+        )
+
+    def _send_rreq(self, destination: int) -> None:
+        state = self.aodv_state
+        known = state.table.get(destination)
+        rreq = build_rreq(
+            self.local_address,
+            state.next_seqnum(),
+            state.next_rreq_id(),
+            destination,
+            known.seqnum if known is not None else None,
+        )
+        self.send_message("AODV_RREQ_OUT", rreq)
+
+    def _retry(self, destination: int) -> None:
+        with self.lock:
+            state = self.aodv_state
+            pending = state.pending.get(destination)
+            if pending is None:
+                return
+            if state.table.lookup(destination) is not None:
+                pending.cancel()
+                del state.pending[destination]
+                return
+            if pending.tries >= self.config("rreq_tries"):
+                pending.cancel()
+                del state.pending[destination]
+                try:
+                    self.direct("INetlink").drop_buffered(destination)
+                except LookupError:
+                    pass
+                return
+            pending.tries += 1
+            pending.wait *= 2
+            self._send_rreq(destination)
+            pending.timer = self.deployment.timers.one_shot(
+                pending.wait, lambda: self._retry(destination)
+            )
+
+    def originate_rerr(self, destinations: List[int]) -> None:
+        pairs = []
+        for destination in destinations:
+            self.drop_route(destination)
+            route = self.aodv_state.table.get(destination)
+            pairs.append((destination, route.seqnum if route else None))
+        self.send_message(
+            "AODV_RERR_OUT", build_aodv_rerr(pairs, self.local_address)
+        )

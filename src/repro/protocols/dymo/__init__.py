@@ -1,0 +1,63 @@
+"""DYMO (Dynamic MANET On-demand routing) in MANETKit (paper section 5.2).
+
+The reactive case study: one ManetProtocol instance atop the System CF,
+using the Neighbour Detection CF for link sensing and the System CF's
+NetLink plug-in for the reactive triggers (``NO_ROUTE``, ``ROUTE_UPDATE``,
+``SEND_ROUTE_ERR``) and for buffered-packet re-injection (``ROUTE_FOUND``).
+
+Variants (both runtime reconfigurations):
+
+* :mod:`repro.protocols.dymo.flooding` — optimised (MPR-based) flooding of
+  route discoveries, sharing a co-deployed MPR CF where one exists;
+* :mod:`repro.protocols.dymo.multipath` — link-disjoint multipath DYMO
+  after Galvez & Ruiz [10].
+"""
+
+from repro.protocols.dymo.state import DymoRoute, DymoState, PendingDiscovery
+from repro.protocols.dymo.messages import ReInfo, build_re, build_rerr, parse_re
+from repro.protocols.dymo.handlers import (
+    KernelEventsHandler,
+    NeighbourhoodHandler,
+    ReHandler,
+    RerrHandler,
+    UerrHandler,
+)
+from repro.protocols.dymo.protocol import DymoCF
+from repro.protocols.dymo.multipath import (
+    MultipathDymoState,
+    MultipathReHandler,
+    MultipathRerrHandler,
+    apply_multipath,
+    remove_multipath,
+)
+from repro.protocols.dymo.flooding import (
+    apply_gossip_flooding,
+    apply_optimised_flooding,
+    remove_gossip_flooding,
+    remove_optimised_flooding,
+)
+
+__all__ = [
+    "DymoRoute",
+    "DymoState",
+    "PendingDiscovery",
+    "ReInfo",
+    "build_re",
+    "build_rerr",
+    "parse_re",
+    "ReHandler",
+    "RerrHandler",
+    "UerrHandler",
+    "KernelEventsHandler",
+    "NeighbourhoodHandler",
+    "DymoCF",
+    "MultipathDymoState",
+    "MultipathReHandler",
+    "MultipathRerrHandler",
+    "apply_multipath",
+    "remove_multipath",
+    "apply_optimised_flooding",
+    "remove_optimised_flooding",
+    "apply_gossip_flooding",
+    "remove_gossip_flooding",
+]

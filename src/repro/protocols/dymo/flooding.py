@@ -1,0 +1,83 @@
+"""DYMO optimised flooding (paper section 5.2).
+
+"In the optimised flooding variant, DYMO, like OLSR, uses Multipoint
+Relaying as a flooding optimisation.  This curbs the overhead associated
+with broadcasting control messages when a network topology is dense,
+although at the expense of maintaining additional state.  To apply this
+variation, the Neighbour Detection CF is simply replaced with the MPR
+ManetProtocol instance.  If a co-existing OLSR ManetProtocol instance is
+already deployed in the framework, then the MPR CF is directly shareable
+between the reactive and proactive protocols, thus leading to a leaner
+deployment."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+
+
+def apply_gossip_flooding(
+    deployment: "ManetKit", p: float = 0.65, k: int = 1
+) -> None:
+    """Switch DYMO's flooding to GOSSIP1(p, k) probabilistic relaying.
+
+    "Various epidemic/gossip algorithms can also be applied in this
+    context" (paper section 2, citing Haas, Halpern & Li).  Unlike the MPR
+    variant, gossip needs no extra state — each node flips a coin — which
+    makes it attractive on very constrained nodes, at the price of a small
+    chance that a flood dies out.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"gossip probability must be in (0, 1]: {p}")
+    if k < 0:
+        raise ValueError(f"gossip guaranteed-hops must be >= 0: {k}")
+    dymo = deployment.protocol("dymo")
+    dymo.configurator.update({"flooding": "gossip", "gossip_p": p, "gossip_k": k})
+
+
+def remove_gossip_flooding(deployment: "ManetKit") -> None:
+    """Revert to blind flooding."""
+    deployment.protocol("dymo").configurator.set("flooding", "blind")
+
+
+def apply_optimised_flooding(deployment: "ManetKit") -> None:
+    """Switch DYMO's flooding from blind rebroadcast to MPR relaying.
+
+    Replaces the Neighbour Detection CF with an MPR CF (sharing an already
+    deployed one where present) and flips DYMO's flooding policy; DYMO
+    keeps receiving ``NHOOD_CHANGE``/``LINK_BREAK`` because the MPR CF
+    provides the same events.
+    """
+    from repro.protocols.mpr.protocol import MprCF
+
+    dymo = deployment.protocol("dymo")
+    if deployment.manager.unit("mpr") is None:
+        deployment.deploy(MprCF(deployment.ontology))
+    neighbour_source = dymo.config("neighbour_source")
+    if deployment.manager.unit(neighbour_source) is not None:
+        deployment.undeploy(neighbour_source)
+    dymo.configurator.set("flooding", "mpr")
+
+
+def remove_optimised_flooding(deployment: "ManetKit") -> None:
+    """Revert to blind flooding over the Neighbour Detection CF.
+
+    The MPR CF is only undeployed when nothing else (e.g. a co-deployed
+    OLSR) is still using it.
+    """
+    from repro.core.neighbour_detection import NeighbourDetectionCF
+
+    dymo = deployment.protocol("dymo")
+    dymo.configurator.set("flooding", "blind")
+    neighbour_source = dymo.config("neighbour_source")
+    if deployment.manager.unit(neighbour_source) is None:
+        deployment.deploy(NeighbourDetectionCF(deployment.ontology))
+    olsr_deployed = any(
+        getattr(unit, "protocol_class", None) == "proactive"
+        for unit in deployment.units()
+    )
+    if not olsr_deployed and deployment.manager.unit("mpr") is not None:
+        deployment.undeploy("mpr")

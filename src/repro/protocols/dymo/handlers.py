@@ -1,0 +1,308 @@
+"""DYMO event handlers.
+
+The handler set mirrors the paper's Fig 6: the RE Handler (route
+request/reply processing with path accumulation), the RERR Handler, the
+UERR Handler, plus the handlers consuming the NetLink kernel events and the
+Neighbour Detection CF's change notifications.  "Atomic execution of [the
+RE] Handler (as guaranteed by MANETKit) is essential" — the concurrency
+models provide exactly that guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.manet_protocol import EventHandlerComponent
+from repro.events.event import Event
+from repro.packetbb.message import Message
+from repro.protocols.common import seq_newer_or_equal
+from repro.protocols.dymo.messages import (
+    RREP,
+    RREQ,
+    ReInfo,
+    build_re,
+    build_rerr,
+    build_uerr,
+    critical_unsupported_tlvs,
+    extend_re,
+    parse_re,
+    parse_rerr,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.dymo.protocol import DymoCF
+
+
+class ReHandler(EventHandlerComponent):
+    """Processes Routing Elements (RREQs and RREPs)."""
+
+    handles = ("RE_IN",)
+
+    def __init__(self, cf: "DymoCF", name: str = "re-handler") -> None:
+        super().__init__(name)
+        self.cf = cf
+        self.rreqs_seen = 0
+        self.rreps_seen = 0
+        self.loops_dropped = 0
+        self.duplicates_dropped = 0
+        self.intermediate_replies = 0
+
+    # -- entry point ----------------------------------------------------------
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        cf = self.cf
+        critical = critical_unsupported_tlvs(message)
+        if critical:
+            # DYMO: a critical element we do not support rejects the whole
+            # message, answered with a UERR toward the sender.
+            if event.source is not None and message.originator is not None:
+                cf.send_message(
+                    "UERR_OUT",
+                    build_uerr(critical[0], cf.local_address,
+                               message.originator.node_id),
+                    link_dst=event.source,
+                )
+            return
+        info = parse_re(message)
+        if info is None:
+            return
+        me = cf.local_address
+        if any(addr == me for addr, _seq in info.path):
+            self.loops_dropped += 1
+            return
+        self.learn_from_path(info, event)
+        if info.is_rreq:
+            self.rreqs_seen += 1
+            self.handle_rreq(message, info, event)
+        elif info.is_rrep:
+            self.rreps_seen += 1
+            self.handle_rrep(message, info, event)
+
+    # -- path accumulation learning (shared with the multipath variant) --------
+
+    def learn_from_path(self, info: ReInfo, event: Event) -> None:
+        """Install/refresh a route to every address on the accumulated path."""
+        cf = self.cf
+        sender = event.source
+        if sender is None:
+            return
+        now = event.timestamp
+        for index, (address, seqnum) in enumerate(info.path):
+            if address == cf.local_address:
+                continue
+            hop_count = info.distance_to(index)
+            if cf.dymo_state.is_fresher(address, seqnum, hop_count):
+                cf.install_route(address, sender, hop_count, seqnum, now)
+
+    # -- RREQ ----------------------------------------------------------------------
+
+    def handle_rreq(self, message: Message, info: ReInfo, event: Event) -> None:
+        cf = self.cf
+        state = cf.dymo_state
+        if state.rreq_is_duplicate(info.originator, info.originator_seqnum):
+            self.duplicates_dropped += 1
+            return
+        state.note_rreq(info.originator, info.originator_seqnum, event.timestamp)
+        if info.target == cf.local_address:
+            self.answer_rreq(info)
+            return
+        if self.maybe_intermediate_reply(info, event):
+            return
+        if message.forwardable and cf.may_relay_broadcast(event):
+            relayed = extend_re(message, info, cf.local_address, state.own_seqnum)
+            cf.send_message("RE_OUT", relayed)
+
+    def maybe_intermediate_reply(self, info: ReInfo, event: Event) -> bool:
+        """Optional DYMO feature: an intermediate node with a demonstrably
+        fresh route to the target answers on its behalf, stopping the flood
+        early.  Off by default (``intermediate_rrep`` config flag); only a
+        route whose sequence number is provably at least as fresh as the
+        one the originator asked about may be used."""
+        cf = self.cf
+        if not cf.config("intermediate_rrep", False):
+            return False
+        route = cf.dymo_state.table.lookup(info.target)
+        if route is None or route.seqnum is None:
+            return False
+        if info.target_seqnum is not None and not seq_newer_or_equal(
+            route.seqnum, info.target_seqnum
+        ):
+            return False
+        if info.target_seqnum is None:
+            return False  # cannot prove freshness the originator needs
+        reverse = cf.dymo_state.table.lookup(info.originator)
+        if reverse is None:
+            return False
+        self.intermediate_replies += 1
+        rrep = build_re(
+            RREP,
+            target=info.originator,
+            # reply on the target's behalf with its known seqnum and our
+            # distance to it, then accumulate ourselves as the first hop
+            path=[(info.target, route.seqnum), (cf.local_address,
+                                                cf.dymo_state.own_seqnum)],
+            hop_limit=cf.net_diameter(),
+            target_seqnum=info.originator_seqnum,
+            hop_count=route.hop_count,
+            # positional distance to index 0 would be 2 at the first
+            # receiver; the true distance is route.hop_count + 1
+            hop_offsets={0: route.hop_count - 1},
+        )
+        cf.send_message("RE_OUT", rrep, link_dst=reverse.next_hop)
+        return True
+
+    def answer_rreq(self, info: ReInfo) -> None:
+        """We are the target: originate an RREP back along the path."""
+        cf = self.cf
+        state = cf.dymo_state
+        seqnum = state.next_seqnum()
+        rrep = build_re(
+            RREP,
+            target=info.originator,
+            path=[(cf.local_address, seqnum)],
+            hop_limit=cf.net_diameter(),
+            target_seqnum=info.originator_seqnum,
+        )
+        route = state.table.lookup(info.originator)
+        if route is None:  # pragma: no cover - path learning just installed it
+            return
+        cf.send_message("RE_OUT", rrep, link_dst=route.next_hop)
+
+    # -- RREP ----------------------------------------------------------------------
+
+    def handle_rrep(self, message: Message, info: ReInfo, event: Event) -> None:
+        cf = self.cf
+        if info.target == cf.local_address:
+            # Discovery complete; pending bookkeeping was already resolved
+            # when the route to the RREP originator was installed.
+            return
+        route = cf.dymo_state.table.lookup(info.target)
+        if route is None or not message.forwardable:
+            return
+        relayed = extend_re(message, info, cf.local_address, cf.dymo_state.own_seqnum)
+        cf.send_message("RE_OUT", relayed, link_dst=route.next_hop)
+
+
+class KernelEventsHandler(EventHandlerComponent):
+    """Consumes the NetLink hook events: the reactive triggers.
+
+    ``NO_ROUTE`` starts a route discovery (with exponential-backoff
+    retries), ``ROUTE_UPDATE`` extends route lifetimes, and
+    ``SEND_ROUTE_ERR`` originates a Route Error (paper section 5.2).
+    """
+
+    handles = ("NO_ROUTE", "ROUTE_UPDATE")
+
+    def __init__(self, cf: "DymoCF") -> None:
+        super().__init__("kernel-events-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        destination = event.payload["destination"]
+        if event.etype.name == "NO_ROUTE":
+            self.cf.start_discovery(destination)
+        else:  # ROUTE_UPDATE
+            self.cf.refresh_route(destination)
+
+
+class NeighbourhoodHandler(EventHandlerComponent):
+    """Invalidates routes over broken links (NHOOD_CHANGE / LINK_BREAK).
+
+    "In order to be kept abreast of network neighbourhood changes, the DYMO
+    instance requires a NHOOD_CHANGE event from the Neighbour Detection
+    instance for route invalidation upon link breaks" (section 5.2).
+    """
+
+    handles = ("NHOOD_CHANGE", "LINK_BREAK")
+
+    def __init__(self, cf: "DymoCF", name: str = "nhood-handler") -> None:
+        super().__init__(name)
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        if event.etype.name == "LINK_BREAK":
+            lost = [event.payload["neighbour"]]
+        else:
+            lost = event.payload.get("lost", [])
+        if not lost:
+            return
+        broken: List[int] = []
+        for neighbour in lost:
+            broken.extend(self.cf.invalidate_via(neighbour))
+        if broken:
+            self.cf.originate_rerr(broken, invalidate=False)
+
+
+class RerrHandler(EventHandlerComponent):
+    """Processes received Route Errors and SEND_ROUTE_ERR kernel events.
+
+    This is the component the multipath variant replaces: "on receiving a
+    SEND_ROUTE_ERROR event, the new Handler only sends a route error
+    message when an alternative path is not available" (section 5.2).
+    """
+
+    handles = ("RERR_IN", "SEND_ROUTE_ERR")
+
+    def __init__(self, cf: "DymoCF", name: str = "rerr-handler") -> None:
+        super().__init__(name)
+        self.cf = cf
+        self.rerrs_seen = 0
+
+    def handle_send_route_err(self, event: Event) -> None:
+        """A forwarded packet hit a missing route: originate a RERR."""
+        self.cf.originate_rerr([event.payload["destination"]], invalidate=True)
+
+    def affected_destinations(
+        self, unreachable: List[Tuple[int, Optional[int]]], event: Event
+    ) -> List[int]:
+        """Destinations whose route this RERR actually invalidates."""
+        cf = self.cf
+        affected = []
+        for destination, _seqnum in unreachable:
+            route = cf.dymo_state.table.get(destination)
+            if route is not None and route.valid and route.next_hop == event.source:
+                affected.append(destination)
+        return affected
+
+    def handle(self, event: Event) -> None:
+        if event.etype.name == "SEND_ROUTE_ERR":
+            self.handle_send_route_err(event)
+            return
+        message: Message = event.payload
+        cf = self.cf
+        self.rerrs_seen += 1
+        unreachable = parse_rerr(message)
+        affected = self.affected_destinations(unreachable, event)
+        if not affected:
+            return
+        for destination in affected:
+            cf.drop_route(destination)
+        if message.forwardable:
+            relayed = build_rerr(
+                [(d, s) for d, s in unreachable if d in affected],
+                cf.local_address,
+                hop_limit=(message.hop_limit or 1) - 1,
+            )
+            cf.send_message("RERR_OUT", relayed)
+
+
+class UerrHandler(EventHandlerComponent):
+    """Processes Unsupported-Element Errors (diagnostics only)."""
+
+    handles = ("UERR_IN",)
+
+    def __init__(self, cf: "DymoCF") -> None:
+        super().__init__("uerr-handler")
+        self.cf = cf
+        self.uerrs_seen = 0
+        self.unsupported_types: List[int] = []
+
+    def handle(self, event: Event) -> None:
+        from repro.protocols.common import TlvType
+
+        message: Message = event.payload
+        self.uerrs_seen += 1
+        tlv = message.tlv_block.find(TlvType.UNSUPPORTED)
+        if tlv is not None:
+            self.unsupported_types.append(tlv.as_int())

@@ -1,0 +1,384 @@
+"""Multipath DYMO (paper section 5.2, after Galvez & Ruiz [10]).
+
+"The goal of the multi-path DYMO variant is to reduce the overhead of
+frequent flooding for route discovery, although at the expense of
+additional route discovery latency.  It works by computing multiple
+link-disjoint paths within a single route discovery attempt. [...] To
+configure multi-path DYMO, three components need be replaced: the S
+component (a path list now exists for each route), the RE Event Handler
+(duplicate route requests are no longer systematically discarded but
+rather processed to find alternative paths), and the RERR Event Handler
+(on receiving a SEND_ROUTE_ERROR event, the new Handler only sends a route
+error message when an alternative path is not available; otherwise, it
+installs the new path in the OS's kernel routing table)."
+
+Link-disjointness is computed over the directed edge sets of the
+accumulated paths: two paths are alternatives only if they share no edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.core.manet_protocol import ManetProtocol
+from repro.events.event import Event
+from repro.packetbb.message import Message
+from repro.protocols.common import seq_newer
+from repro.protocols.dymo.handlers import ReHandler, RerrHandler
+from repro.protocols.dymo.messages import ReInfo, build_re, extend_re, RREP
+from repro.protocols.dymo.state import DymoState
+from repro.utils.routing_table import Route
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+    from repro.protocols.dymo.protocol import DymoCF
+
+Edge = Tuple[int, int]
+
+#: Maximum link-disjoint paths kept per destination / forwarded per RREQ.
+MAX_PATHS = 3
+
+
+@dataclass
+class PathRecord:
+    """One of possibly several link-disjoint paths to a destination."""
+
+    next_hop: int
+    hop_count: int
+    seqnum: int
+    edges: FrozenSet[Edge]
+    valid: bool = True
+    expiry: Optional[float] = None
+
+    def disjoint_from(self, other: "PathRecord") -> bool:
+        return not (self.edges & other.edges)
+
+    def live(self, now: float) -> bool:
+        return self.valid and (self.expiry is None or self.expiry > now)
+
+
+def path_edges(
+    path: List[Tuple[int, int]], receiver: int, sender: int, upto_index: int
+) -> FrozenSet[Edge]:
+    """Directed edges of the route from ``receiver`` to ``path[upto_index]``.
+
+    The accumulated path reads originator-first; the route back to the
+    address at ``upto_index`` goes receiver -> sender -> ... -> address.
+    """
+    edges: Set[Edge] = {(receiver, sender)}
+    previous = sender
+    for index in range(len(path) - 1, upto_index - 1, -1):
+        node = path[index][0]
+        if node != previous:
+            edges.add((previous, node))
+            previous = node
+    return frozenset(edges)
+
+
+class MultipathDymoState(DymoState):
+    """Replacement S element: a path list per route."""
+
+    def __init__(self, max_paths: int = MAX_PATHS) -> None:
+        super().__init__()
+        self.max_paths = max_paths
+        self.paths: Dict[int, List[PathRecord]] = {}
+        #: (originator, seqnum) -> edge sets of RREQ copies already handled
+        self.forwarded_paths: Dict[Tuple[int, int], List[FrozenSet[Edge]]] = {}
+        self.path_switches = 0
+
+    # -- path management ------------------------------------------------------
+
+    def _sync_best(self, destination: int, best: PathRecord) -> None:
+        self.table.add(
+            Route(
+                destination=destination,
+                next_hop=best.next_hop,
+                hop_count=best.hop_count,
+                seqnum=best.seqnum,
+                expiry=best.expiry,
+            )
+        )
+
+    def install_path(self, destination: int, record: PathRecord) -> Optional[str]:
+        """Try to add a path; returns "best", "alternative" or ``None``.
+
+        A fresher sequence number supersedes every stored path; within the
+        same freshness, a path is only kept if link-disjoint from all
+        stored paths (or strictly shorter than the best).
+        """
+        now = self.current_time()
+        records = [r for r in self.paths.get(destination, []) if r.live(now)]
+        if records and seq_newer(record.seqnum, records[0].seqnum):
+            records = []
+        elif records and seq_newer(records[0].seqnum, record.seqnum):
+            return None
+        if any(not record.disjoint_from(existing) for existing in records):
+            # Shares a link with a stored path: accept only as a better best.
+            if records and record.hop_count < min(r.hop_count for r in records):
+                records = [r for r in records if record.disjoint_from(r)]
+            else:
+                return None
+        if len(records) >= self.max_paths:
+            return None
+        records.append(record)
+        records.sort(key=lambda r: (r.hop_count, r.next_hop))
+        self.paths[destination] = records
+        best = records[0]
+        self._sync_best(destination, best)
+        return "best" if best is record else "alternative"
+
+    def alternatives(self, destination: int) -> List[PathRecord]:
+        now = self.current_time()
+        return [r for r in self.paths.get(destination, []) if r.live(now)]
+
+    def drop_paths_via(
+        self,
+        destination: int,
+        next_hop: int,
+        refresh_to: Optional[float] = None,
+    ) -> Optional[PathRecord]:
+        """Drop paths through ``next_hop``; returns the new best, if any.
+
+        ``refresh_to`` extends the surviving best path's lifetime — the
+        failover path is about to carry traffic, so it gets a fresh lease.
+        """
+        now = self.current_time()
+        records = [
+            r
+            for r in self.paths.get(destination, [])
+            if r.live(now) and r.next_hop != next_hop
+        ]
+        self.paths[destination] = records
+        if not records:
+            self.table.invalidate(destination)
+            return None
+        best = records[0]
+        if refresh_to is not None and (best.expiry is None or best.expiry < refresh_to):
+            best.expiry = refresh_to
+        self.path_switches += 1
+        self._sync_best(destination, best)
+        return best
+
+    def _route_timeout(self) -> float:
+        if self.protocol is not None:
+            return self.protocol.config("route_timeout", 5.0)
+        return 5.0
+
+    def on_route_refreshed(self, destination: int, expiry: float) -> None:
+        """Active traffic refreshed the route: extend the best path too."""
+        route = self.table.get(destination)
+        if route is None:
+            return
+        for record in self.paths.get(destination, []):
+            if record.next_hop == route.next_hop:
+                if record.expiry is None or record.expiry < expiry:
+                    record.expiry = expiry
+
+    def invalidate_via_next_hop(
+        self, next_hop: int
+    ) -> Tuple[List[Tuple[int, int, int]], List[int]]:
+        switched: List[Tuple[int, int, int]] = []
+        broken: List[int] = []
+        refresh_to = self.current_time() + self._route_timeout()
+        affected = [
+            destination
+            for destination, records in self.paths.items()
+            if any(r.valid and r.next_hop == next_hop for r in records)
+        ]
+        for destination in affected:
+            best = self.drop_paths_via(destination, next_hop, refresh_to=refresh_to)
+            if best is None:
+                broken.append(destination)
+            else:
+                switched.append((destination, best.next_hop, best.hop_count))
+        # Routes known only to the base table (e.g. carried-over state).
+        for route in self.table.routes_via(next_hop):
+            if route.destination not in affected:
+                self.table.invalidate(route.destination)
+                broken.append(route.destination)
+        return switched, broken
+
+    # -- state transfer -----------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        state = super().get_state()
+        state["paths"] = {
+            destination: [
+                (r.next_hop, r.hop_count, r.seqnum, set(r.edges), r.valid,
+                 r.expiry)
+                for r in records
+            ]
+            for destination, records in self.paths.items()
+        }
+        return state
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        super().set_state(state)
+        paths = state.get("paths")
+        if isinstance(paths, dict):
+            for destination, records in paths.items():
+                self.paths[destination] = [
+                    PathRecord(nh, hc, seq, frozenset(edges), valid, expiry)
+                    for nh, hc, seq, edges, valid, expiry in records
+                ]
+
+
+class MultipathReHandler(ReHandler):
+    """Replacement RE Handler: duplicates become alternative paths."""
+
+    def __init__(self, cf: "DymoCF") -> None:
+        super().__init__(cf, name="re-handler")
+        self.alternatives_learned = 0
+        #: one reply seqnum per discovery: alternative-path RREPs for the
+        #: same RREQ must share it, or the freshest reply would supersede
+        #: (and erase) the other learned paths at the originator.
+        self._reply_seq: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def mp_state(self) -> MultipathDymoState:
+        return self.cf.dymo_state  # type: ignore[return-value]
+
+    def learn_from_path(self, info: ReInfo, event: Event) -> None:
+        cf = self.cf
+        sender = event.source
+        if sender is None:
+            return
+        expiry = event.timestamp + cf.route_timeout()
+        for index, (address, seqnum) in enumerate(info.path):
+            if address == cf.local_address:
+                continue
+            record = PathRecord(
+                next_hop=sender,
+                hop_count=info.distance_to(index),
+                seqnum=seqnum,
+                edges=path_edges(info.path, cf.local_address, sender, index),
+                expiry=expiry,
+            )
+            outcome = self.mp_state.install_path(address, record)
+            if outcome == "best":
+                cf.after_route_installed(address, record.next_hop, record.hop_count)
+            elif outcome == "alternative":
+                self.alternatives_learned += 1
+
+    def handle_rreq(self, message: Message, info: ReInfo, event: Event) -> None:
+        cf = self.cf
+        state = self.mp_state
+        key = (info.originator, info.originator_seqnum)
+        handled = state.forwarded_paths.setdefault(key, [])
+        arrival = path_edges(info.path, cf.local_address, event.source, 0)
+        if state.rreq_is_duplicate(info.originator, info.originator_seqnum):
+            # Duplicate RREQs are *processed* (not discarded) when they
+            # arrived over a link-disjoint path — up to the path budget.
+            if len(handled) >= state.max_paths:
+                self.duplicates_dropped += 1
+                return
+            if any(arrival & previous for previous in handled):
+                self.duplicates_dropped += 1
+                return
+        else:
+            state.note_rreq(info.originator, info.originator_seqnum, event.timestamp)
+        handled.append(arrival)
+        if info.target == cf.local_address:
+            self.answer_rreq_via(info, event.source)
+            return
+        if message.forwardable and cf.may_relay_broadcast(event):
+            relayed = extend_re(message, info, cf.local_address,
+                                state.own_seqnum)
+            cf.send_message("RE_OUT", relayed)
+
+    def answer_rreq_via(self, info: ReInfo, previous_hop: int) -> None:
+        """Reply along the arrival link so each RREP traces its own path."""
+        cf = self.cf
+        key = (info.originator, info.originator_seqnum)
+        seqnum = self._reply_seq.get(key)
+        if seqnum is None:
+            seqnum = cf.dymo_state.next_seqnum()
+            self._reply_seq[key] = seqnum
+            if len(self._reply_seq) > 512:
+                self._reply_seq.clear()
+        rrep = build_re(
+            RREP,
+            target=info.originator,
+            path=[(cf.local_address, seqnum)],
+            hop_limit=cf.net_diameter(),
+            target_seqnum=info.originator_seqnum,
+        )
+        cf.send_message("RE_OUT", rrep, link_dst=previous_hop)
+
+
+class MultipathRerrHandler(RerrHandler):
+    """Replacement RERR Handler: fail over before reporting errors."""
+
+    def __init__(self, cf: "DymoCF") -> None:
+        super().__init__(cf, name="rerr-handler")
+        self.failovers = 0
+
+    @property
+    def mp_state(self) -> MultipathDymoState:
+        return self.cf.dymo_state  # type: ignore[return-value]
+
+    def handle_send_route_err(self, event: Event) -> None:
+        cf = self.cf
+        destination = event.payload["destination"]
+        route = self.mp_state.table.get(destination)
+        failing_hop = route.next_hop if route is not None else None
+        refresh_to = event.timestamp + cf.route_timeout()
+        best = (
+            self.mp_state.drop_paths_via(destination, failing_hop,
+                                         refresh_to=refresh_to)
+            if failing_hop is not None
+            else None
+        )
+        if best is not None:
+            # An alternative exists: install it, no RERR needed.
+            self.failovers += 1
+            cf.sys_state().add_route(
+                destination, best.next_hop, best.hop_count,
+                lifetime=cf.route_timeout(),
+            )
+            return
+        cf.originate_rerr([destination], invalidate=True)
+
+    def affected_destinations(self, unreachable, event: Event):
+        """Fail over where possible; only propagate what actually broke."""
+        cf = self.cf
+        still_broken = []
+        for destination, _seqnum in unreachable:
+            route = self.mp_state.table.get(destination)
+            if route is None or not route.valid or route.next_hop != event.source:
+                continue
+            best = self.mp_state.drop_paths_via(
+                destination, event.source,
+                refresh_to=event.timestamp + cf.route_timeout(),
+            )
+            if best is not None:
+                self.failovers += 1
+                cf.sys_state().add_route(
+                    destination, best.next_hop, best.hop_count,
+                    lifetime=cf.route_timeout(),
+                )
+            else:
+                still_broken.append(destination)
+        return still_broken
+
+
+def apply_multipath(deployment: "ManetKit") -> None:
+    """Reconfigure a running DYMO to multipath (three replacements)."""
+    reconfig = deployment.reconfig
+    reconfig.replace_component("dymo", "dymo-state", MultipathDymoState())
+    dymo = deployment.protocol("dymo")
+    reconfig.replace_component("dymo", "re-handler", MultipathReHandler(dymo))
+    reconfig.replace_component("dymo", "rerr-handler", MultipathRerrHandler(dymo))
+
+
+def remove_multipath(deployment: "ManetKit") -> None:
+    """Back out to single-path DYMO (state carries over)."""
+    from repro.protocols.dymo.handlers import ReHandler as StandardRe
+    from repro.protocols.dymo.handlers import RerrHandler as StandardRerr
+
+    reconfig = deployment.reconfig
+    reconfig.replace_component("dymo", "dymo-state", DymoState())
+    dymo = deployment.protocol("dymo")
+    reconfig.replace_component("dymo", "re-handler", StandardRe(dymo))
+    reconfig.replace_component("dymo", "rerr-handler", StandardRerr(dymo))

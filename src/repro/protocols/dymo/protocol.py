@@ -1,0 +1,327 @@
+"""The DYMO CF: assembly of the reactive ManetProtocol (paper Fig 6).
+
+"The MANETKit configuration for DYMO consists of one new ManetProtocol
+instance atop the System CF.  It also uses the Neighbour Detection CF.
+[...] As a reactive protocol, DYMO requires additional machinery to ensure
+that route discoveries are triggered and route lifetime updates are
+performed correctly — the deployment of a 'NetLink' component in the
+System CF responsible for packet filtering" (section 5.2).
+
+DYMO also demonstrates protocol-specific context events: "our DYMO
+implementation provides events relating to packet loss, and the number of
+route discoveries initiated per unit time" (section 4.5) — see
+:class:`DiscoveryRateSource` and the ``PACKET_LOSS`` emissions on failed
+discoveries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.manet_protocol import EventSourceComponent, ManetProtocol
+from repro.events.event import Event
+from repro.events.registry import EventTuple
+from repro.events.types import EventOntology
+from repro.packetbb.message import MsgType
+from repro.protocols.dymo.handlers import (
+    KernelEventsHandler,
+    NeighbourhoodHandler,
+    ReHandler,
+    RerrHandler,
+    UerrHandler,
+)
+from repro.protocols.dymo.messages import RREQ, build_re, build_rerr
+from repro.protocols.dymo.state import DymoState, PendingDiscovery
+
+ROUTE_TIMEOUT = 5.0      # route lifetime; refreshed on use (ROUTE_UPDATE)
+RREQ_WAIT = 1.0          # initial retry timeout, doubled per attempt
+RREQ_TRIES = 3
+NET_DIAMETER = 10        # RREQ/RREP hop limit
+
+
+class DiscoveryRateSource(EventSourceComponent):
+    """Protocol-specific context: route discoveries per unit time."""
+
+    def __init__(self, cf: "DymoCF", interval: float = 5.0) -> None:
+        super().__init__("discovery-rate", interval)
+        self.cf = cf
+        self._last_count = 0
+
+    def generate(self) -> None:
+        initiated = self.cf.dymo_state.discoveries_initiated
+        rate = (initiated - self._last_count) / self.interval
+        self._last_count = initiated
+        self.cf.emit("ROUTE_DISCOVERY_RATE", payload={"rate": rate})
+
+
+class DymoCF(ManetProtocol):
+    """DYMO: reactive, on-demand routing with path accumulation."""
+
+    protocol_class = "reactive"
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        route_timeout: float = ROUTE_TIMEOUT,
+        rreq_wait: float = RREQ_WAIT,
+        rreq_tries: int = RREQ_TRIES,
+        name: str = "dymo",
+    ) -> None:
+        super().__init__(name, ontology)
+        self.configurator.update(
+            {
+                "route_timeout": route_timeout,
+                "rreq_wait": rreq_wait,
+                "rreq_tries": rreq_tries,
+                "net_diameter": NET_DIAMETER,
+                "flooding": "blind",          # or "mpr" (optimised variant)
+                "neighbour_source": "neighbour-detection",
+            }
+        )
+        self.set_state(DymoState())
+        self.add_handler(ReHandler(self))
+        self.add_handler(RerrHandler(self))
+        self.add_handler(UerrHandler(self))
+        self.add_handler(KernelEventsHandler(self))
+        self.add_handler(NeighbourhoodHandler(self))
+        self.add_source(DiscoveryRateSource(self))
+        self.set_event_tuple(
+            EventTuple(
+                required=[
+                    "RE_IN",
+                    "RERR_IN",
+                    "UERR_IN",
+                    "NO_ROUTE",
+                    "ROUTE_UPDATE",
+                    "SEND_ROUTE_ERR",
+                    "NHOOD_CHANGE",
+                    "LINK_BREAK",
+                ],
+                provided=[
+                    "RE_OUT",
+                    "RERR_OUT",
+                    "UERR_OUT",
+                    "ROUTE_FOUND",
+                    "ROUTE_DISCOVERY_RATE",
+                    "PACKET_LOSS",
+                ],
+            )
+        )
+
+    @property
+    def dymo_state(self) -> DymoState:
+        """The current S element (resolved dynamically: hot-swappable)."""
+        return self._state  # type: ignore[return-value]
+
+    # -- installation ---------------------------------------------------------
+
+    def on_install(self, deployment) -> None:
+        deployment.system.load_netlink()
+        deployment.system.load_network_driver(
+            "dymo-driver",
+            [
+                (int(MsgType.RE), "RE_IN", "RE_OUT"),
+                (int(MsgType.RERR), "RERR_IN", "RERR_OUT"),
+                (int(MsgType.UERR), "UERR_IN", "UERR_OUT"),
+            ],
+        )
+        self.dymo_state.bind_clock(lambda: deployment.now)
+        neighbour_source = self.config("neighbour_source")
+        if (
+            deployment.manager.unit(neighbour_source) is None
+            and deployment.manager.unit("mpr") is None
+        ):
+            from repro.core.neighbour_detection import NeighbourDetectionCF
+
+            deployment.deploy(NeighbourDetectionCF(self.ontology))
+
+    # -- parameters --------------------------------------------------------------
+
+    def route_timeout(self) -> float:
+        return self.config("route_timeout")
+
+    def net_diameter(self) -> int:
+        return self.config("net_diameter")
+
+    # -- flooding policy (plain vs MPR-optimised) -----------------------------------
+
+    def may_relay_broadcast(self, event: Event) -> bool:
+        """Whether to rebroadcast a flooded RE received in ``event``.
+
+        Three pluggable flooding styles (the paper's section 2 lists all of
+        them as switchable techniques):
+
+        * ``"blind"`` — always relay (classic flooding);
+        * ``"mpr"`` — relay only if the previous hop selected this node as
+          a multipoint relay (the optimised variant, section 5.2);
+        * ``"gossip"`` — GOSSIP1(p, k) after Haas, Halpern & Li [15]:
+          always relay within ``gossip_k`` hops of the originator (so the
+          flood survives its fragile start), then relay with probability
+          ``gossip_p``.
+        """
+        style = self.config("flooding")
+        if style == "mpr":
+            mpr = self.deployment.manager.unit("mpr")
+            if mpr is None or event.source is None:
+                return True
+            return mpr.is_selector(event.source)
+        if style == "gossip":
+            message = event.payload
+            hop_count = getattr(message, "hop_count", None) or 0
+            if hop_count < self.config("gossip_k", 1):
+                return True
+            return (
+                self.deployment.timers.rng.random()
+                < self.config("gossip_p", 0.65)
+            )
+        return True
+
+    # -- route table operations -------------------------------------------------------
+
+    def install_route(
+        self,
+        destination: int,
+        next_hop: int,
+        hop_count: int,
+        seqnum: int,
+        now: float,
+    ) -> None:
+        """Install/refresh a route in both the protocol and kernel tables."""
+        self.dymo_state.install_route(
+            destination, next_hop, hop_count, seqnum, now + self.route_timeout()
+        )
+        self.after_route_installed(destination, next_hop, hop_count)
+
+    def after_route_installed(
+        self, destination: int, next_hop: int, hop_count: int
+    ) -> None:
+        """Kernel write + discovery resolution for a newly usable route."""
+        self.sys_state().add_route(
+            destination, next_hop, hop_count, lifetime=self.route_timeout(),
+            proto=self.name,
+        )
+        pending = self.dymo_state.pending.pop(destination, None)
+        if pending is not None:
+            pending.cancel()
+            self.dymo_state.discoveries_succeeded += 1
+        # Exclusively consumed by the NetLink component, which re-injects
+        # any packets buffered while discovery was in progress.
+        self.emit("ROUTE_FOUND", payload={"destination": destination})
+
+    def refresh_route(self, destination: int) -> None:
+        timeout = self.route_timeout()
+        route = self.dymo_state.table.lookup(destination)
+        if route is None:
+            return
+        expiry = self.deployment.now + timeout
+        route.expiry = expiry
+        self.sys_state().refresh_route(destination, timeout)
+        refreshed_hook = getattr(self.dymo_state, "on_route_refreshed", None)
+        if refreshed_hook is not None:
+            refreshed_hook(destination, expiry)
+
+    def drop_route(self, destination: int) -> None:
+        self.dymo_state.table.invalidate(destination)
+        self.sys_state().del_route(destination)
+
+    def invalidate_via(self, next_hop: int) -> List[int]:
+        """React to a lost neighbour: switch or invalidate routes through it.
+
+        Returns the destinations that became unreachable (to be reported in
+        a RERR).  With the multipath S element, routes with an alternative
+        link-disjoint path are switched instead of broken.
+        """
+        switched, broken = self.dymo_state.invalidate_via_next_hop(next_hop)
+        for destination, new_next_hop, hop_count in switched:
+            self.sys_state().add_route(
+                destination, new_next_hop, hop_count,
+                lifetime=self.route_timeout(), proto=self.name,
+            )
+        for destination in broken:
+            self.sys_state().del_route(destination)
+        return broken
+
+    # -- route discovery ------------------------------------------------------------------
+
+    def start_discovery(self, destination: int) -> None:
+        """Originate an RREQ unless a discovery is already pending."""
+        state = self.dymo_state
+        if destination in state.pending:
+            return
+        if state.table.lookup(destination) is not None:
+            return  # a route appeared meanwhile
+        state.discoveries_initiated += 1
+        pending = PendingDiscovery(
+            destination, tries=1, wait=self.config("rreq_wait")
+        )
+        state.pending[destination] = pending
+        self._send_rreq(destination)
+        pending.timer = self.deployment.timers.one_shot(
+            pending.wait, lambda: self._retry_discovery(destination)
+        )
+
+    def _send_rreq(self, destination: int) -> None:
+        state = self.dymo_state
+        known = state.table.get(destination)
+        rreq = build_re(
+            RREQ,
+            target=destination,
+            path=[(self.local_address, state.next_seqnum())],
+            hop_limit=self.net_diameter(),
+            target_seqnum=known.seqnum if known is not None else None,
+        )
+        self.send_message("RE_OUT", rreq)
+
+    def _retry_discovery(self, destination: int) -> None:
+        with self.lock:
+            state = self.dymo_state
+            pending = state.pending.get(destination)
+            if pending is None:
+                return
+            if state.table.lookup(destination) is not None:
+                pending.cancel()
+                del state.pending[destination]
+                return
+            if pending.tries >= self.config("rreq_tries"):
+                pending.cancel()
+                del state.pending[destination]
+                state.discoveries_failed += 1
+                self._abandon_discovery(destination)
+                return
+            pending.tries += 1
+            pending.wait *= 2  # exponential backoff
+            self._send_rreq(destination)
+            pending.timer = self.deployment.timers.one_shot(
+                pending.wait, lambda: self._retry_discovery(destination)
+            )
+
+    def _abandon_discovery(self, destination: int) -> None:
+        """Give up: drop buffered packets and report the loss as context."""
+        try:
+            netlink = self.direct("INetlink")
+        except LookupError:
+            netlink = None
+        dropped = netlink.drop_buffered(destination) if netlink is not None else 0
+        self.emit(
+            "PACKET_LOSS",
+            payload={"destination": destination, "packets": dropped},
+        )
+
+    # -- RERR origination ---------------------------------------------------------------------
+
+    def originate_rerr(self, destinations: List[int], invalidate: bool) -> None:
+        if invalidate:
+            for destination in destinations:
+                self.drop_route(destination)
+        pairs = []
+        for destination in destinations:
+            route = self.dymo_state.table.get(destination)
+            pairs.append((destination, route.seqnum if route is not None else None))
+        self.send_message(
+            "RERR_OUT", build_rerr(pairs, self.local_address)
+        )
+
+    # -- inspection -----------------------------------------------------------------------------
+
+    def routing_table(self):
+        return self.dymo_state.routes_snapshot()

@@ -1,0 +1,187 @@
+"""The DYMO S element: route table, sequence number, pending discoveries.
+
+The multipath variant replaces this component with
+:class:`~repro.protocols.dymo.multipath.MultipathDymoState`, which
+"accommodates the new formats of protocol messages and routing table
+entries (a path list now exists for each route)" (paper section 5.2) —
+hence the explicit ``get_state``/``set_state`` pair so the swap carries the
+learned routes across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.manet_protocol import StateComponent
+from repro.protocols.common import seq_increment, seq_newer
+from repro.utils.routing_table import Route, RoutingTable
+from repro.utils.timers import Timer
+
+
+@dataclass
+class DymoRoute:
+    """Snapshot view of one DYMO route (used by tests/inspection)."""
+
+    destination: int
+    next_hop: int
+    hop_count: int
+    seqnum: int
+    expiry: Optional[float]
+    valid: bool
+
+
+@dataclass
+class PendingDiscovery:
+    """Book-keeping for one in-progress route discovery."""
+
+    target: int
+    tries: int = 0
+    wait: float = 1.0
+    timer: Optional[Timer] = None
+
+    def cancel(self) -> None:
+        if self.timer is not None:
+            self.timer.stop()
+            self.timer = None
+
+
+class DymoState(StateComponent):
+    """S element of the DYMO CF."""
+
+    DUP_HOLD = 10.0
+
+    def __init__(self) -> None:
+        super().__init__("dymo-state")
+        self.own_seqnum = 1
+        self.table = RoutingTable()
+        self.pending: Dict[int, PendingDiscovery] = {}
+        #: RREQ duplicate set: (originator, originator seqnum) -> expiry
+        self.rreq_seen: Dict[Tuple[int, int], float] = {}
+        self.discoveries_initiated = 0
+        self.discoveries_succeeded = 0
+        self.discoveries_failed = 0
+        self.provide_interface("IDYMOState", "IDYMOState")
+
+    def attach(self, protocol) -> None:
+        super().attach(protocol)
+        # A hot-swapped S element must inherit the deployment clock, or
+        # route expiry silently stops working after the swap.
+        if protocol is not None and protocol.deployment is not None:
+            self.bind_clock(lambda: protocol.deployment.now)
+
+    def bind_clock(self, clock) -> None:
+        """Late-bind the route table to the deployment clock."""
+        self.table._clock = clock
+
+    def current_time(self) -> float:
+        return self.table._clock()
+
+    # -- sequence number ------------------------------------------------------
+
+    def next_seqnum(self) -> int:
+        self.own_seqnum = seq_increment(self.own_seqnum)
+        if self.own_seqnum == 0:  # zero is reserved for "unknown"
+            self.own_seqnum = 1
+        return self.own_seqnum
+
+    # -- route freshness (DYMO section 5.2 of the draft) -------------------------
+
+    def is_fresher(self, destination: int, seqnum: int, hop_count: int) -> bool:
+        """Whether (seqnum, hop_count) should supersede the current route."""
+        existing = self.table.get(destination)
+        if existing is None or not existing.valid:
+            return True
+        current_seq = existing.seqnum or 0
+        if seq_newer(seqnum, current_seq):
+            return True
+        if seqnum == current_seq and hop_count < existing.hop_count:
+            return True
+        return False
+
+    def install_route(
+        self,
+        destination: int,
+        next_hop: int,
+        hop_count: int,
+        seqnum: int,
+        expiry: Optional[float],
+    ) -> Route:
+        return self.table.add(
+            Route(
+                destination=destination,
+                next_hop=next_hop,
+                hop_count=hop_count,
+                seqnum=seqnum,
+                expiry=expiry,
+            )
+        )
+
+    def routes_snapshot(self) -> List[DymoRoute]:
+        return [
+            DymoRoute(r.destination, r.next_hop, r.hop_count, r.seqnum or 0,
+                      r.expiry, r.valid)
+            for r in self.table.snapshot()
+        ]
+
+    def invalidate_via_next_hop(
+        self, next_hop: int
+    ) -> Tuple[List[Tuple[int, int, int]], List[int]]:
+        """Handle a broken link to ``next_hop``.
+
+        Returns ``(switched, broken)``: destinations switched to an
+        alternative path as ``(dest, new_next_hop, hop_count)`` triples —
+        always empty for the single-path table — and destinations now
+        unreachable.
+        """
+        broken = [route.destination for route in self.table.routes_via(next_hop)]
+        for destination in broken:
+            self.table.invalidate(destination)
+        return [], broken
+
+    # -- duplicate RREQ tracking -----------------------------------------------------
+
+    def rreq_is_duplicate(self, originator: int, seqnum: int) -> bool:
+        return (originator, seqnum) in self.rreq_seen
+
+    def note_rreq(self, originator: int, seqnum: int, now: float) -> None:
+        self.rreq_seen[(originator, seqnum)] = now + self.DUP_HOLD
+        if len(self.rreq_seen) > 2048:
+            for key in [k for k, t in self.rreq_seen.items() if t <= now]:
+                del self.rreq_seen[key]
+
+    # -- state transfer ------------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        return {
+            "own_seqnum": self.own_seqnum,
+            "routes": [
+                (r.destination, r.next_hop, r.hop_count, r.seqnum, r.expiry, r.valid)
+                for r in self.table.snapshot()
+            ],
+            "rreq_seen": dict(self.rreq_seen),
+            "counters": (
+                self.discoveries_initiated,
+                self.discoveries_succeeded,
+                self.discoveries_failed,
+            ),
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        if "own_seqnum" in state:
+            self.own_seqnum = state["own_seqnum"]  # type: ignore[assignment]
+        routes = state.get("routes")
+        if isinstance(routes, list):
+            for destination, next_hop, hop_count, seqnum, expiry, valid in routes:
+                route = Route(destination, next_hop, hop_count, seqnum, expiry, valid)
+                self.table.add(route)
+        seen = state.get("rreq_seen")
+        if isinstance(seen, dict):
+            self.rreq_seen.update(seen)
+        counters = state.get("counters")
+        if isinstance(counters, tuple) and len(counters) == 3:
+            (
+                self.discoveries_initiated,
+                self.discoveries_succeeded,
+                self.discoveries_failed,
+            ) = counters

@@ -1,0 +1,15 @@
+"""Hybrid protocols by composition (paper sections 1, 2 and 7).
+
+The paper lists hybrid protocols (e.g. ZRP [14]) as the third class of
+ad-hoc routing — "employing proactive routing within scoped domains and
+reactive routing across domains" — and names "the hybridisation of
+protocols" as future work that the framework's composition model should
+make cheap.  :mod:`repro.protocols.hybrid.zrp` delivers exactly that: a
+ZRP-style hybrid assembled *entirely from existing CFs* (OLSR + MPR for
+the intrazone plane, DYMO for the interzone plane, the fish-eye scoping
+component to bound the proactive zone), with no new protocol logic.
+"""
+
+from repro.protocols.hybrid.zrp import ZoneRoutingHybrid, deploy_zrp
+
+__all__ = ["ZoneRoutingHybrid", "deploy_zrp"]

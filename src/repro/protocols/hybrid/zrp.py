@@ -1,0 +1,134 @@
+"""A ZRP-style hybrid: scoped proactive zone + reactive interzone routing.
+
+The composition (all existing components, which is the point):
+
+* **intrazone plane** — OLSR stacked on MPR, with a constant-TTL fish-eye
+  unit interposed on ``TC_OUT`` so topology dissemination stops at the
+  zone radius.  Every node proactively knows every destination within
+  ``zone_radius`` hops; the kernel table always holds those routes.
+* **interzone plane** — DYMO with MPR-optimised flooding (the MPR CF is
+  shared with the intrazone plane).  A destination outside the zone has no
+  kernel route, so the very first data packet trips the NetLink
+  ``NO_ROUTE`` hook and a reactive discovery — no extra glue needed: the
+  division of labour falls out of the kernel-table handoff.
+
+Differences from full ZRP [14] (documented simplifications):
+
+* interzone route queries are flooded via MPR relaying rather than ZRP's
+  bordercast tree (BRP); MPR relaying is the closest mechanism available
+  in the composition and serves the same "don't re-query the interior"
+  purpose;
+* zone membership is implicit (whoever the scoped TCs reach) rather than
+  maintained by a dedicated IARP neighbour table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.protocols.olsr.fisheye import FishEyeComponent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+
+
+@dataclass
+class ZoneStats:
+    """Observability for the hybrid's division of labour."""
+
+    zone_routes: int = 0
+    interzone_discoveries: int = 0
+
+
+class ZoneRoutingHybrid:
+    """Coordinator for one node's ZRP-style deployment."""
+
+    def __init__(
+        self,
+        deployment: "ManetKit",
+        zone_radius: int = 2,
+        hello_interval: float = 0.5,
+        tc_interval: float = 1.0,
+        route_timeout: float = 10.0,
+    ) -> None:
+        if zone_radius < 1:
+            raise ValueError(f"zone radius must be >= 1: {zone_radius}")
+        self.deployment = deployment
+        self.zone_radius = zone_radius
+        self.hello_interval = hello_interval
+        self.tc_interval = tc_interval
+        self.route_timeout = route_timeout
+        self._deployed = False
+
+    # -- assembly -------------------------------------------------------------
+
+    def deploy(self) -> "ZoneRoutingHybrid":
+        """Assemble the hybrid from existing CFs."""
+        if self._deployed:
+            return self
+        kit = self.deployment
+        # intrazone plane: OLSR on MPR...
+        if kit.manager.unit("mpr") is None:
+            kit.load_protocol("mpr", hello_interval=self.hello_interval)
+        if kit.manager.unit("olsr") is None:
+            kit.load_protocol("olsr", tc_interval=self.tc_interval)
+        # ...scoped to the zone radius by a constant-TTL fish-eye unit.
+        if kit.manager.unit("fisheye") is None:
+            scoper = FishEyeComponent(
+                kit.ontology,
+                ttl_sequence=(self.zone_radius,),
+                name="fisheye",
+            )
+            kit.deploy(scoper)
+        # interzone plane: DYMO flooding through the shared MPR CF.
+        if kit.manager.unit("dymo") is None:
+            kit.load_protocol("dymo", route_timeout=self.route_timeout)
+        kit.protocol("dymo").configurator.set("flooding", "mpr")
+        self._deployed = True
+        return self
+
+    def undeploy(self) -> None:
+        kit = self.deployment
+        for name in ("dymo", "fisheye", "olsr", "mpr"):
+            if kit.manager.unit(name) is not None:
+                kit.undeploy(name)
+        self._deployed = False
+
+    # -- runtime tuning ----------------------------------------------------------
+
+    def set_zone_radius(self, zone_radius: int) -> None:
+        """Grow or shrink the proactive zone at runtime."""
+        if zone_radius < 1:
+            raise ValueError(f"zone radius must be >= 1: {zone_radius}")
+        self.zone_radius = zone_radius
+        fisheye = self.deployment.manager.unit("fisheye")
+        if fisheye is not None:
+            fisheye.ttl_sequence = (zone_radius,)
+
+    # -- observability --------------------------------------------------------------
+
+    def stats(self) -> ZoneStats:
+        kit = self.deployment
+        olsr = kit.manager.unit("olsr")
+        dymo = kit.manager.unit("dymo")
+        return ZoneStats(
+            zone_routes=len(olsr.routing_table()) if olsr is not None else 0,
+            interzone_discoveries=(
+                dymo.dymo_state.discoveries_initiated if dymo is not None else 0
+            ),
+        )
+
+    def in_zone(self, destination: int) -> bool:
+        """Whether the destination is proactively known (intrazone)."""
+        olsr = self.deployment.manager.unit("olsr")
+        return olsr is not None and destination in olsr.routing_table()
+
+
+def deploy_zrp(
+    deployment: "ManetKit",
+    zone_radius: int = 2,
+    **kwargs,
+) -> ZoneRoutingHybrid:
+    """Deploy the ZRP-style hybrid on one node."""
+    return ZoneRoutingHybrid(deployment, zone_radius, **kwargs).deploy()

@@ -1,0 +1,31 @@
+"""Multipoint Relaying (MPR) as a ManetProtocol (paper section 5.1).
+
+"MANETKit's OLSR implementation is built using two separate ManetProtocol
+instances: one for OLSR proper and the other for an underlying
+implementation of Multipoint Relaying that is used by OLSR.  MPR is
+responsible for link sensing and relay selection, and maintains state in
+its S component to underpin these."
+
+The MPR CF is also directly shareable with a co-deployed DYMO instance
+(optimised-flooding variant, section 5.2), "thus leading to a leaner
+deployment".
+"""
+
+from repro.protocols.mpr.state import LinkEntry, MprState
+from repro.protocols.mpr.calculator import MprCalculator
+from repro.protocols.mpr.hysteresis import HysteresisPolicy
+from repro.protocols.mpr.handlers import MprHelloGenerator, MprHelloHandler, WillingnessHandler
+from repro.protocols.mpr.forward import MprForward
+from repro.protocols.mpr.protocol import MprCF
+
+__all__ = [
+    "LinkEntry",
+    "MprState",
+    "MprCalculator",
+    "HysteresisPolicy",
+    "MprHelloGenerator",
+    "MprHelloHandler",
+    "WillingnessHandler",
+    "MprForward",
+    "MprCF",
+]

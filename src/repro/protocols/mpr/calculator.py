@@ -1,0 +1,83 @@
+"""MPR selection.
+
+The greedy set-cover heuristic of RFC 3626 section 8.3.1: select, among the
+symmetric 1-hop neighbours, a minimal set of relays covering every strict
+2-hop neighbour — preferring higher willingness, then greater coverage of
+still-uncovered 2-hop nodes, then higher degree.
+
+The calculator is a replaceable plug-in: the power-aware OLSR variant swaps
+in an energy-weighted version (paper section 5.1), which is implemented in
+:mod:`repro.protocols.olsr.power_aware`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.opencom.component import Component
+from repro.protocols.common import Willingness
+from repro.protocols.mpr.state import MprState
+
+
+class MprCalculator(Component):
+    """The standard (RFC 3626) greedy MPR selection."""
+
+    def __init__(self, name: str = "mpr-calculator") -> None:
+        super().__init__(name)
+        self.computations = 0
+        self.provide_interface("IMprCalc", "IMprCalc")
+
+    def compute(self, state: MprState, now: float, self_address: int) -> Set[int]:
+        """Return the new MPR set (does not mutate ``state``)."""
+        self.computations += 1
+        coverage = state.coverage(now, self_address)
+        # Never relay through unwilling neighbours.
+        candidates = {
+            n: covered
+            for n, covered in coverage.items()
+            if state.willingness(n) != int(Willingness.NEVER)
+        }
+        uncovered: Set[int] = set()
+        for covered in candidates.values():
+            uncovered |= covered
+
+        mprs: Set[int] = set()
+        # Rule 1: WILL_ALWAYS neighbours are always selected.
+        for neighbour in candidates:
+            if state.willingness(neighbour) == int(Willingness.ALWAYS):
+                mprs.add(neighbour)
+                uncovered -= candidates[neighbour]
+        # Rule 2: neighbours that are the sole cover of some 2-hop node.
+        cover_count: Dict[int, int] = {}
+        for covered in candidates.values():
+            for two_hop in covered:
+                cover_count[two_hop] = cover_count.get(two_hop, 0) + 1
+        for neighbour, covered in sorted(candidates.items()):
+            if neighbour in mprs:
+                continue
+            if any(cover_count.get(t, 0) == 1 for t in covered & uncovered):
+                mprs.add(neighbour)
+                uncovered -= covered
+        # Rule 3: greedy — repeatedly take the best-scoring neighbour.
+        while uncovered:
+            best = None
+            best_key = None
+            for neighbour, covered in sorted(candidates.items()):
+                if neighbour in mprs:
+                    continue
+                gain = len(covered & uncovered)
+                if gain == 0:
+                    continue
+                key = (
+                    state.willingness(neighbour),
+                    gain,
+                    len(covered),
+                    -neighbour,  # deterministic tie-break
+                )
+                if best_key is None or key > best_key:
+                    best, best_key = neighbour, key
+            if best is None:
+                break  # some 2-hop nodes are uncoverable (asymmetric info)
+            mprs.add(best)
+            uncovered -= candidates[best]
+        return mprs

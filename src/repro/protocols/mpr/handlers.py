@@ -1,0 +1,180 @@
+"""MPR event sources and handlers: HELLO emission/reception, willingness.
+
+HELLO wire format (PacketBB): originator + message seqnum; a WILLINGNESS
+message TLV; and up to three address blocks, each tagged with a
+block-scoped LINK_STATUS TLV — ``MPR`` (symmetric neighbours selected as
+relays), ``SYM`` (other symmetric neighbours) and ``ASYM`` (heard but not
+yet confirmed bidirectional).  This is the RFC 3626 link-code scheme
+expressed in PacketBB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.manet_protocol import EventHandlerComponent, EventSourceComponent
+from repro.events.event import Event
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.message import Message, MsgType
+from repro.packetbb.tlv import TLV, TLVBlock
+from repro.protocols.common import LinkCode, TlvType, Willingness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.mpr.protocol import MprCF
+
+
+def _address_block(addresses: List[int], code: LinkCode) -> AddressBlock:
+    block = AddressBlock([Address.from_node_id(a) for a in addresses])
+    block.tlv_block.add(TLV.of_int(TlvType.LINK_STATUS, int(code), width=1))
+    return block
+
+
+class MprHelloGenerator(EventSourceComponent):
+    """Emits the periodic link-sensing HELLO."""
+
+    def __init__(self, cf: "MprCF", interval: float, jitter: float,
+                 initial_delay: Optional[float] = None) -> None:
+        super().__init__("hello-generator", interval, jitter, initial_delay)
+        self.cf = cf
+        self._seqnum = 0
+
+    def generate(self) -> None:
+        cf = self.cf
+        now = cf.deployment.now
+        cf.run_housekeeping(now)
+        state = cf.mpr_state
+        self._seqnum = (self._seqnum + 1) & 0xFFFF
+
+        sym = set(state.symmetric_neighbours(now))
+        mprs = state.mpr_set & sym
+        blocks = []
+        if mprs:
+            blocks.append(_address_block(sorted(mprs), LinkCode.MPR))
+        plain_sym = sorted(sym - mprs)
+        if plain_sym:
+            blocks.append(_address_block(plain_sym, LinkCode.SYM))
+        asym = state.asym_only_neighbours(now)
+        if asym:
+            blocks.append(_address_block(asym, LinkCode.ASYM))
+
+        tlvs = TLVBlock(
+            [TLV.of_int(TlvType.WILLINGNESS, state.own_willingness, width=1)]
+        )
+        message = Message(
+            MsgType.HELLO,
+            originator=Address.from_node_id(cf.local_address),
+            hop_limit=1,
+            hop_count=0,
+            seqnum=self._seqnum,
+            tlv_block=tlvs,
+            address_blocks=blocks,
+        )
+        cf.send_message("HELLO_OUT", message)
+
+
+class MprHelloHandler(EventHandlerComponent):
+    """Processes received HELLOs: link sensing + 2-hop + selector tracking.
+
+    The power-aware variant replaces this component with a version that
+    additionally derives transmission-power link costs (section 5.1).
+    """
+
+    handles = ("HELLO_IN",)
+
+    def __init__(self, cf: "MprCF", name: str = "hello-handler") -> None:
+        super().__init__(name)
+        self.cf = cf
+
+    # Hook for the power-aware subclass.
+    def link_cost(self, message: Message, sender: int) -> float:
+        return 1.0
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        cf = self.cf
+        sender = event.source
+        if sender is None and message.originator is not None:
+            sender = message.originator.node_id
+        if sender is None or sender == cf.local_address:
+            return
+        now = event.timestamp
+        state = cf.mpr_state
+        validity = cf.link_hold_time()
+
+        is_new_link = sender not in state.links
+        link = state.ensure_link(sender)
+        link.asym_until = now + validity
+        link.last_heard = now
+        link.cost = self.link_cost(message, sender)
+        cf.hysteresis.on_hello_received(link)
+
+        # Parse address blocks by link code.
+        sym_of_sender: Set[int] = set()
+        selected_us = False
+        we_are_listed = False
+        for block in message.address_blocks:
+            status_tlv = block.tlv_block.find(TlvType.LINK_STATUS)
+            code = status_tlv.as_int() if status_tlv is not None else int(LinkCode.SYM)
+            listed = {a.node_id for a in block.addresses}
+            if cf.local_address in listed:
+                we_are_listed = True
+                if code == int(LinkCode.MPR):
+                    selected_us = True
+            if code in (int(LinkCode.SYM), int(LinkCode.MPR)):
+                sym_of_sender |= listed
+
+        newly_symmetric = we_are_listed and not link.is_symmetric(now)
+        if we_are_listed:
+            # The sender hears us and we hear it: the link is symmetric.
+            link.sym_until = now + validity
+        state.two_hop[sender] = sym_of_sender - {cf.local_address}
+        if is_new_link or newly_symmetric:
+            # Answer promptly so the new link becomes symmetric fast.
+            cf.maybe_trigger_hello()
+
+        will_tlv = message.tlv_block.find(TlvType.WILLINGNESS)
+        if will_tlv is not None:
+            state.willingness_of[sender] = will_tlv.as_int()
+
+        if selected_us:
+            state.note_selector(sender, now + validity)
+
+        cf.after_neighbourhood_update(now)
+
+
+class WillingnessHandler(EventHandlerComponent):
+    """Derives own willingness from POWER_STATUS context events.
+
+    "POWER_STATUS events [...] report the node's current battery levels;
+    they are used to dynamically determine the willingness of a node acting
+    as a relay to forward messages on behalf of its neighbours, this
+    'willingness' metric being factored into the relay selection process"
+    (section 5.1).
+    """
+
+    handles = ("POWER_STATUS",)
+
+    #: battery-level floor for each willingness tier, scanned in order.
+    TIERS = (
+        (0.8, Willingness.HIGH),
+        (0.5, Willingness.DEFAULT),
+        (0.2, Willingness.LOW),
+        (0.0, Willingness.NEVER),
+    )
+
+    def __init__(self, cf: "MprCF") -> None:
+        super().__init__("willingness-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        battery = event.payload.get("battery")
+        if battery is None:
+            return
+        willingness = int(Willingness.NEVER)
+        for floor, tier in self.TIERS:
+            if battery >= floor:
+                willingness = int(tier)
+                break
+        state = self.cf.mpr_state
+        if willingness != state.own_willingness:
+            state.own_willingness = willingness

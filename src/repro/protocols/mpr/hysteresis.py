@@ -1,0 +1,70 @@
+"""Link hysteresis (RFC 3626 section 14) as a pluggable component.
+
+Hysteresis damps link flapping on lossy radios: a link's quality estimate
+rises exponentially with each HELLO heard and decays with each missed one;
+the link is only *established* once quality exceeds a high threshold and is
+only *dropped* once it falls below a low one.  The component appears as a
+plug-in of the MPR CF in the paper's Fig 5; being a component, it can be
+replaced (e.g. by the power-aware variant's cost-annotating handler chain)
+or removed entirely on clean networks.
+"""
+
+from __future__ import annotations
+
+from repro.opencom.component import Component
+from repro.protocols.mpr.state import LinkEntry
+
+
+class HysteresisPolicy(Component):
+    """The RFC 3626 exponentially-smoothed link quality rule."""
+
+    def __init__(
+        self,
+        scaling: float = 0.5,
+        threshold_high: float = 0.8,
+        threshold_low: float = 0.3,
+        enabled: bool = True,
+    ) -> None:
+        super().__init__("hysteresis")
+        if not 0 < scaling <= 1:
+            raise ValueError(f"scaling must be in (0, 1]: {scaling}")
+        if not 0 <= threshold_low <= threshold_high <= 1:
+            raise ValueError(
+                f"thresholds must satisfy 0 <= low <= high <= 1: "
+                f"{threshold_low}, {threshold_high}"
+            )
+        self.scaling = scaling
+        self.threshold_high = threshold_high
+        self.threshold_low = threshold_low
+        self.enabled = enabled
+        self.provide_interface("IHysteresis", "IHysteresis")
+
+    def on_hello_received(self, link: LinkEntry) -> None:
+        """Update quality for a heard HELLO; may clear the pending flag."""
+        if not self.enabled:
+            link.pending = False
+            return
+        link.quality = (1 - self.scaling) * link.quality + self.scaling
+        if link.quality > self.threshold_high:
+            link.pending = False
+
+    def on_hello_missed(self, link: LinkEntry) -> None:
+        """Decay quality for a missed HELLO; may set the pending flag."""
+        if not self.enabled:
+            return
+        link.quality = (1 - self.scaling) * link.quality
+        if link.quality < self.threshold_low:
+            link.pending = True
+
+    def get_state(self) -> dict:
+        return {
+            "scaling": self.scaling,
+            "threshold_high": self.threshold_high,
+            "threshold_low": self.threshold_low,
+            "enabled": self.enabled,
+        }
+
+    def set_state(self, state: dict) -> None:
+        for key in ("scaling", "threshold_high", "threshold_low", "enabled"):
+            if key in state:
+                setattr(self, key, state[key])

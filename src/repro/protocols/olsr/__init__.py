@@ -1,0 +1,46 @@
+"""OLSR (Optimized Link State Routing) in MANETKit (paper section 5.1).
+
+The OLSR ManetProtocol proper: it consumes the topology information
+garnered by the MPR CF, floods Topology Change (TC) messages through MPR's
+forwarding service, and computes shortest-path routes into the kernel
+table.  Event tuple: provides ``TC_OUT``; requires ``TC_IN``,
+``NHOOD_CHANGE`` and ``MPR_CHANGE``.
+
+Variants (both runtime reconfigurations):
+
+* :mod:`repro.protocols.olsr.fisheye` — fish-eye TC scoping for large
+  networks [34];
+* :mod:`repro.protocols.olsr.power_aware` — energy-aware relay selection
+  and residual-power dissemination [33].
+"""
+
+from repro.protocols.olsr.state import OlsrState, TopologyEntry
+from repro.protocols.olsr.handlers import TcGenerator, TcHandler, TopologyChangeHandler
+from repro.protocols.olsr.routes import RouteCalculator
+from repro.protocols.olsr.protocol import OlsrCF
+from repro.protocols.olsr.fisheye import FishEyeComponent, apply_fisheye, remove_fisheye
+from repro.protocols.olsr.power_aware import (
+    PowerAwareHelloHandler,
+    PowerAwareMprCalculator,
+    ResidualPowerComponent,
+    apply_power_aware,
+    remove_power_aware,
+)
+
+__all__ = [
+    "OlsrState",
+    "TopologyEntry",
+    "TcGenerator",
+    "TcHandler",
+    "TopologyChangeHandler",
+    "RouteCalculator",
+    "OlsrCF",
+    "FishEyeComponent",
+    "apply_fisheye",
+    "remove_fisheye",
+    "PowerAwareHelloHandler",
+    "PowerAwareMprCalculator",
+    "ResidualPowerComponent",
+    "apply_power_aware",
+    "remove_power_aware",
+]

@@ -1,0 +1,118 @@
+"""Fish-eye TC scoping (paper section 5.1, citing FSR [34]).
+
+"The purpose of the fish-eye routing variant is to aid scalability when
+networks grow large, albeit at the cost of sub-optimal routing to distant
+nodes.  It basically works by refreshing topology information more
+frequently for nearby nodes than for distant nodes.  This variant is
+straightforwardly implemented as a component that modifies TC_OUT events
+according to the fish eye strategy (in fact it works by modifying the TTL
+and timing of OLSR Topology Change messages).  The component is specified
+to both require and provide TC_OUT events; and so all that is required to
+insert it into the protocol graph is to request re-evaluation of the
+automatic event-tuple-based binding process.  This automatically results
+in the component being interposed in the path of TC_OUT events."
+
+The interposition uses the *exclusive-receive* mechanism (section 4.2,
+footnote 2): the fish-eye unit requires ``TC_OUT`` exclusively, so
+originated and relayed TCs flow to it instead of straight to the System
+CF; it re-emits them — rescoped if originated locally, untouched if they
+are relays — and loop avoidance ensures its own re-emissions bypass it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TYPE_CHECKING
+
+from repro.core.manet_protocol import EventHandlerComponent, ManetProtocol
+from repro.events.event import Event
+from repro.events.registry import EventTuple, Requirement
+from repro.events.types import EventOntology
+from repro.packetbb.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.manetkit import ManetKit
+
+#: The classic olsrd fish-eye TTL cycle: most TCs reach only the local
+#: neighbourhood; every 8th TC floods the whole network.
+DEFAULT_TTL_SEQUENCE = (255, 1, 2, 1, 4, 1, 2, 1)
+
+#: Hazy-Sighted Link State scoping (paper section 2, citing Santivanez et
+#: al. [26]): TTL doubles each period — 2, 4, 8, ... with a periodic
+#: network-wide refresh — which is provably near-optimal as the network
+#: grows in diameter.  Expressed here as a TTL sequence for the same
+#: interposer component; HSLS and fish-eye differ only in this schedule.
+HSLS_TTL_SEQUENCE = (2, 4, 2, 8, 2, 4, 2, 255)
+
+
+class _FishEyeScoper(EventHandlerComponent):
+    handles = ("TC_OUT",)
+
+    def __init__(self, cf: "FishEyeComponent") -> None:
+        super().__init__("fisheye-scoper")
+        self.cf = cf
+        self.rescoped = 0
+        self.passed_through = 0
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        if event.meta.get("relay"):
+            # Only *originated* TCs are rescoped; relays keep the TTL the
+            # originator chose.
+            self.passed_through += 1
+            self.cf.emit("TC_OUT", payload=message, meta=dict(event.meta))
+            return
+        sequence = self.cf.ttl_sequence
+        ttl = sequence[self.cf.cycle_index % len(sequence)]
+        self.cf.cycle_index += 1
+        self.rescoped += 1
+        scoped = Message(
+            message.msg_type,
+            originator=message.originator,
+            hop_limit=ttl,
+            hop_count=message.hop_count,
+            seqnum=message.seqnum,
+            tlv_block=message.tlv_block,
+            address_blocks=message.address_blocks,
+        )
+        self.cf.emit("TC_OUT", payload=scoped, meta=dict(event.meta))
+
+
+class FishEyeComponent(ManetProtocol):
+    """The interposable fish-eye unit (a minimal CFS unit)."""
+
+    protocol_class = "service"
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        ttl_sequence: Sequence[int] = DEFAULT_TTL_SEQUENCE,
+        name: str = "fisheye",
+    ) -> None:
+        super().__init__(name, ontology)
+        if not ttl_sequence:
+            raise ValueError("ttl_sequence must not be empty")
+        self.ttl_sequence = tuple(ttl_sequence)
+        self.cycle_index = 0
+        self.scoper = _FishEyeScoper(self)
+        self.add_handler(self.scoper)
+        self.set_event_tuple(
+            EventTuple(
+                required=[Requirement("TC_OUT", exclusive=True)],
+                provided=["TC_OUT"],
+            )
+        )
+
+
+def apply_fisheye(
+    deployment: "ManetKit",
+    ttl_sequence: Sequence[int] = DEFAULT_TTL_SEQUENCE,
+) -> FishEyeComponent:
+    """Insert fish-eye scoping into a running OLSR deployment."""
+    fisheye = FishEyeComponent(deployment.ontology, ttl_sequence)
+    deployment.deploy(fisheye)
+    return fisheye
+
+
+def remove_fisheye(deployment: "ManetKit") -> None:
+    """Remove the variant; the tuple-based wiring heals automatically."""
+    deployment.undeploy("fisheye")

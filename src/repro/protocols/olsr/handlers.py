@@ -1,0 +1,141 @@
+"""OLSR event sources and handlers: TC emission, TC processing, triggers.
+
+TC wire format (PacketBB): originator + message seqnum + hop limit, an
+``ANSN`` message TLV, and one address block carrying the advertised
+neighbour set (our MPR selectors).  TCs are flooded network-wide through
+the MPR CF's forwarding service.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.manet_protocol import EventHandlerComponent, EventSourceComponent
+from repro.events.event import Event
+from repro.packetbb.address import Address, AddressBlock
+from repro.packetbb.message import Message, MsgType
+from repro.packetbb.tlv import TLV, TLVBlock
+from repro.protocols.common import TlvType, seq_newer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.olsr.protocol import OlsrCF
+
+TC_HOP_LIMIT = 255
+
+
+class TcGenerator(EventSourceComponent):
+    """Emits periodic Topology Change messages.
+
+    A TC advertises the node's MPR selector set.  Like Unik-olsrd, the
+    generator also supports *triggered* TCs: when the advertised set
+    changes, the next emission is pulled forward (rate-limited), which is
+    what gives OLSR its ~1 s route-establishment behaviour on the paper's
+    testbed rather than a full TC interval.
+    """
+
+    def __init__(self, cf: "OlsrCF", interval: float, jitter: float,
+                 initial_delay: Optional[float] = None) -> None:
+        super().__init__("tc-generator", interval, jitter, initial_delay)
+        self.cf = cf
+        self._seqnum = 0
+        self.empty_tc_rounds = 0
+
+    def generate(self) -> None:
+        cf = self.cf
+        state = cf.olsr_state
+        now = cf.deployment.now
+        state.purge_topology(now)
+        advertised = set(cf.selector_set())
+        if advertised != state.last_advertised:
+            state.bump_ansn()
+            state.last_advertised = set(advertised)
+        if not advertised:
+            # RFC 3626: keep advertising an empty set for a grace period
+            # so remote topology entries age out, then go quiet.
+            self.empty_tc_rounds += 1
+            if self.empty_tc_rounds > 3:
+                return
+        else:
+            self.empty_tc_rounds = 0
+        self._seqnum = (self._seqnum + 1) & 0xFFFF
+        message = Message(
+            MsgType.TC,
+            originator=Address.from_node_id(cf.local_address),
+            hop_limit=TC_HOP_LIMIT,
+            hop_count=0,
+            seqnum=self._seqnum,
+            tlv_block=TLVBlock([TLV.of_int(TlvType.ANSN, state.ansn, width=2)]),
+            address_blocks=(
+                [AddressBlock([Address.from_node_id(a) for a in sorted(advertised)])]
+                if advertised
+                else []
+            ),
+        )
+        cf.send_message("TC_OUT", message)
+
+
+class TcHandler(EventHandlerComponent):
+    """Processes received TCs into the topology set."""
+
+    handles = ("TC_IN",)
+
+    def __init__(self, cf: "OlsrCF") -> None:
+        super().__init__("tc-handler")
+        self.cf = cf
+        self.stale_discarded = 0
+
+    def handle(self, event: Event) -> None:
+        message: Message = event.payload
+        cf = self.cf
+        if message.originator is None or message.seqnum is None:
+            return
+        originator = message.originator.node_id
+        if originator == cf.local_address:
+            return
+        state = cf.olsr_state
+        # Per-originator duplicate / reordering filter on message seqnums.
+        previous_seq = state.msg_seq_of.get(originator)
+        if previous_seq is not None and not seq_newer(message.seqnum, previous_seq):
+            self.stale_discarded += 1
+            return
+        state.msg_seq_of[originator] = message.seqnum
+        ansn_tlv = message.tlv_block.find(TlvType.ANSN)
+        if ansn_tlv is None:
+            return
+        ansn = ansn_tlv.as_int()
+        if not state.fresher_ansn(originator, ansn):
+            self.stale_discarded += 1
+            return
+        destinations = [a.node_id for a in message.all_addresses()]
+        state.record_topology(
+            originator,
+            destinations,
+            ansn,
+            event.timestamp + cf.topology_hold_time(),
+        )
+        cf.recompute_routes()
+
+
+class TopologyChangeHandler(EventHandlerComponent):
+    """Reacts to neighbourhood / relay-selection changes from the MPR CF.
+
+    Any change to the local neighbourhood both invalidates routes (so
+    routes are recomputed) and potentially changes the advertised set (so
+    a triggered TC may be due).
+    """
+
+    handles = ("NHOOD_CHANGE", "MPR_CHANGE")
+
+    def __init__(self, cf: "OlsrCF") -> None:
+        super().__init__("topology-change-handler")
+        self.cf = cf
+
+    def handle(self, event: Event) -> None:
+        cf = self.cf
+        if event.etype.name == "NHOOD_CHANGE":
+            lost = event.payload.get("lost", []) if event.payload else []
+            for neighbour in lost:
+                # A lost symmetric neighbour stops being a valid last hop.
+                cf.olsr_state.drop_originator(neighbour)
+        cf.recompute_routes()
+        cf.maybe_trigger_tc()

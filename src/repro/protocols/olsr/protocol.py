@@ -1,0 +1,143 @@
+"""The OLSR CF: assembly of the OLSR ManetProtocol (paper Fig 5).
+
+The composition stacks on an MPR CF instance: OLSR "uses topology
+information garnered by MPR and uses the latter's forwarding services to
+flood topology information" (section 5.1).  Installing OLSR therefore
+(a) ensures an MPR instance is deployed, (b) loads a NetworkDriver for
+HELLO/TC messages and a PowerStatus component into the System CF, and
+(c) registers TC with MPR's flooding service — exactly the installation
+steps the paper walks through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.manet_protocol import ManetProtocol
+from repro.events.registry import EventTuple
+from repro.events.types import EventOntology
+from repro.packetbb.message import MsgType
+from repro.protocols.olsr.handlers import TcGenerator, TcHandler, TopologyChangeHandler
+from repro.protocols.olsr.routes import RouteCalculator
+from repro.protocols.olsr.state import OlsrState
+
+TC_INTERVAL = 5.0         # RFC 3626 default
+TC_JITTER = 0.25
+TOP_HOLD_MULTIPLIER = 3.0
+#: Minimum gap between triggered TCs (rate limit).
+TC_TRIGGER_DELAY = 0.25
+
+
+class OlsrCF(ManetProtocol):
+    """OLSR proper, stacked on the MPR CF."""
+
+    protocol_class = "proactive"
+
+    def __init__(
+        self,
+        ontology: EventOntology,
+        tc_interval: float = TC_INTERVAL,
+        jitter: float = TC_JITTER,
+        name: str = "olsr",
+    ) -> None:
+        super().__init__(name, ontology)
+        self.configurator.update(
+            {
+                "tc_interval": tc_interval,
+                "top_hold_multiplier": TOP_HOLD_MULTIPLIER,
+                "trigger_delay": TC_TRIGGER_DELAY,
+            }
+        )
+        self.olsr_state = OlsrState()
+        self.set_state(self.olsr_state)
+        self.control.insert(RouteCalculator(self))
+        self.tc_generator = TcGenerator(self, tc_interval, jitter)
+        self.add_source(self.tc_generator)
+        self.add_handler(TcHandler(self))
+        self.add_handler(TopologyChangeHandler(self))
+        self._mpr_name = "mpr"
+        self._last_trigger = -1e9
+        self.set_event_tuple(
+            EventTuple(
+                required=["TC_IN", "NHOOD_CHANGE", "MPR_CHANGE"],
+                provided=["TC_OUT"],
+            )
+        )
+
+    # -- installation -----------------------------------------------------------
+
+    def on_install(self, deployment) -> None:
+        from repro.protocols.mpr.protocol import MprCF
+
+        mpr = deployment.manager.unit(self._mpr_name)
+        if mpr is None:
+            mpr = deployment.deploy(MprCF(self.ontology, name=self._mpr_name))
+        deployment.system.load_network_driver(
+            "tc-driver", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+        )
+        mpr.add_flooded_type("TC_IN", "TC_OUT")
+
+    def on_uninstall(self, deployment) -> None:
+        mpr = deployment.manager.unit(self._mpr_name)
+        if mpr is not None:
+            mpr.remove_flooded_type("TC_IN")
+        # Withdraw this protocol's kernel routes, like a real daemon on
+        # exit; routes installed by co-deployed protocols survive.
+        self.sys_state().replace_all([], proto=self.name)
+        self.olsr_state.routes = {}
+
+    @property
+    def route_calculator(self) -> RouteCalculator:
+        """The current route-calculation plug-in (hot-swappable)."""
+        return self.control.child("route-calculator")
+
+    # -- MPR access (direct calls) -------------------------------------------------
+
+    def mpr(self):
+        """The co-deployed MPR CF (resolved dynamically)."""
+        if self.deployment is None:
+            raise LookupError(f"{self.name}: not deployed")
+        mpr = self.deployment.manager.unit(self._mpr_name)
+        if mpr is None:
+            raise LookupError(f"{self.name}: no MPR CF named {self._mpr_name!r}")
+        return mpr
+
+    def symmetric_neighbours(self) -> List[int]:
+        return self.mpr().symmetric_neighbours()
+
+    def two_hop_map(self) -> Dict[int, Set[int]]:
+        return self.mpr().two_hop_map()
+
+    def selector_set(self) -> List[int]:
+        return self.mpr().selectors()
+
+    # -- timing -----------------------------------------------------------------------
+
+    def tc_interval(self) -> float:
+        return self.config("tc_interval")
+
+    def topology_hold_time(self) -> float:
+        return self.config("tc_interval") * self.config("top_hold_multiplier")
+
+    # -- reactions ----------------------------------------------------------------------
+
+    def recompute_routes(self) -> int:
+        return self.route_calculator.install()
+
+    def maybe_trigger_tc(self) -> None:
+        """Pull the next TC forward when the advertised set changed."""
+        advertised = set(self.selector_set())
+        if advertised == self.olsr_state.last_advertised:
+            return
+        now = self.deployment.now
+        delay = self.config("trigger_delay")
+        if now - self._last_trigger < delay:
+            return
+        self._last_trigger = now
+        self.tc_generator.reschedule(delay)
+
+    # -- inspection ------------------------------------------------------------------------
+
+    def routing_table(self) -> Dict[int, tuple]:
+        """dest -> (next hop, hop count), as last installed."""
+        return dict(self.olsr_state.routes)

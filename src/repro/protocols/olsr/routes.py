@@ -1,0 +1,92 @@
+"""OLSR route calculation.
+
+Builds the routing graph from three information sources — the symmetric
+1-hop neighbourhood and the 2-hop map (both read from the MPR CF's S
+element via a direct call, a deliberate cross-layer interaction the event
+architecture permits) and the learned topology set — and runs a
+breadth-first shortest-path computation rooted at the local node.  The
+resulting routes are written to the kernel table through the System CF's
+``ISysState`` interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+
+from repro.opencom.component import Component
+from repro.sim.kernel_table import KernelRoute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.olsr.protocol import OlsrCF
+
+
+class RouteCalculator(Component):
+    """Shortest-path (min hop count) route computation."""
+
+    def __init__(self, cf: "OlsrCF") -> None:
+        super().__init__("route-calculator")
+        self.cf = cf
+        self.computations = 0
+        self.last_route_count = 0
+        self.provide_interface("IRouteCalc", "IRouteCalc")
+
+    def build_graph(self) -> Dict[int, Set[int]]:
+        """Adjacency sets from neighbourhood + 2-hop + topology info."""
+        cf = self.cf
+        local = cf.local_address
+        graph: Dict[int, Set[int]] = {local: set()}
+        sym = cf.symmetric_neighbours()
+        for neighbour in sym:
+            graph[local].add(neighbour)
+            graph.setdefault(neighbour, set()).add(local)
+        for neighbour, two_hops in cf.two_hop_map().items():
+            if neighbour not in graph.get(local, set()):
+                continue
+            for two_hop in two_hops:
+                graph.setdefault(neighbour, set()).add(two_hop)
+                graph.setdefault(two_hop, set())
+        for last_hop, destination in cf.olsr_state.topology_edges():
+            graph.setdefault(last_hop, set()).add(destination)
+            graph.setdefault(destination, set())
+        return graph
+
+    def compute(self) -> Dict[int, Tuple[int, int]]:
+        """BFS from the local node: dest -> (next hop, hop count)."""
+        self.computations += 1
+        cf = self.cf
+        local = cf.local_address
+        graph = self.build_graph()
+        routes: Dict[int, Tuple[int, int]] = {}
+        # (node, first_hop, distance); neighbours sorted for determinism.
+        frontier = deque(
+            (neighbour, neighbour, 1) for neighbour in sorted(graph[local])
+        )
+        visited: Set[int] = {local}
+        while frontier:
+            node, first_hop, distance = frontier.popleft()
+            if node in visited:
+                continue
+            visited.add(node)
+            routes[node] = (first_hop, distance)
+            for successor in sorted(graph.get(node, ())):
+                if successor not in visited:
+                    frontier.append((successor, first_hop, distance + 1))
+        return routes
+
+    def install(self) -> int:
+        """Compute and write the kernel table; returns the route count."""
+        cf = self.cf
+        now = cf.deployment.now
+        cf.olsr_state.purge_topology(now)
+        routes = self.compute()
+        kernel_routes = [
+            KernelRoute(destination, next_hop, metric=hops)
+            for destination, (next_hop, hops) in sorted(routes.items())
+        ]
+        # Replace only OLSR-owned routes: a co-deployed reactive protocol's
+        # kernel entries must survive proactive recomputation.
+        cf.sys_state().replace_all(kernel_routes, proto=cf.name)
+        cf.olsr_state.routes = routes
+        self.last_route_count = len(routes)
+        return len(routes)

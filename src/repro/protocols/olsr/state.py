@@ -1,0 +1,114 @@
+"""The OLSR S element: topology set, ANSN bookkeeping, route mirror."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.manet_protocol import StateComponent
+from repro.protocols.common import seq_increment, seq_newer
+
+
+@dataclass
+class TopologyEntry:
+    """One learned topology tuple: ``destination`` is reachable via
+    ``last_hop`` (the TC originator)."""
+
+    last_hop: int
+    destination: int
+    ansn: int
+    expiry: float
+
+
+class OlsrState(StateComponent):
+    """S element of the OLSR CF."""
+
+    def __init__(self) -> None:
+        super().__init__("olsr-state")
+        #: (last_hop, destination) -> TopologyEntry
+        self.topology: Dict[Tuple[int, int], TopologyEntry] = {}
+        #: freshest ANSN seen per TC originator
+        self.ansn_of: Dict[int, int] = {}
+        #: freshest message seqnum per TC originator (duplicate filtering)
+        self.msg_seq_of: Dict[int, int] = {}
+        #: our Advertised Neighbour Sequence Number
+        self.ansn = 0
+        #: the advertised (MPR selector) set as of the last TC we sent
+        self.last_advertised: Set[int] = set()
+        #: mirror of the routes we last installed: dest -> (next_hop, hops)
+        self.routes: Dict[int, Tuple[int, int]] = {}
+        self.provide_interface("IOLSRState", "IOLSRState")
+
+    # -- ANSN --------------------------------------------------------------
+
+    def bump_ansn(self) -> int:
+        self.ansn = seq_increment(self.ansn)
+        return self.ansn
+
+    def fresher_ansn(self, originator: int, ansn: int) -> bool:
+        """Whether ``ansn`` is at least as fresh as the recorded one."""
+        previous = self.ansn_of.get(originator)
+        return previous is None or not seq_newer(previous, ansn)
+
+    # -- topology set -----------------------------------------------------------
+
+    def record_topology(
+        self, last_hop: int, destinations: List[int], ansn: int, expiry: float
+    ) -> None:
+        """Install the advertised set of one TC, superseding older ANSNs."""
+        self.ansn_of[last_hop] = ansn
+        stale = [
+            key
+            for key, entry in self.topology.items()
+            if entry.last_hop == last_hop and seq_newer(ansn, entry.ansn)
+        ]
+        for key in stale:
+            del self.topology[key]
+        for destination in destinations:
+            self.topology[(last_hop, destination)] = TopologyEntry(
+                last_hop, destination, ansn, expiry
+            )
+
+    def purge_topology(self, now: float) -> int:
+        stale = [key for key, entry in self.topology.items() if entry.expiry <= now]
+        for key in stale:
+            del self.topology[key]
+        return len(stale)
+
+    def drop_originator(self, originator: int) -> None:
+        for key in [k for k in self.topology if k[0] == originator]:
+            del self.topology[key]
+
+    def topology_edges(self) -> List[Tuple[int, int]]:
+        return sorted(self.topology.keys())
+
+    # -- state transfer -------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        return {
+            "topology": {
+                key: (e.ansn, e.expiry) for key, e in self.topology.items()
+            },
+            "ansn_of": dict(self.ansn_of),
+            "msg_seq_of": dict(self.msg_seq_of),
+            "ansn": self.ansn,
+            "last_advertised": set(self.last_advertised),
+            "routes": dict(self.routes),
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        topology = state.get("topology")
+        if isinstance(topology, dict):
+            for (last_hop, destination), (ansn, expiry) in topology.items():
+                self.topology[(last_hop, destination)] = TopologyEntry(
+                    last_hop, destination, ansn, expiry
+                )
+        for attr in ("ansn_of", "msg_seq_of", "routes"):
+            value = state.get(attr)
+            if isinstance(value, dict):
+                getattr(self, attr).update(value)
+        if "ansn" in state:
+            self.ansn = state["ansn"]  # type: ignore[assignment]
+        advertised = state.get("last_advertised")
+        if isinstance(advertised, set):
+            self.last_advertised = set(advertised)

@@ -1,0 +1,28 @@
+"""Real-time backend: the same protocols over real UDP sockets.
+
+Goal 3 of the paper includes shortening "the time to port protocols to
+different operating systems": protocol code written against the System CF
+must not care what grounds the send/receive primitives, the timers, or the
+kernel table (section 4.3 — "the raising and capturing of events is
+ultimately grounded in mechanisms such as network sockets...").
+
+This package is the proof: a second substrate with **wall-clock timers**
+(:mod:`repro.rt.scheduler`) and **UDP sockets on the loopback interface**
+(:mod:`repro.rt.udp`), exposing the same node surface as
+:class:`repro.sim.node.SimNode`.  ``ManetKit`` deployments — and therefore
+OLSR, DYMO, AODV and every variant — run on it *unchanged*:
+
+    net = UdpNetwork()
+    nodes = [net.add_node() for _ in range(3)]
+    net.set_connectivity([(1, 2), (2, 3)])
+    kits = [ManetKit(node) for node in nodes]
+    for kit in kits:
+        kit.load_protocol("dymo")
+    ...                           # real seconds pass, real packets flow
+    net.shutdown()
+"""
+
+from repro.rt.scheduler import RealTimeScheduler
+from repro.rt.udp import UdpNetwork, UdpNode
+
+__all__ = ["RealTimeScheduler", "UdpNetwork", "UdpNode"]

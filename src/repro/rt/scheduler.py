@@ -1,0 +1,98 @@
+"""A wall-clock scheduler with the same surface as the virtual one.
+
+Consumers (the timer service, protocol sources, retry logic) only use
+``now``, ``call_later``, ``call_at`` and the returned handle's ``cancel``
+— so this drop-in replacement is all it takes to move a deployment from
+simulated to real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import traceback
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class _RtCall:
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, when, seq, callback, args):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_RtCall") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class RealTimeScheduler:
+    """Executes callbacks at wall-clock deadlines on a dedicated thread."""
+
+    def __init__(self, name: str = "rt-scheduler") -> None:
+        self._epoch = time.monotonic()
+        self._heap: List[_RtCall] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._running = True
+        self.errors: List[str] = []
+        self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
+        self._thread.start()
+
+    # -- the Scheduler surface the framework consumes -----------------------
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any):
+        return self.call_at(self.now + max(delay, 0.0), callback, *args)
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any):
+        call = _RtCall(when, next(self._seq), callback, args)
+        with self._wake:
+            if not self._running:
+                raise RuntimeError("scheduler is shut down")
+            heapq.heappush(self._heap, call)
+            self._wake.notify()
+        return call
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        with self._wake:
+            self._running = False
+            self._wake.notify_all()
+        self._thread.join(timeout)
+
+    # -- loop --------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                while self._running:
+                    while self._heap and self._heap[0].cancelled:
+                        heapq.heappop(self._heap)
+                    if not self._heap:
+                        self._wake.wait(0.1)
+                        continue
+                    delay = self._heap[0].when - self.now
+                    if delay <= 0:
+                        call = heapq.heappop(self._heap)
+                        break
+                    self._wake.wait(min(delay, 0.1))
+                else:
+                    return
+            try:
+                call.callback(*call.args)
+            except Exception:
+                # A broken callback must not kill every timer on the node.
+                self.errors.append(traceback.format_exc())

@@ -1,0 +1,290 @@
+"""UDP-socket nodes on the loopback interface.
+
+A :class:`UdpNode` exposes the same surface as
+:class:`repro.sim.node.SimNode` — ``scheduler``, ``kernel_table``,
+``ip_forward``, ``send_control``/``add_control_receiver``,
+``install_hooks``, ``send_data``/``reinject``/``add_app_receiver``,
+``battery_level`` and friends — but every frame really crosses a UDP
+socket, timers really wait, and receive processing happens on a real
+socket thread.  The :class:`UdpNetwork` plays the role of the radio
+environment: it assigns ports and enforces a connectivity relation at the
+sender (the MAC-filtering technique of the paper's testbed, section 6).
+
+Wire format per datagram: ``kind(1) | sender(4) | body`` where kind 0 is
+a control frame (body = PacketBB bytes) and kind 1 a data packet
+(``src(4) dst(4) ttl(1) packet_id(4) created(8d) payload``).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.rt.scheduler import RealTimeScheduler
+from repro.sim.kernel_table import (
+    DataPacket,
+    KernelRoutingTable,
+    NetfilterHooks,
+)
+from repro.sim.medium import BROADCAST
+from repro.sim.stats import NetworkStats
+
+_CONTROL = 0
+_DATA = 1
+_HEADER = struct.Struct("!BI")
+_DATA_HEADER = struct.Struct("!IIBId")
+
+
+class UdpNode:
+    """One node bound to a real UDP socket on 127.0.0.1."""
+
+    def __init__(self, network: "UdpNetwork", node_id: int) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.scheduler = network.scheduler
+        self.stats = network.stats
+        self.position = (0.0, 0.0)
+        self.ip_forward = False
+        self.icmp_redirects = True
+        self.kernel_table = KernelRoutingTable(lambda: self.scheduler.now)
+        self.hooks: Optional[NetfilterHooks] = None
+        self._control_receivers: List[Callable[[bytes, int], None]] = []
+        self._link_failure_observers: List[Callable[[int], None]] = []
+        self._app_receivers: List[Callable[[DataPacket], None]] = []
+        self.control_rx = 0
+        self.control_tx = 0
+        self.data_forwarded = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.settimeout(0.1)
+        self.port = self._sock.getsockname()[1]
+        self._running = True
+        self._rx_thread = threading.Thread(
+            target=self._receive_loop, name=f"udp-node-{node_id}", daemon=True
+        )
+        self._rx_thread.start()
+
+    # -- SimNode-compatible attachment surface --------------------------------
+
+    def add_control_receiver(self, receiver, processing_delay: float = 0.0):
+        if processing_delay > 0:
+            original = receiver
+
+            def delayed(payload: bytes, sender: int) -> None:
+                self.scheduler.call_later(processing_delay, original, payload, sender)
+
+            delayed.__wrapped__ = original  # type: ignore[attr-defined]
+            receiver = delayed
+        self._control_receivers.append(receiver)
+
+    def remove_control_receiver(self, receiver) -> None:
+        for installed in list(self._control_receivers):
+            if installed is receiver or getattr(installed, "__wrapped__", None) is receiver:
+                self._control_receivers.remove(installed)
+
+    def add_link_failure_observer(self, observer) -> None:
+        self._link_failure_observers.append(observer)
+
+    def add_app_receiver(self, receiver) -> None:
+        self._app_receivers.append(receiver)
+
+    def install_hooks(self, hooks: Optional[NetfilterHooks]) -> None:
+        self.hooks = hooks
+
+    # -- context surface ----------------------------------------------------------
+
+    def devices(self) -> List[Tuple[str, int]]:
+        return [(f"udp:{self.port}", self.node_id)]
+
+    def battery_level(self) -> float:
+        return 1.0  # mains-powered test nodes
+
+    def cpu_load(self) -> float:
+        return 0.0
+
+    def memory_use(self) -> int:
+        return 4096 + 64 * len(self.kernel_table)
+
+    # -- transmit ------------------------------------------------------------------
+
+    def send_control(self, payload: bytes, link_dst: int = BROADCAST) -> bool:
+        self.control_tx += 1
+        if self.stats is not None:
+            self.stats.note_control_tx(self.node_id, len(payload))
+        datagram = _HEADER.pack(_CONTROL, self.node_id) + payload
+        if link_dst == BROADCAST:
+            for port in self.network.neighbour_ports(self.node_id):
+                self._sock.sendto(datagram, ("127.0.0.1", port))
+            return True
+        port = self.network.port_if_linked(self.node_id, link_dst)
+        if port is None:
+            self._notify_link_failure(link_dst)
+            return False
+        self._sock.sendto(datagram, ("127.0.0.1", port))
+        return True
+
+    def send_data(self, dst: int, payload: bytes = b"", ttl: int = 32) -> bool:
+        packet = DataPacket(
+            src=self.node_id, dst=dst, payload=payload, ttl=ttl,
+            created_at=self.scheduler.now,
+        )
+        if self.stats is not None:
+            self.stats.note_data_sent(self.node_id)
+        return self._route_and_send(packet, originated=True)
+
+    def reinject(self, packet: DataPacket) -> bool:
+        return self._route_and_send(packet, originated=True)
+
+    def _route_and_send(self, packet: DataPacket, originated: bool) -> bool:
+        if packet.dst == self.node_id:
+            self._deliver_local(packet)
+            return True
+        route = self.kernel_table.lookup(packet.dst)
+        if route is None:
+            return self._handle_no_route(packet, originated)
+        if self.hooks is not None and self.hooks.route_used is not None:
+            self.hooks.route_used(packet.dst)
+        port = self.network.port_if_linked(self.node_id, route.next_hop)
+        if port is None:
+            self._notify_link_failure(route.next_hop)
+            return self._handle_no_route(packet, originated)
+        body = _DATA_HEADER.pack(
+            packet.src, packet.dst, packet.ttl, packet.packet_id,
+            packet.created_at,
+        ) + packet.payload
+        self._sock.sendto(
+            _HEADER.pack(_DATA, self.node_id) + body, ("127.0.0.1", port)
+        )
+        return True
+
+    def _handle_no_route(self, packet: DataPacket, originated: bool) -> bool:
+        if self.hooks is not None:
+            if originated and self.hooks.no_route is not None:
+                self.hooks.no_route(packet)
+                return True
+            if not originated and self.hooks.forward_error is not None:
+                self.hooks.forward_error(packet)
+        if self.stats is not None:
+            self.stats.note_data_dropped(self.node_id)
+        return False
+
+    def _deliver_local(self, packet: DataPacket) -> None:
+        if self.stats is not None:
+            self.stats.note_data_delivered(
+                packet, self.scheduler.now - packet.created_at
+            )
+        for receiver in list(self._app_receivers):
+            receiver(packet)
+
+    def _notify_link_failure(self, next_hop: int) -> None:
+        for observer in list(self._link_failure_observers):
+            observer(next_hop)
+
+    # -- receive --------------------------------------------------------------------
+
+    def _receive_loop(self) -> None:
+        while self._running:
+            try:
+                datagram, _addr = self._sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if len(datagram) < _HEADER.size:
+                continue
+            kind, sender = _HEADER.unpack_from(datagram)
+            body = datagram[_HEADER.size:]
+            if kind == _CONTROL:
+                self.control_rx += 1
+                if self.stats is not None:
+                    self.stats.note_control_rx(self.node_id, len(body))
+                for receiver in list(self._control_receivers):
+                    receiver(body, sender)
+            elif kind == _DATA and len(body) >= _DATA_HEADER.size:
+                src, dst, ttl, packet_id, created = _DATA_HEADER.unpack_from(body)
+                packet = DataPacket(
+                    src=src, dst=dst, payload=body[_DATA_HEADER.size:],
+                    ttl=ttl, created_at=created, packet_id=packet_id,
+                )
+                if packet.dst == self.node_id:
+                    self._deliver_local(packet)
+                elif self.ip_forward and packet.ttl > 1:
+                    packet.ttl -= 1
+                    self.data_forwarded += 1
+                    self._route_and_send(packet, originated=False)
+                elif self.stats is not None:
+                    self.stats.note_data_dropped(self.node_id)
+
+    def shutdown(self) -> None:
+        self._running = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._rx_thread.join(timeout=1.0)
+
+
+class UdpNetwork:
+    """The loopback 'radio environment': ports + connectivity filtering."""
+
+    def __init__(self) -> None:
+        self.scheduler = RealTimeScheduler()
+        self.stats = NetworkStats()
+        self._nodes: Dict[int, UdpNode] = {}
+        self._links: Set[Tuple[int, int]] = set()
+        self._next_id = 1
+
+    # -- nodes ----------------------------------------------------------------
+
+    def add_node(self, node_id: Optional[int] = None) -> UdpNode:
+        if node_id is None:
+            node_id = self._next_id
+            while node_id in self._nodes:
+                node_id += 1
+        self._next_id = max(self._next_id, node_id + 1)
+        node = UdpNode(self, node_id)
+        self._nodes[node_id] = node
+        return node
+
+    def node(self, node_id: int) -> UdpNode:
+        return self._nodes[node_id]
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    # -- connectivity (sender-side MAC filtering) ---------------------------------
+
+    def set_connectivity(self, edges) -> None:
+        self._links = set()
+        for a, b in edges:
+            self._links.add((a, b))
+            self._links.add((b, a))
+
+    def set_link(self, a: int, b: int, up: bool = True) -> None:
+        for pair in ((a, b), (b, a)):
+            if up:
+                self._links.add(pair)
+            else:
+                self._links.discard(pair)
+
+    def neighbour_ports(self, sender: int) -> List[int]:
+        return [
+            self._nodes[b].port
+            for (a, b) in self._links
+            if a == sender and b in self._nodes
+        ]
+
+    def port_if_linked(self, sender: int, receiver: int) -> Optional[int]:
+        if (sender, receiver) not in self._links:
+            return None
+        node = self._nodes.get(receiver)
+        return node.port if node is not None else None
+
+    # -- teardown -----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for node in self._nodes.values():
+            node.shutdown()
+        self.scheduler.shutdown()

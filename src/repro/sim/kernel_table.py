@@ -1,0 +1,194 @@
+"""The per-node "kernel" routing table and data-plane forwarding engine.
+
+On the paper's testbed, routing protocols manipulate the Linux kernel
+routing table (through the System CF's ``ISysState`` interface) and DYMO's
+reactive machinery hangs off Netfilter hooks installed by the NetLink
+component (paper sections 4.3 and 5.2).  This module reproduces both:
+
+* :class:`KernelRoutingTable` — destination → (next hop, metric, lifetime)
+  entries, the structure the data plane consults;
+* a forwarding engine driven by :class:`SimNode` with **hook points** that
+  mirror Netfilter's:
+
+  - ``no_route(packet)`` fires when an outgoing/forwarded packet has no
+    route (DYMO buffers the packet and starts a route discovery —
+    ``NO_ROUTE`` event);
+  - ``route_used(destination)`` fires whenever a route carries a packet
+    (DYMO extends route lifetimes — ``ROUTE_UPDATE`` event);
+  - ``forward_error(packet)`` fires when an *intermediate* node cannot
+    forward (DYMO originates a Route Error — ``SEND_ROUTE_ERR`` event).
+
+A node with no hooks installed simply drops the packet, like a kernel with
+no Netfilter rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class DataPacket:
+    """An application-level datagram travelling the data plane."""
+
+    src: int
+    dst: int
+    payload: bytes = b""
+    ttl: int = 32
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def size(self) -> int:
+        return 28 + len(self.payload)  # IP+UDP header analogue + payload
+
+
+@dataclass
+class KernelRoute:
+    """One kernel forwarding entry.
+
+    ``proto`` tags the installing protocol (the analogue of the Linux
+    routing table's ``rtm_protocol`` field) so that a proactive protocol's
+    full-table recomputation replaces only its *own* routes and leaves a
+    co-deployed reactive protocol's entries alone.
+    """
+
+    destination: int
+    next_hop: int
+    metric: int = 1
+    expiry: Optional[float] = None
+    proto: str = ""
+
+    def is_expired(self, now: float) -> bool:
+        return self.expiry is not None and now >= self.expiry
+
+
+class KernelRoutingTable:
+    """The forwarding table the data plane consults.
+
+    Protocols write it through the System CF's ``ISysState`` interface;
+    reading is a plain lookup on the hot path.  Expired entries are treated
+    as absent (and reaped lazily).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._routes: Dict[int, KernelRoute] = {}
+        self._clock = clock
+        self.version = 0  # bumped on every mutation; cheap change detection
+
+    # -- manipulation (ISysState surface) ----------------------------------
+
+    def add_route(
+        self,
+        destination: int,
+        next_hop: int,
+        metric: int = 1,
+        lifetime: Optional[float] = None,
+        proto: str = "",
+    ) -> KernelRoute:
+        expiry = self._clock() + lifetime if lifetime is not None else None
+        route = KernelRoute(destination, next_hop, metric, expiry, proto)
+        self._routes[destination] = route
+        self.version += 1
+        return route
+
+    def del_route(self, destination: int) -> bool:
+        if destination in self._routes:
+            del self._routes[destination]
+            self.version += 1
+            return True
+        return False
+
+    def refresh_route(self, destination: int, lifetime: float) -> bool:
+        """Push the expiry of an existing route ``lifetime`` into the future."""
+        route = self._routes.get(destination)
+        if route is None:
+            return False
+        route.expiry = self._clock() + lifetime
+        self.version += 1
+        return True
+
+    def flush(self) -> int:
+        """Remove every route; returns how many were removed."""
+        count = len(self._routes)
+        self._routes.clear()
+        if count:
+            self.version += 1
+        return count
+
+    def replace_all(
+        self, routes: List[KernelRoute], proto: Optional[str] = None
+    ) -> None:
+        """Atomically install a new table (proactive recomputation).
+
+        With ``proto`` given, only routes owned by that protocol are
+        replaced; entries installed by other protocols survive unless the
+        new table claims the same destination.
+        """
+        if proto is None:
+            self._routes = {route.destination: route for route in routes}
+        else:
+            kept = {
+                destination: route
+                for destination, route in self._routes.items()
+                if route.proto != proto
+            }
+            for route in routes:
+                route.proto = proto
+                kept[route.destination] = route
+            self._routes = kept
+        self.version += 1
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, destination: int) -> Optional[KernelRoute]:
+        route = self._routes.get(destination)
+        if route is None:
+            return None
+        if route.is_expired(self._clock()):
+            del self._routes[destination]
+            self.version += 1
+            return None
+        return route
+
+    def routes(self) -> List[KernelRoute]:
+        """Snapshot of unexpired routes, ordered by destination."""
+        now = self._clock()
+        return [
+            self._routes[d]
+            for d in sorted(self._routes)
+            if not self._routes[d].is_expired(now)
+        ]
+
+    def routes_via(self, next_hop: int) -> List[KernelRoute]:
+        return [r for r in self.routes() if r.next_hop == next_hop]
+
+    def destinations(self) -> List[int]:
+        return [r.destination for r in self.routes()]
+
+    def __len__(self) -> int:
+        return len(self.routes())
+
+    def __contains__(self, destination: int) -> bool:
+        return self.lookup(destination) is not None
+
+
+class NetfilterHooks:
+    """The pluggable hook points on a node's data path.
+
+    At most one hook set is installed per node (mirroring one NetLink
+    kernel module); installing replaces the previous set.
+    """
+
+    def __init__(
+        self,
+        no_route: Optional[Callable[[DataPacket], None]] = None,
+        route_used: Optional[Callable[[int], None]] = None,
+        forward_error: Optional[Callable[[DataPacket], None]] = None,
+    ) -> None:
+        self.no_route = no_route
+        self.route_used = route_used
+        self.forward_error = forward_error

@@ -1,0 +1,197 @@
+"""The simulated wireless medium.
+
+The medium is a directed connectivity relation between node ids with
+per-link properties (latency, loss probability, quality).  It supports the
+two primitives a MANET link layer offers:
+
+* **broadcast** — deliver a frame to every current neighbour of the sender
+  (each link independently applies its latency and loss);
+* **unicast** — deliver to one neighbour, with synchronous success/failure
+  so that a link-layer-feedback style of neighbour detection is possible.
+
+Deliveries are scheduled on the simulation's discrete-event scheduler, so
+in-flight frames still arrive (or are lost) after topology changes, just as
+on a real radio.  All randomness comes from one seeded RNG: identical
+seeds give identical runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import UnknownNode
+from repro.utils.scheduler import Scheduler
+
+#: Destination id used for broadcast frames.
+BROADCAST = -1
+
+DEFAULT_LATENCY = 0.002   # 2 ms per hop: typical 802.11 one-hop time
+DEFAULT_LOSS = 0.0
+
+
+@dataclass
+class Frame:
+    """One link-layer frame in flight.
+
+    ``kind`` is ``"control"`` (payload: PacketBB bytes) or ``"data"``
+    (payload: a :class:`~repro.sim.kernel_table.DataPacket`).  ``sender``
+    is the transmitting node for *this hop*; ``link_dst`` the intended
+    next-hop receiver (or :data:`BROADCAST`).
+    """
+
+    kind: str
+    payload: Any
+    sender: int
+    link_dst: int = BROADCAST
+    size: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LinkProperties:
+    latency: float = DEFAULT_LATENCY
+    loss: float = DEFAULT_LOSS
+    quality: float = 1.0
+
+
+class WirelessMedium:
+    """Connectivity + delivery engine."""
+
+    def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+        self._links: Dict[Tuple[int, int], LinkProperties] = {}
+        self._receivers: Dict[int, Callable[[Frame], None]] = {}
+        # Observers notified on any connectivity change (mobility hooks,
+        # context sensors watching link quality).
+        self._topology_observers: List[Callable[[], None]] = []
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    # -- node registration ---------------------------------------------------
+
+    def register_node(self, node_id: int, receiver: Callable[[Frame], None]) -> None:
+        self._receivers[node_id] = receiver
+
+    def unregister_node(self, node_id: int) -> None:
+        self._receivers.pop(node_id, None)
+        for key in [k for k in self._links if node_id in k]:
+            del self._links[key]
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._receivers)
+
+    def _check_node(self, node_id: int) -> None:
+        if node_id not in self._receivers:
+            raise UnknownNode(f"node {node_id} is not registered on the medium")
+
+    # -- topology management -----------------------------------------------------
+
+    def set_link(
+        self,
+        a: int,
+        b: int,
+        up: bool = True,
+        latency: float = DEFAULT_LATENCY,
+        loss: float = DEFAULT_LOSS,
+        quality: float = 1.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Install or tear down the link ``a -> b`` (and back if symmetric)."""
+        pairs = [(a, b), (b, a)] if symmetric else [(a, b)]
+        for pair in pairs:
+            if up:
+                self._links[pair] = LinkProperties(latency, loss, quality)
+            else:
+                self._links.pop(pair, None)
+        self._notify_topology_change()
+
+    def clear_links(self) -> None:
+        self._links.clear()
+        self._notify_topology_change()
+
+    def set_connectivity(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        latency: float = DEFAULT_LATENCY,
+        loss: float = DEFAULT_LOSS,
+    ) -> None:
+        """Replace the whole topology (MobiEmu-style re-filtering)."""
+        self._links.clear()
+        for a, b in edges:
+            self._links[(a, b)] = LinkProperties(latency, loss)
+            self._links[(b, a)] = LinkProperties(latency, loss)
+        self._notify_topology_change()
+
+    def has_link(self, a: int, b: int) -> bool:
+        return (a, b) in self._links
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return sorted(b for (a, b) in self._links if a == node_id)
+
+    def link_properties(self, a: int, b: int) -> Optional[LinkProperties]:
+        return self._links.get((a, b))
+
+    def link_quality(self, a: int, b: int) -> float:
+        """Delivered fraction for the link (0.0 when down)."""
+        props = self._links.get((a, b))
+        if props is None:
+            return 0.0
+        return props.quality * (1.0 - props.loss)
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        return set(self._links)
+
+    def add_topology_observer(self, observer: Callable[[], None]) -> None:
+        self._topology_observers.append(observer)
+
+    def _notify_topology_change(self) -> None:
+        for observer in self._topology_observers:
+            observer()
+
+    # -- delivery -------------------------------------------------------------
+
+    def broadcast(self, frame: Frame) -> int:
+        """Transmit to every neighbour; returns how many deliveries were scheduled."""
+        self._check_node(frame.sender)
+        self.frames_sent += 1
+        scheduled = 0
+        for neighbor in self.neighbors(frame.sender):
+            if self._attempt(frame, neighbor):
+                scheduled += 1
+        return scheduled
+
+    def unicast(self, frame: Frame) -> bool:
+        """Transmit to ``frame.link_dst``.
+
+        Returns ``False`` immediately when no link exists (the analogue of
+        a link-layer transmission failure, which drives link-layer-feedback
+        neighbour detection).  A ``True`` return means the frame was put on
+        the air; it can still be lost to the link's loss probability.
+        """
+        self._check_node(frame.sender)
+        self.frames_sent += 1
+        if (frame.sender, frame.link_dst) not in self._links:
+            self.frames_lost += 1
+            return False
+        return self._attempt(frame, frame.link_dst)
+
+    def _attempt(self, frame: Frame, receiver_id: int) -> bool:
+        props = self._links[(frame.sender, receiver_id)]
+        if props.loss > 0 and self.rng.random() < props.loss:
+            self.frames_lost += 1
+            return False
+        self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
+        return True
+
+    def _deliver(self, frame: Frame, receiver_id: int) -> None:
+        receiver = self._receivers.get(receiver_id)
+        if receiver is None:
+            # The node left the network while the frame was in flight.
+            self.frames_lost += 1
+            return
+        self.frames_delivered += 1
+        receiver(frame)

@@ -1,0 +1,141 @@
+"""Mobility models.
+
+Mobility drives the dynamic variations in network conditions — size,
+topology, density, movement — that motivate the whole framework approach
+(paper section 1).  A mobility model owns node positions, advances them on
+a fixed tick, and refreshes medium connectivity from the new positions
+(range-based, MobiEmu-style).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.medium import WirelessMedium
+from repro.sim.topology import edges_within_range
+from repro.utils.scheduler import Scheduler
+
+Position = Tuple[float, float]
+
+
+class MobilityModel:
+    """Base: static placement with range-based connectivity refresh."""
+
+    def __init__(
+        self,
+        medium: WirelessMedium,
+        scheduler: Scheduler,
+        positions: Dict[int, Position],
+        radio_range: float,
+        tick: float = 1.0,
+        latency: float = 0.002,
+        loss: float = 0.0,
+    ) -> None:
+        self.medium = medium
+        self.scheduler = scheduler
+        self.positions: Dict[int, Position] = dict(positions)
+        self.radio_range = radio_range
+        self.tick = tick
+        self.latency = latency
+        self.loss = loss
+        self._running = False
+
+    # -- control -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Apply initial connectivity and begin ticking."""
+        self.refresh_connectivity()
+        if not self._running:
+            self._running = True
+            self.scheduler.call_later(self.tick, self._on_tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _on_tick(self) -> None:
+        if not self._running:
+            return
+        self.step(self.tick)
+        self.refresh_connectivity()
+        self.scheduler.call_later(self.tick, self._on_tick)
+
+    # -- model hook -----------------------------------------------------------
+
+    def step(self, dt: float) -> None:
+        """Advance positions by ``dt`` seconds (static model: no-op)."""
+
+    def refresh_connectivity(self) -> None:
+        edges = edges_within_range(self.positions, self.radio_range)
+        self.medium.set_connectivity(edges, self.latency, self.loss)
+
+
+class StaticPlacement(MobilityModel):
+    """No movement; connectivity fixed by initial positions."""
+
+
+class RandomWaypoint(MobilityModel):
+    """The classic random-waypoint model.
+
+    Each node picks a uniform destination in the area, moves toward it at a
+    uniform speed from ``[speed_min, speed_max]``, pauses ``pause`` seconds,
+    then repeats.  Deterministic under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        medium: WirelessMedium,
+        scheduler: Scheduler,
+        node_ids: Sequence[int],
+        area: float,
+        radio_range: float,
+        speed_min: float = 0.5,
+        speed_max: float = 2.0,
+        pause: float = 0.0,
+        tick: float = 1.0,
+        seed: int = 0,
+        positions: Optional[Dict[int, Position]] = None,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.area = area
+        if positions is None:
+            positions = {
+                nid: (self.rng.uniform(0, area), self.rng.uniform(0, area))
+                for nid in node_ids
+            }
+        super().__init__(medium, scheduler, positions, radio_range, tick)
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.pause = pause
+        self._targets: Dict[int, Position] = {}
+        self._speeds: Dict[int, float] = {}
+        self._pause_until: Dict[int, float] = {}
+        for nid in self.positions:
+            self._pick_waypoint(nid)
+
+    def _pick_waypoint(self, nid: int) -> None:
+        self._targets[nid] = (
+            self.rng.uniform(0, self.area),
+            self.rng.uniform(0, self.area),
+        )
+        self._speeds[nid] = self.rng.uniform(self.speed_min, self.speed_max)
+
+    def step(self, dt: float) -> None:
+        now = self.scheduler.now
+        for nid, (x, y) in list(self.positions.items()):
+            if self._pause_until.get(nid, 0.0) > now:
+                continue
+            tx, ty = self._targets[nid]
+            dx, dy = tx - x, ty - y
+            dist = math.hypot(dx, dy)
+            travel = self._speeds[nid] * dt
+            if travel >= dist:
+                self.positions[nid] = (tx, ty)
+                self._pause_until[nid] = now + self.pause
+                self._pick_waypoint(nid)
+            else:
+                self.positions[nid] = (
+                    x + dx / dist * travel,
+                    y + dy / dist * travel,
+                )

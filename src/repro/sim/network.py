@@ -1,0 +1,179 @@
+"""The :class:`Simulation` facade.
+
+Wires scheduler, medium, nodes, topology control, mobility and statistics
+into one object, and provides traffic generation plus a drain-aware run
+loop: after every discrete event, registered drain hooks run so that
+deployments using threaded concurrency models reach quiescence before
+simulated time advances — keeping runs deterministic under every model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import UnknownNode
+from repro.sim.medium import WirelessMedium
+from repro.sim.node import BatteryModel, SimNode
+from repro.sim.stats import NetworkStats
+from repro.sim.topology import TopologyController
+from repro.utils.scheduler import Scheduler
+from repro.utils.timers import TimerService
+
+
+class CBRFlow:
+    """A constant-bit-rate data flow between two nodes."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        src: int,
+        dst: int,
+        interval: float,
+        payload: bytes,
+        count: Optional[int],
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.interval = interval
+        self.payload = payload
+        self.remaining = count
+        self.sent = 0
+        self._stopped = False
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        if self.remaining is not None and self.sent >= self.remaining:
+            return
+        self.sim.node(self.src).send_data(self.dst, self.payload)
+        self.sent += 1
+        if self.remaining is None or self.sent < self.remaining:
+            self.sim.scheduler.call_later(self.interval, self._emit)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class Simulation:
+    """One simulated MANET: scheduler + medium + nodes + traffic + stats."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: float = 0.002,
+        loss: float = 0.0,
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.medium = WirelessMedium(self.scheduler, seed=seed)
+        self.stats = NetworkStats()
+        self.timers = TimerService(self.scheduler, seed=seed)
+        self.topology = TopologyController(self.medium, latency=latency, loss=loss)
+        self._nodes: Dict[int, SimNode] = {}
+        self._next_id = itertools.count(1)
+        self._drain_hooks: List[Callable[[], None]] = []
+        self.flows: List[CBRFlow] = []
+
+    # -- node management -----------------------------------------------------
+
+    def add_node(
+        self,
+        node_id: Optional[int] = None,
+        position: Tuple[float, float] = (0.0, 0.0),
+        battery: Optional[BatteryModel] = None,
+    ) -> SimNode:
+        if node_id is None:
+            node_id = next(self._next_id)
+            while node_id in self._nodes:
+                node_id = next(self._next_id)
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already exists")
+        node = SimNode(
+            node_id,
+            self.medium,
+            self.scheduler,
+            stats=self.stats,
+            position=position,
+            battery=battery,
+        )
+        self._nodes[node_id] = node
+        return node
+
+    def add_nodes(self, count: int) -> List[SimNode]:
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, node_id: int) -> None:
+        node = self.node(node_id)
+        node.shutdown()
+        del self._nodes[node_id]
+
+    def node(self, node_id: int) -> SimNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNode(f"no node {node_id} in simulation") from None
+
+    def nodes(self) -> List[SimNode]:
+        return [self._nodes[nid] for nid in sorted(self._nodes)]
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    # -- drain hooks (determinism under threaded concurrency models) ----------
+
+    def add_drain_hook(self, hook: Callable[[], None]) -> None:
+        self._drain_hooks.append(hook)
+
+    def _drain(self) -> None:
+        for hook in self._drain_hooks:
+            hook()
+
+    # -- running ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, duration: float, max_events: int = 2_000_000) -> int:
+        """Advance the simulation by ``duration`` seconds."""
+        deadline = self.scheduler.now + duration
+        executed = 0
+        while executed < max_events:
+            upcoming = self.scheduler.next_event_time()
+            if upcoming is None or upcoming > deadline:
+                break
+            self.scheduler.step()
+            executed += 1
+            if self._drain_hooks:
+                self._drain()
+        if self.scheduler.clock.now() < deadline:
+            self.scheduler.clock.set_time(deadline)
+        return executed
+
+    def run_until_idle(self, max_events: int = 2_000_000) -> int:
+        executed = 0
+        while executed < max_events and self.scheduler.step():
+            executed += 1
+            if self._drain_hooks:
+                self._drain()
+        return executed
+
+    # -- traffic --------------------------------------------------------------------
+
+    def start_cbr(
+        self,
+        src: int,
+        dst: int,
+        interval: float = 0.25,
+        payload: bytes = b"\x00" * 64,
+        start_delay: float = 0.0,
+        count: Optional[int] = None,
+    ) -> CBRFlow:
+        """Start a constant-bit-rate flow ``src -> dst``."""
+        self.node(src)
+        self.node(dst)
+        flow = CBRFlow(self, src, dst, interval, payload, count)
+        self.flows.append(flow)
+        self.scheduler.call_later(start_delay, flow._emit)
+        return flow

@@ -1,0 +1,99 @@
+"""Network-wide statistics.
+
+The counters the evaluation needs: control overhead (frames and bytes, per
+node and total), data delivery ratio, end-to-end latency distribution, and
+drop accounting.  All quantities are observed in simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.sim.kernel_table import DataPacket
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class NetworkStats:
+    """Mutable counters; one instance per simulation."""
+
+    def __init__(self) -> None:
+        self.control_tx_frames: Dict[int, int] = defaultdict(int)
+        self.control_tx_bytes: Dict[int, int] = defaultdict(int)
+        self.control_rx_frames: Dict[int, int] = defaultdict(int)
+        self.control_rx_bytes: Dict[int, int] = defaultdict(int)
+        self.data_sent: Dict[int, int] = defaultdict(int)
+        self.data_delivered_count = 0
+        self.data_dropped: Dict[int, int] = defaultdict(int)
+        self.latencies: List[float] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def note_control_tx(self, node_id: int, size: int) -> None:
+        self.control_tx_frames[node_id] += 1
+        self.control_tx_bytes[node_id] += size
+
+    def note_control_rx(self, node_id: int, size: int) -> None:
+        self.control_rx_frames[node_id] += 1
+        self.control_rx_bytes[node_id] += size
+
+    def note_data_sent(self, node_id: int) -> None:
+        self.data_sent[node_id] += 1
+
+    def note_data_delivered(self, packet: DataPacket, latency: float) -> None:
+        self.data_delivered_count += 1
+        self.latencies.append(latency)
+
+    def note_data_dropped(self, node_id: int) -> None:
+        self.data_dropped[node_id] += 1
+
+    # -- derived metrics --------------------------------------------------------
+
+    @property
+    def total_control_frames(self) -> int:
+        return sum(self.control_tx_frames.values())
+
+    @property
+    def total_control_bytes(self) -> int:
+        return sum(self.control_tx_bytes.values())
+
+    @property
+    def total_data_sent(self) -> int:
+        return sum(self.data_sent.values())
+
+    @property
+    def total_data_dropped(self) -> int:
+        return sum(self.data_dropped.values())
+
+    def delivery_ratio(self) -> float:
+        sent = self.total_data_sent
+        if sent == 0:
+            return 1.0
+        return self.data_delivered_count / sent
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            raise ValueError("no packets delivered yet")
+        return sum(self.latencies) / len(self.latencies)
+
+    def latency_percentile(self, fraction: float) -> float:
+        return percentile(self.latencies, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "control_frames": float(self.total_control_frames),
+            "control_bytes": float(self.total_control_bytes),
+            "data_sent": float(self.total_data_sent),
+            "data_delivered": float(self.data_delivered_count),
+            "data_dropped": float(self.total_data_dropped),
+            "delivery_ratio": self.delivery_ratio(),
+            "mean_latency": self.mean_latency() if self.latencies else 0.0,
+        }

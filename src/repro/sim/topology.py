@@ -1,0 +1,143 @@
+"""Topology builders and MobiEmu-style connectivity control.
+
+The paper's testbed arranged its 5 nodes "in a linear topology: we used a
+combination of MAC-level filtering and the MobiEmu emulator to emulate the
+required multi-hop connectivity" (section 6).  :func:`linear_chain` is that
+topology; the other builders provide the larger/denser networks used by the
+ablation benchmarks (fish-eye vs diameter, MPR vs density).
+
+Builders return edge lists over node ids; :class:`TopologyController`
+applies them to a medium and supports dynamic re-filtering, which is how
+tests emulate node joins, link breaks and partition events.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+Edge = Tuple[int, int]
+
+
+def linear_chain(node_ids: Sequence[int]) -> List[Edge]:
+    """The paper's testbed: a chain where only adjacent nodes hear each other."""
+    return [(a, b) for a, b in zip(node_ids, node_ids[1:])]
+
+
+def ring(node_ids: Sequence[int]) -> List[Edge]:
+    edges = linear_chain(node_ids)
+    if len(node_ids) > 2:
+        edges.append((node_ids[-1], node_ids[0]))
+    return edges
+
+
+def full_mesh(node_ids: Sequence[int]) -> List[Edge]:
+    ids = list(node_ids)
+    return [(a, b) for i, a in enumerate(ids) for b in ids[i + 1:]]
+
+
+def grid(width: int, height: int, first_id: int = 0) -> List[Edge]:
+    """A width x height lattice; node ids assigned row-major from first_id."""
+    def nid(x: int, y: int) -> int:
+        return first_id + y * width + x
+
+    edges: List[Edge] = []
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                edges.append((nid(x, y), nid(x + 1, y)))
+            if y + 1 < height:
+                edges.append((nid(x, y), nid(x, y + 1)))
+    return edges
+
+
+def random_geometric(
+    node_ids: Sequence[int],
+    radius: float,
+    area: float = 1.0,
+    seed: int = 0,
+) -> Tuple[List[Edge], dict]:
+    """Random geometric graph: nodes uniform in a square, linked within radius.
+
+    Returns (edges, positions).  Uses networkx's generator with positions
+    scaled to ``area`` so mobility models can take over the placement.
+    """
+    ids = list(node_ids)
+    graph = nx.random_geometric_graph(
+        len(ids), radius / area, seed=seed
+    )
+    mapping = {i: ids[i] for i in range(len(ids))}
+    positions = {
+        mapping[i]: (pos[0] * area, pos[1] * area)
+        for i, pos in nx.get_node_attributes(graph, "pos").items()
+    }
+    edges = [(mapping[a], mapping[b]) for a, b in graph.edges()]
+    return edges, positions
+
+
+def edges_within_range(
+    positions: dict, radio_range: float
+) -> List[Edge]:
+    """Recompute connectivity from positions (mobility support)."""
+    ids = sorted(positions)
+    edges: List[Edge] = []
+    for i, a in enumerate(ids):
+        ax, ay = positions[a]
+        for b in ids[i + 1:]:
+            bx, by = positions[b]
+            if math.hypot(ax - bx, ay - by) <= radio_range:
+                edges.append((a, b))
+    return edges
+
+
+def to_graph(node_ids: Iterable[int], edges: Iterable[Edge]) -> nx.Graph:
+    """networkx view of a topology (used by route-correctness tests)."""
+    graph = nx.Graph()
+    graph.add_nodes_from(node_ids)
+    graph.add_edges_from(edges)
+    return graph
+
+
+def diameter(node_ids: Iterable[int], edges: Iterable[Edge]) -> int:
+    graph = to_graph(node_ids, edges)
+    return nx.diameter(graph)
+
+
+class TopologyController:
+    """MobiEmu-style dynamic connectivity management for a medium."""
+
+    def __init__(self, medium, latency: float = 0.002, loss: float = 0.0) -> None:
+        self.medium = medium
+        self.latency = latency
+        self.loss = loss
+        self._edges: List[Edge] = []
+
+    def apply(self, edges: Iterable[Edge]) -> None:
+        """Replace the connectivity with ``edges`` (symmetric)."""
+        self._edges = list(edges)
+        self.medium.set_connectivity(self._edges, self.latency, self.loss)
+
+    def add_edge(self, a: int, b: int) -> None:
+        self._edges.append((a, b))
+        self.medium.set_link(a, b, up=True, latency=self.latency, loss=self.loss)
+
+    def break_edge(self, a: int, b: int) -> None:
+        self._edges = [
+            e for e in self._edges if set(e) != {a, b}
+        ]
+        self.medium.set_link(a, b, up=False)
+
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def partition(self, group_a: Sequence[int], group_b: Sequence[int]) -> None:
+        """Cut every edge between the two groups."""
+        group_a_set, group_b_set = set(group_a), set(group_b)
+        for a, b in list(self._edges):
+            if (a in group_a_set and b in group_b_set) or (
+                a in group_b_set and b in group_a_set
+            ):
+                self.break_edge(a, b)

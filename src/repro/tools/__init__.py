@@ -1,0 +1,5 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.scenario`` — run a routing scenario (protocol x
+  topology x traffic x impairments) and print a statistics report.
+"""

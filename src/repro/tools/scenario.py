@@ -1,0 +1,220 @@
+"""Scenario runner: one command, one simulated MANET experiment.
+
+Examples::
+
+    python -m repro.tools.scenario --protocol dymo --topology chain:8 \
+        --traffic 1:8 --duration 30
+    python -m repro.tools.scenario --protocol olsr --topology grid:3x3 \
+        --traffic 1:9 --traffic 3:7 --loss 0.1
+    python -m repro.tools.scenario --protocol zrp --topology chain:12 \
+        --traffic 1:12 --zone-radius 2
+    python -m repro.tools.scenario --protocol dymo --topology random:15:0.45 \
+        --mobility 10:4:1.0 --traffic 1:15 --duration 60
+
+The runner prints per-flow delivery, network-wide control overhead and
+latency statistics — the quantities the paper's evaluation is built from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.analysis.tables import render_table
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+from repro.sim.mobility import RandomWaypoint
+
+import repro.protocols  # noqa: F401
+
+PROTOCOL_CHOICES = ("olsr", "dymo", "aodv", "zrp", "olsr+dymo")
+
+
+def parse_topology(spec: str, sim: Simulation) -> List[int]:
+    """Build the topology described by ``spec``; returns the node ids."""
+    kind, _, rest = spec.partition(":")
+    if kind == "chain":
+        count = int(rest)
+        sim.add_nodes(count)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+    elif kind == "ring":
+        count = int(rest)
+        sim.add_nodes(count)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.ring(ids))
+    elif kind == "grid":
+        width, _, height = rest.partition("x")
+        sim.add_nodes(int(width) * int(height))
+        ids = sim.node_ids()
+        sim.topology.apply(topology.grid(int(width), int(height), first_id=ids[0]))
+    elif kind == "random":
+        count_text, _, radius_text = rest.partition(":")
+        count = int(count_text)
+        radius = float(radius_text or "0.45")
+        sim.add_nodes(count)
+        ids = sim.node_ids()
+        edges, positions = topology.random_geometric(ids, radius, seed=1)
+        sim.topology.apply(edges)
+        for node_id, position in positions.items():
+            sim.node(node_id).position = position
+    else:
+        raise ValueError(
+            f"unknown topology {spec!r}; use chain:N, ring:N, grid:WxH "
+            "or random:N[:radius]"
+        )
+    return ids
+
+
+def parse_flow(spec: str) -> Tuple[int, int, float]:
+    """``src:dst[:interval]`` -> (src, dst, interval)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"flow must be src:dst[:interval], got {spec!r}")
+    interval = float(parts[2]) if len(parts) == 3 else 0.5
+    return int(parts[0]), int(parts[1]), interval
+
+
+def deploy(protocol: str, sim: Simulation, ids: List[int], args) -> None:
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        if protocol == "dymo":
+            kit.load_protocol("dymo")
+        elif protocol == "aodv":
+            kit.load_protocol("aodv")
+        elif protocol == "olsr":
+            kit.load_protocol("mpr", hello_interval=args.hello_interval)
+            kit.load_protocol("olsr", tc_interval=args.tc_interval)
+        elif protocol == "olsr+dymo":
+            from repro.protocols.dymo.flooding import apply_optimised_flooding
+
+            kit.load_protocol("mpr", hello_interval=args.hello_interval)
+            kit.load_protocol("olsr", tc_interval=args.tc_interval)
+            kit.load_protocol("dymo")
+            apply_optimised_flooding(kit)
+        elif protocol == "zrp":
+            from repro.protocols.hybrid import deploy_zrp
+
+            deploy_zrp(
+                kit,
+                zone_radius=args.zone_radius,
+                hello_interval=args.hello_interval,
+                tc_interval=args.tc_interval,
+            )
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.scenario",
+        description="Run a MANETKit routing scenario and report statistics.",
+    )
+    parser.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="dymo")
+    parser.add_argument(
+        "--topology", default="chain:5",
+        help="chain:N | ring:N | grid:WxH | random:N[:radius]",
+    )
+    parser.add_argument(
+        "--traffic", action="append", default=[], metavar="SRC:DST[:INTERVAL]",
+        help="CBR flow (repeatable); defaults to first->last node",
+    )
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--warmup", type=float, default=10.0,
+                        help="settling time before traffic starts")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="per-link loss probability")
+    parser.add_argument("--latency", type=float, default=0.002,
+                        help="per-link latency in seconds")
+    parser.add_argument(
+        "--mobility", metavar="AREA:RANGE:SPEED", default=None,
+        help="random-waypoint mobility, e.g. 10:4:1.0",
+    )
+    parser.add_argument("--hello-interval", type=float, default=0.5)
+    parser.add_argument("--tc-interval", type=float, default=1.0)
+    parser.add_argument("--zone-radius", type=int, default=2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
+    sim.topology.latency = args.latency
+    sim.topology.loss = args.loss
+    try:
+        ids = parse_topology(args.topology, sim)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    mobility = None
+    if args.mobility:
+        try:
+            area, radio_range, speed = (float(x) for x in args.mobility.split(":"))
+        except ValueError:
+            print(f"error: bad --mobility {args.mobility!r}", file=sys.stderr)
+            return 2
+        mobility = RandomWaypoint(
+            sim.medium, sim.scheduler, ids, area=area, radio_range=radio_range,
+            speed_min=speed / 2, speed_max=speed, seed=args.seed,
+        )
+        mobility.start()
+
+    deploy(args.protocol, sim, ids, args)
+    sim.run(args.warmup)
+
+    flow_specs = args.traffic or [f"{ids[0]}:{ids[-1]}"]
+    deliveries = {}
+    flows = []
+    for spec in flow_specs:
+        try:
+            src, dst, interval = parse_flow(spec)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        received: List[object] = []
+        sim.node(dst).add_app_receiver(received.append)
+        deliveries[(src, dst)] = received
+        flows.append(sim.start_cbr(src, dst, interval=interval))
+
+    sim.run(args.duration)
+    for flow in flows:
+        flow.stop()
+    sim.run(1.0)  # drain in-flight packets
+    if mobility is not None:
+        mobility.stop()
+
+    stats = sim.stats
+    flow_rows = [
+        [f"{src} -> {dst}", flow.sent, len(deliveries[(src, dst)]),
+         f"{len(deliveries[(src, dst)]) / max(flow.sent, 1):.0%}"]
+        for flow, (src, dst) in zip(flows, deliveries)
+    ]
+    print(render_table(
+        f"Scenario: {args.protocol} on {args.topology} "
+        f"({args.duration:.0f}s, seed {args.seed}"
+        + (f", loss {args.loss:.0%}" if args.loss else "")
+        + (", mobility on" if mobility else "") + ")",
+        ["flow", "sent", "delivered", "ratio"],
+        flow_rows,
+    ))
+    latency_line = (
+        f"latency mean {stats.mean_latency() * 1000:.1f} ms, "
+        f"p95 {stats.latency_percentile(0.95) * 1000:.1f} ms"
+        if stats.latencies
+        else "latency: no packets delivered"
+    )
+    print(
+        f"\ncontrol: {stats.total_control_frames} frames, "
+        f"{stats.total_control_bytes} bytes "
+        f"({stats.total_control_bytes / (args.warmup + args.duration + 1):.0f} B/s)"
+    )
+    print(latency_line)
+    print(f"overall delivery ratio: {stats.delivery_ratio():.0%}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Generic utility components shared across the framework.
+
+MANETKit "provides a wide range of other utility components/CFs such as
+timers, threadpools, routing tables and queues" (paper section 4.3).  This
+package holds those utilities plus the virtual clock / discrete-event
+scheduler that ground all timing in the simulated deployments.
+"""
+
+from repro.utils.clock import Clock, VirtualClock, WallClock
+from repro.utils.scheduler import Scheduler, ScheduledCall
+from repro.utils.timers import TimerService, Timer
+from repro.utils.queues import EventQueue
+from repro.utils.routing_table import Route, RoutingTable
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "Scheduler",
+    "ScheduledCall",
+    "TimerService",
+    "Timer",
+    "EventQueue",
+    "Route",
+    "RoutingTable",
+]

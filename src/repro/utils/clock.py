@@ -1,0 +1,61 @@
+"""Clock abstractions.
+
+All time-dependent behaviour in the library is expressed against a
+:class:`Clock` so that protocol code runs identically on simulated
+(virtual) time and on wall-clock time.  The discrete-event simulator uses
+:class:`VirtualClock`; threading-oriented tests and interactive use can use
+:class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """A source of monotonically non-decreasing timestamps (seconds)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock for discrete-event simulation.
+
+    Time only moves when :meth:`advance` or :meth:`set_time` is called,
+    which the scheduler does as it consumes events.  This makes every
+    simulation run fully deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set_time(self, timestamp: float) -> None:
+        """Jump directly to ``timestamp`` (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+
+class WallClock(Clock):
+    """Real time, via :func:`time.monotonic`."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch

@@ -1,0 +1,88 @@
+"""FIFO event queue utility component.
+
+Used by the thread-per-ManetProtocol concurrency model (each protocol
+instance owns a dedicated FIFO queue of waiting events, paper section 4.4)
+and by the Netlink component to buffer data packets awaiting route
+discovery.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class EventQueue(Generic[T]):
+    """A thread-safe bounded FIFO queue.
+
+    Unlike :class:`queue.Queue` this exposes non-blocking drains and a
+    drop-oldest overflow policy, both of which the framework needs: the
+    simulator drains queues deterministically, and packet buffers under
+    route discovery must bound memory on constrained nodes.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._items: Deque[T] = deque()
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self.dropped = 0
+
+    def push(self, item: T) -> bool:
+        """Append ``item``; returns ``False`` if an old item was dropped."""
+        with self._not_empty:
+            clean = True
+            if self.maxlen is not None and len(self._items) >= self.maxlen:
+                self._items.popleft()
+                self.dropped += 1
+                clean = False
+            self._items.append(item)
+            self._not_empty.notify()
+            return clean
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Remove and return the oldest item.
+
+        With ``timeout=None`` the call is non-blocking and returns ``None``
+        on an empty queue; with a timeout it blocks up to that many wall
+        seconds (used by dedicated protocol threads).
+        """
+        with self._not_empty:
+            if not self._items and timeout is not None:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def drain(self) -> List[T]:
+        """Atomically remove and return every queued item in FIFO order."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def peek(self) -> Optional[T]:
+        with self._lock:
+            return self._items[0] if self._items else None
+
+    def clear(self) -> int:
+        """Discard everything; returns the number of items discarded."""
+        with self._lock:
+            count = len(self._items)
+            self._items.clear()
+            return count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[T]:
+        """Snapshot iteration (does not consume the queue)."""
+        with self._lock:
+            return iter(list(self._items))

@@ -1,0 +1,119 @@
+"""Generic routing-table template.
+
+MANETKit ships "routing table templates" among its generic tools (paper
+section 5.1).  Both OLSR and DYMO reuse this component for their
+protocol-level route caches; the *kernel* routing table that the data plane
+consults lives in :mod:`repro.sim.kernel_table` and is written through the
+System CF's ``ISysState`` interface.
+
+Routes carry the fields common across MANET protocols: destination, next
+hop, hop count (metric), a sequence number for freshness comparison, a
+validity deadline, and free-form per-protocol flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Route:
+    """One routing-table entry."""
+
+    destination: int
+    next_hop: int
+    hop_count: int = 1
+    seqnum: Optional[int] = None
+    expiry: Optional[float] = None
+    valid: bool = True
+    flags: Dict[str, object] = field(default_factory=dict)
+
+    def is_expired(self, now: float) -> bool:
+        return self.expiry is not None and now >= self.expiry
+
+    def copy(self) -> "Route":
+        return replace(self, flags=dict(self.flags))
+
+
+class RoutingTable:
+    """Destination-indexed route store with lifetime management.
+
+    The table never hands out internal mutable state: lookups return the
+    stored :class:`Route` object (protocols update lifetimes in place, which
+    is the common case), while :meth:`snapshot` returns defensive copies for
+    inspection.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._routes: Dict[int, Route] = {}
+        self._clock = clock if clock is not None else (lambda: 0.0)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, route: Route) -> Route:
+        """Insert or overwrite the route for ``route.destination``."""
+        self._routes[route.destination] = route
+        return route
+
+    def remove(self, destination: int) -> Optional[Route]:
+        """Delete and return the route for ``destination`` if present."""
+        return self._routes.pop(destination, None)
+
+    def invalidate(self, destination: int) -> bool:
+        """Mark the route invalid (kept for seqnum memory); True if found."""
+        route = self._routes.get(destination)
+        if route is None:
+            return False
+        route.valid = False
+        return True
+
+    def purge_expired(self) -> List[Route]:
+        """Drop every expired route; returns the dropped routes."""
+        now = self._clock()
+        dead = [r for r in self._routes.values() if r.is_expired(now)]
+        for route in dead:
+            del self._routes[route.destination]
+        return dead
+
+    def clear(self) -> None:
+        self._routes.clear()
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, destination: int) -> Optional[Route]:
+        """Return the valid, unexpired route for ``destination`` or None."""
+        route = self._routes.get(destination)
+        if route is None or not route.valid:
+            return None
+        if route.is_expired(self._clock()):
+            return None
+        return route
+
+    def get(self, destination: int) -> Optional[Route]:
+        """Return the stored entry even if invalid or expired."""
+        return self._routes.get(destination)
+
+    def routes_via(self, next_hop: int) -> List[Route]:
+        """Every valid route whose next hop is ``next_hop``."""
+        return [
+            r for r in self._routes.values() if r.valid and r.next_hop == next_hop
+        ]
+
+    def destinations(self) -> List[int]:
+        return list(self._routes.keys())
+
+    def snapshot(self) -> List[Route]:
+        """Defensive copies of all entries, ordered by destination."""
+        return [
+            self._routes[dest].copy() for dest in sorted(self._routes.keys())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, destination: int) -> bool:
+        return destination in self._routes
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(list(self._routes.values()))

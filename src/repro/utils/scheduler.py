@@ -1,0 +1,159 @@
+"""Discrete-event scheduler over a :class:`~repro.utils.clock.VirtualClock`.
+
+The scheduler is the single ordering authority for a simulation: packet
+deliveries, protocol timers, mobility steps and context-sensor polls are all
+scheduled calls.  Events with equal timestamps run in insertion order, which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.utils.clock import VirtualClock
+
+
+class ScheduledCall:
+    """Handle to a scheduled callback; allows cancellation."""
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.when:.6f} {state} {self.callback!r}>"
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler.
+
+    The scheduler owns a :class:`VirtualClock` and advances it as it pops
+    events.  ``run_until`` / ``run_for`` are the main driving loops; ``step``
+    executes exactly one event, which the tests use for fine-grained
+    assertions.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[ScheduledCall] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledCall:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past: {when} < {self.clock.now()}"
+            )
+        call = ScheduledCall(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, call)
+        return call
+
+    def call_later(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> ScheduledCall:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.clock.now() + delay, callback, *args)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def executed_count(self) -> int:
+        """Number of callbacks executed so far (cancelled ones excluded)."""
+        return self._executed
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled calls still queued."""
+        return sum(1 for call in self._heap if not call.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending call, or ``None`` if idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].when
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest pending call.
+
+        Returns ``True`` if a callback ran, ``False`` if the queue was
+        empty.  The clock is advanced to the callback's timestamp before it
+        runs.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        call = heapq.heappop(self._heap)
+        self.clock.set_time(call.when)
+        self._executed += 1
+        call.callback(*call.args)
+        return True
+
+    def run_until(self, deadline: float, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps ``<= deadline``; advance clock to it.
+
+        Returns the number of callbacks executed.  ``max_events`` is a
+        safety valve against runaway event storms in tests.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            upcoming = self.next_event_time()
+            if upcoming is None or upcoming > deadline:
+                break
+            self.step()
+            executed += 1
+        if self.clock.now() < deadline:
+            self.clock.set_time(deadline)
+        return executed
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run events for ``duration`` simulated seconds from now."""
+        return self.run_until(self.clock.now() + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain every pending event regardless of timestamp."""
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        return executed
+
+    # -- internals --------------------------------------------------------
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

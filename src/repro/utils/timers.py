@@ -1,0 +1,130 @@
+"""Timer utility component.
+
+Ad-hoc routing protocols are timer-driven: HELLO and TC emission, route
+lifetime expiry, RREQ retry backoff and duplicate-set garbage collection all
+hang off timers.  MANETKit provides timers as one of its generic utility
+components (paper section 4.3); protocol Event Source components are
+"typically driven by a timer" (section 4.2).
+
+The :class:`TimerService` wraps a :class:`~repro.utils.scheduler.Scheduler`
+and adds periodic timers with optional deterministic jitter (MANET RFCs
+mandate jitter on periodic control traffic to avoid synchronised floods).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.utils.scheduler import ScheduledCall, Scheduler
+
+
+class Timer:
+    """A one-shot or periodic timer handle."""
+
+    def __init__(
+        self,
+        service: "TimerService",
+        interval: float,
+        callback: Callable[[], Any],
+        periodic: bool,
+        jitter: float,
+    ) -> None:
+        self._service = service
+        self.interval = interval
+        self.callback = callback
+        self.periodic = periodic
+        self.jitter = jitter
+        self._call: Optional[ScheduledCall] = None
+        self._stopped = False
+        self.fire_count = 0
+
+    # -- control ----------------------------------------------------------
+
+    def start(self) -> "Timer":
+        """Arm the timer (idempotent if already armed)."""
+        if self._call is None and not self._stopped:
+            self._schedule()
+        return self
+
+    def stop(self) -> None:
+        """Disarm permanently; a stopped timer cannot be restarted."""
+        self._stopped = True
+        if self._call is not None:
+            self._call.cancel()
+            self._call = None
+
+    def restart(self, interval: Optional[float] = None) -> None:
+        """Re-arm from now, optionally with a new interval."""
+        if self._call is not None:
+            self._call.cancel()
+            self._call = None
+        self._stopped = False
+        if interval is not None:
+            self.interval = interval
+        self._schedule()
+
+    @property
+    def active(self) -> bool:
+        return self._call is not None and not self._stopped
+
+    # -- internals --------------------------------------------------------
+
+    def _schedule(self) -> None:
+        delay = self.interval
+        if self.jitter > 0:
+            # Jitter per RFC 3626 section 18: uniformly subtract up to
+            # ``jitter`` fraction of the interval.
+            delay -= self._service.rng.uniform(0, self.jitter) * self.interval
+        self._call = self._service.scheduler.call_later(max(delay, 0.0), self._fire)
+
+    def _fire(self) -> None:
+        self._call = None
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self.callback()
+        if self.periodic and not self._stopped:
+            self._schedule()
+
+
+class TimerService:
+    """Factory for timers bound to one scheduler.
+
+    A :class:`TimerService` is installed per node (the System CF exposes it
+    through its ``IScheduler`` interface) so that every protocol on the node
+    shares the node's single notion of time.
+    """
+
+    def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def one_shot(self, delay: float, callback: Callable[[], Any]) -> Timer:
+        """Create and start a one-shot timer firing after ``delay``."""
+        timer = Timer(self, delay, callback, periodic=False, jitter=0.0)
+        return timer.start()
+
+    def periodic(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        jitter: float = 0.0,
+        start: bool = True,
+    ) -> Timer:
+        """Create a periodic timer.
+
+        ``jitter`` is the maximum fraction of ``interval`` to subtract from
+        each period (0 disables jitter).
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1): {jitter}")
+        timer = Timer(self, interval, callback, periodic=True, jitter=jitter)
+        if start:
+            timer.start()
+        return timer

@@ -1,0 +1,122 @@
+"""Event tracing: observability for deployments.
+
+A :class:`EventTracer` records every event routed through a deployment's
+Framework Manager — who emitted it, its type, and which units received it.
+It is the debugging companion to the architecture meta-model: the
+meta-model shows the *potential* wiring, the trace shows the *actual*
+flows.  Traces can be filtered, summarised, and rendered as a timeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One routed event."""
+
+    at: float
+    source: str
+    etype: str
+    consumers: Tuple[str, ...]
+    event_id: int
+
+
+class EventTracer:
+    """Attachable per-deployment event recorder."""
+
+    def __init__(self, deployment, capacity: int = 10_000) -> None:
+        self.deployment = deployment
+        self.capacity = capacity
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+        self._attached = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self) -> "EventTracer":
+        if not self._attached:
+            self.deployment.manager.add_route_observer(self._observe)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.deployment.manager.remove_route_observer(self._observe)
+            self._attached = False
+
+    def __enter__(self) -> "EventTracer":
+        return self.attach()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def _observe(self, source: str, event, consumers: List[str]) -> None:
+        if len(self.entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self.entries.append(
+            TraceEntry(
+                at=self.deployment.now,
+                source=source,
+                etype=event.etype.name,
+                consumers=tuple(consumers),
+                event_id=event.event_id,
+            )
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def filter(
+        self,
+        etype: Optional[str] = None,
+        source: Optional[str] = None,
+        consumer: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> List[TraceEntry]:
+        out = []
+        for entry in self.entries:
+            if etype is not None and entry.etype != etype:
+                continue
+            if source is not None and entry.source != source:
+                continue
+            if consumer is not None and consumer not in entry.consumers:
+                continue
+            if since is not None and entry.at < since:
+                continue
+            out.append(entry)
+        return out
+
+    def counts_by_type(self) -> Dict[str, int]:
+        return dict(Counter(entry.etype for entry in self.entries))
+
+    def counts_by_edge(self) -> Dict[Tuple[str, str], int]:
+        """(source, consumer) -> events carried on that logical edge."""
+        edges: Counter = Counter()
+        for entry in self.entries:
+            for consumer in entry.consumers:
+                edges[(entry.source, consumer)] += 1
+        return dict(edges)
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace."""
+        lines = [
+            f"{entry.at:9.3f}s  {entry.source:>18} --{entry.etype}--> "
+            f"{', '.join(entry.consumers) or '(nobody)'}"
+            for entry in self.entries[-limit:]
+        ]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} entries dropped at capacity)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401  (registers protocol builders)
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def chain5(sim):
+    """The paper's testbed: a 5-node linear chain."""
+    sim.add_nodes(5)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    return sim, ids
+
+
+def deploy_kits(sim, ids, *protocols, **kwargs):
+    """Deploy the named protocols on every node; returns {node_id: kit}."""
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        for protocol in protocols:
+            kit.load_protocol(protocol, **kwargs.get(protocol, {}))
+        kits[node_id] = kit
+    return kits
+
+
+@pytest.fixture
+def olsr_chain(chain5):
+    """5-node chain running OLSR, converged."""
+    sim, ids = chain5
+    kits = deploy_kits(sim, ids, "olsr")
+    sim.run(30.0)
+    return sim, ids, kits
+
+
+@pytest.fixture
+def dymo_chain(chain5):
+    """5-node chain running DYMO with neighbour detection settled."""
+    sim, ids = chain5
+    kits = deploy_kits(sim, ids, "dymo")
+    sim.run(8.0)
+    return sim, ids, kits

@@ -1,0 +1,159 @@
+"""Tests: coordinated distributed reconfiguration (§7 future work)."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.coordination import (
+    ReconfigCoordinatorCF,
+    STANDARD_ACTIONS,
+    deploy_coordinator,
+)
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build(node_count, seed=301, lead_time=1.0, with_protocol="olsr"):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits, coordinators = {}, {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        if with_protocol == "olsr":
+            kit.load_protocol("mpr", hello_interval=0.5)
+            kit.load_protocol("olsr", tc_interval=1.0)
+        elif with_protocol:
+            kit.load_protocol(with_protocol)
+        coordinators[nid] = deploy_coordinator(kit, lead_time=lead_time)
+        kits[nid] = kit
+    return sim, ids, kits, coordinators
+
+
+class TestCommandFlooding:
+    def test_command_reaches_every_node(self):
+        sim, ids, kits, coordinators = build(5)
+        sim.run(2.0)
+        coordinators[ids[0]].register_action(
+            "noop", lambda deployment, params: None
+        )
+        for nid in ids[1:]:
+            coordinators[nid].register_action(
+                "noop", lambda deployment, params: None
+            )
+        coordinators[ids[0]].propose("noop", {"k": 1})
+        sim.run(3.0)
+        for nid in ids:
+            log = coordinators[nid].log
+            assert len(log) == 1, nid
+            assert log[0].action == "noop"
+            assert log[0].params == {"k": 1}
+            assert log[0].enacted
+
+    def test_duplicate_commands_suppressed(self):
+        sim, ids, kits, coordinators = build(4)
+        sim.run(2.0)
+        for c in coordinators.values():
+            c.register_action("noop", lambda d, p: None)
+        coordinators[ids[0]].propose("noop")
+        sim.run(3.0)
+        # despite multi-path relaying, each node logs the command once
+        for nid in ids:
+            assert len(coordinators[nid].log) == 1
+
+    def test_unregistered_action_refused_locally(self):
+        sim, ids, kits, coordinators = build(2)
+        with pytest.raises(KeyError):
+            coordinators[ids[0]].propose("rm-rf")
+
+    def test_unknown_action_recorded_not_executed(self):
+        """A node that hears a command it has no action for records the
+        error instead of executing anything."""
+        sim, ids, kits, coordinators = build(3)
+        sim.run(2.0)
+        coordinators[ids[0]].register_action("special", lambda d, p: None)
+        # the other nodes do NOT register "special"
+        coordinators[ids[0]].propose("special")
+        sim.run(3.0)
+        assert coordinators[ids[0]].log[0].enacted
+        for nid in ids[1:]:
+            record = coordinators[nid].log[0]
+            assert not record.enacted
+            assert "unknown action" in record.error
+
+
+class TestCoordinatedActivation:
+    def test_all_nodes_enact_at_the_same_instant(self):
+        sim, ids, kits, coordinators = build(5, lead_time=2.0)
+        sim.run(2.0)
+        enacted_at = {}
+        for nid in ids:
+            coordinators[nid].register_action(
+                "mark",
+                lambda d, p, nid=nid: enacted_at.__setitem__(nid, sim.now),
+            )
+        coordinators[ids[0]].propose("mark")
+        sim.run(5.0)
+        times = set(enacted_at.values())
+        assert len(enacted_at) == 5
+        # activation is simultaneous despite multi-hop propagation
+        assert max(times) - min(times) < 1e-9
+
+    def test_activation_respects_lead_time(self):
+        sim, ids, kits, coordinators = build(3, lead_time=3.0)
+        sim.run(2.0)
+        fired = []
+        for c in coordinators.values():
+            c.register_action("mark", lambda d, p: fired.append(sim.now))
+        issue_time = sim.now
+        coordinators[ids[0]].propose("mark")
+        sim.run(2.0)
+        assert fired == []  # still pending
+        sim.run(2.0)
+        assert len(fired) == 3
+        assert all(abs(t - (issue_time + 3.0)) < 1e-9 for t in fired)
+
+
+class TestStandardActions:
+    def test_network_wide_switch_to_dymo(self):
+        sim, ids, kits, coordinators = build(4, lead_time=1.5)
+        sim.run(15.0)  # OLSR converges
+        coordinators[ids[0]].propose("switch-to-dymo")
+        sim.run(5.0)
+        for nid in ids:
+            assert kits[nid].manager.unit("olsr") is None
+            assert kits[nid].manager.unit("dymo") is not None
+        # the switched network still routes (reactively)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"after-switch")
+        sim.run(2.0)
+        assert got
+
+    def test_network_wide_switch_back_to_olsr(self):
+        sim, ids, kits, coordinators = build(4, with_protocol="dymo")
+        sim.run(5.0)
+        coordinators[ids[0]].propose(
+            "switch-to-olsr",
+            {"hello_interval": 0.5, "tc_interval": 1.0},
+        )
+        sim.run(20.0)
+        for nid in ids:
+            assert kits[nid].manager.unit("dymo") is None
+            assert len(kits[nid].protocol("olsr").routing_table()) == 3
+
+    def test_coordinated_fisheye(self):
+        sim, ids, kits, coordinators = build(4)
+        sim.run(10.0)
+        coordinators[ids[0]].propose("apply-fisheye", {"ttl_sequence": [1, 8]})
+        sim.run(3.0)
+        for nid in ids:
+            fisheye = kits[nid].manager.unit("fisheye")
+            assert fisheye is not None
+            assert fisheye.ttl_sequence == (1, 8)
+
+    def test_standard_action_table(self):
+        assert set(STANDARD_ACTIONS) == {
+            "switch-to-dymo", "switch-to-olsr", "apply-fisheye",
+        }

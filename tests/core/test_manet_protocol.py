@@ -1,0 +1,201 @@
+"""Unit tests: the generic ManetProtocol CF and its plug-in model."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.manet_protocol import (
+    Configurator,
+    EventHandlerComponent,
+    EventSourceComponent,
+    ForwardComponent,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.errors import IntegrityError, ReconfigurationError
+from repro.events.registry import EventTuple
+from repro.events.types import ontology
+from repro.sim import Simulation
+
+
+class CountingHandler(EventHandlerComponent):
+    handles = ("NHOOD_CHANGE",)
+
+    def __init__(self, name="counting-handler"):
+        super().__init__(name)
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+
+class TickSource(EventSourceComponent):
+    def __init__(self, interval=1.0, **kwargs):
+        super().__init__("tick-source", interval, **kwargs)
+        self.ticks = 0
+
+    def generate(self):
+        self.ticks += 1
+
+
+class CounterState(StateComponent):
+    def __init__(self, name="state"):
+        super().__init__(name)
+        self.counter = 0
+
+    def get_state(self):
+        return {"counter": self.counter}
+
+    def set_state(self, state):
+        self.counter = state.get("counter", 0)
+
+
+@pytest.fixture
+def deployed():
+    sim = Simulation(seed=3)
+    node = sim.add_node()
+    kit = ManetKit(node)
+    protocol = ManetProtocol("proto", ontology)
+    protocol.set_event_tuple(EventTuple(["NHOOD_CHANGE"], ["NHOOD_CHANGE"]))
+    kit.deploy(protocol)
+    return sim, kit, protocol
+
+
+class TestComposition:
+    def test_control_cf_present(self, deployed):
+        _sim, _kit, protocol = deployed
+        assert protocol.control.name == "proto.control"
+        assert isinstance(protocol.configurator, Configurator)
+
+    def test_add_handler_registers(self, deployed):
+        _sim, kit, protocol = deployed
+        handler = protocol.add_handler(CountingHandler())
+        kit.system.set_event_tuple(
+            kit.system.event_tuple.with_provided("NHOOD_CHANGE")
+        )
+        kit.system.emit("NHOOD_CHANGE", payload={})
+        assert len(handler.events) == 1
+        assert handler.events_handled == 1
+
+    def test_source_timer_driven(self, deployed):
+        sim, _kit, protocol = deployed
+        source = protocol.add_source(TickSource(interval=1.0))
+        sim.run(3.5)
+        assert source.ticks == 3
+
+    def test_source_initial_delay(self, deployed):
+        sim, _kit, protocol = deployed
+        source = protocol.add_source(TickSource(interval=5.0, initial_delay=0.5))
+        sim.run(1.0)
+        assert source.ticks == 1
+
+    def test_source_stops_with_protocol(self, deployed):
+        sim, _kit, protocol = deployed
+        source = protocol.add_source(TickSource(interval=1.0))
+        sim.run(1.5)
+        protocol.stop()
+        sim.run(5.0)
+        assert source.ticks == 1
+
+    def test_single_f_and_s_elements(self, deployed):
+        _sim, _kit, protocol = deployed
+        protocol.set_forward(ForwardComponent("fwd"))
+        protocol.set_state(CounterState())
+        with pytest.raises(IntegrityError):
+            protocol.set_forward(ForwardComponent("fwd2"))
+        with pytest.raises(IntegrityError):
+            protocol.set_state(CounterState("state2"))
+        # the CF-level integrity rule also rejects raw inserts
+        with pytest.raises(IntegrityError):
+            protocol.insert(CounterState("state3"))
+
+    def test_configurator(self, deployed):
+        _sim, _kit, protocol = deployed
+        protocol.configurator.set("interval", 2.0)
+        assert protocol.config("interval") == 2.0
+        assert protocol.config("missing", 9) == 9
+        state = protocol.configurator.get_state()
+        fresh = Configurator()
+        fresh.set_state(state)
+        assert fresh.get("interval") == 2.0
+
+
+class TestReplacement:
+    def test_replace_handler_swaps_registry(self, deployed):
+        _sim, kit, protocol = deployed
+        old = protocol.add_handler(CountingHandler())
+        replacement = CountingHandler()
+        protocol.replace_component("counting-handler", replacement)
+        kit.system.set_event_tuple(
+            kit.system.event_tuple.with_provided("NHOOD_CHANGE")
+        )
+        kit.system.emit("NHOOD_CHANGE", payload={})
+        assert old.events == []
+        assert len(replacement.events) == 1
+
+    def test_replace_state_transfers(self, deployed):
+        _sim, _kit, protocol = deployed
+        state = protocol.set_state(CounterState())
+        state.counter = 42
+        protocol.replace_component("state", CounterState())
+        assert protocol.state.counter == 42
+        assert protocol.state is not state
+
+    def test_replace_without_transfer(self, deployed):
+        _sim, _kit, protocol = deployed
+        state = protocol.set_state(CounterState())
+        state.counter = 42
+        protocol.replace_component("state", CounterState(), transfer_state=False)
+        assert protocol.state.counter == 0
+
+    def test_replace_unknown_component(self, deployed):
+        _sim, _kit, protocol = deployed
+        with pytest.raises(ReconfigurationError):
+            protocol.replace_component("ghost", CounterState())
+
+    def test_remove_component(self, deployed):
+        _sim, _kit, protocol = deployed
+        protocol.add_handler(CountingHandler())
+        removed = protocol.remove_component("counting-handler")
+        assert removed.protocol is None
+        assert not protocol.control.has_child("counting-handler")
+
+    def test_remove_forward_clears_slot(self, deployed):
+        _sim, _kit, protocol = deployed
+        protocol.set_forward(ForwardComponent("fwd"))
+        protocol.remove_component("fwd")
+        assert protocol.forward is None
+        protocol.set_forward(ForwardComponent("fwd"))  # slot reusable
+
+
+class TestManetControlIntegrity:
+    def test_second_c_element_rejected(self, deployed):
+        _sim, _kit, protocol = deployed
+
+        class FakeControl(CounterState):
+            def __init__(self):
+                super().__init__("impostor")
+                self.provide_interface("IControl", "IControl")
+
+        with pytest.raises(IntegrityError):
+            protocol.control.insert(FakeControl())
+
+
+class TestIdentity:
+    def test_local_address(self, deployed):
+        _sim, kit, protocol = deployed
+        assert protocol.local_address == kit.node.node_id
+
+    def test_undeployed_identity_raises(self):
+        protocol = ManetProtocol("stray", ontology)
+        with pytest.raises(ReconfigurationError):
+            _ = protocol.local_address
+
+    def test_sys_state_direct_call(self, deployed):
+        _sim, kit, protocol = deployed
+        protocol.sys_state().add_route(9, next_hop=3)
+        assert kit.node.kernel_table.lookup(9).next_hop == 3
+
+    def test_handler_emit_requires_attachment(self):
+        handler = CountingHandler()
+        with pytest.raises(ReconfigurationError):
+            handler.emit("NHOOD_CHANGE")

@@ -1,0 +1,249 @@
+"""Unit tests: the ManetKit deployment CF, context facade, reconfiguration."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.manet_protocol import (
+    EventHandlerComponent,
+    ManetProtocol,
+    StateComponent,
+)
+from repro.errors import IntegrityError, ReconfigurationError
+from repro.events.registry import EventTuple
+from repro.events.types import ontology
+from repro.sim import Simulation
+
+import repro.protocols  # noqa: F401
+
+
+@pytest.fixture
+def kit():
+    sim = Simulation(seed=5)
+    node = sim.add_node()
+    return sim, ManetKit(node)
+
+
+def make_protocol(name, protocol_class="service"):
+    protocol = ManetProtocol(name, ontology)
+    protocol.protocol_class = protocol_class
+    return protocol
+
+
+class TestDeployment:
+    def test_deploy_and_lookup(self, kit):
+        _sim, deployment = kit
+        protocol = deployment.deploy(make_protocol("p1"))
+        assert deployment.protocol("p1") is protocol
+        assert protocol.deployment is deployment
+        assert protocol.lifecycle == "started"
+        assert deployment.protocols() == [protocol]
+
+    def test_duplicate_name_rejected(self, kit):
+        _sim, deployment = kit
+        deployment.deploy(make_protocol("p1"))
+        with pytest.raises(ReconfigurationError):
+            deployment.deploy(make_protocol("p1"))
+
+    def test_undeploy(self, kit):
+        _sim, deployment = kit
+        deployment.deploy(make_protocol("p1"))
+        removed = deployment.undeploy("p1")
+        assert removed.deployment is None
+        with pytest.raises(ReconfigurationError):
+            deployment.protocol("p1")
+
+    def test_load_protocol_by_name(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        assert deployment.protocol("dymo").protocol_class == "reactive"
+        # DYMO auto-deploys its neighbour source
+        assert deployment.manager.unit("neighbour-detection") is not None
+
+    def test_load_unknown_protocol(self, kit):
+        _sim, deployment = kit
+        with pytest.raises(ReconfigurationError):
+            deployment.load_protocol("ghost-routing")
+
+    def test_single_reactive_protocol_rule(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        with pytest.raises(IntegrityError):
+            deployment.load_protocol("aodv")
+        # failed deploy leaves no stale registration
+        assert deployment.manager.unit("aodv") is None
+
+    def test_reactive_after_undeploy_allowed(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        deployment.undeploy("dymo")
+        deployment.load_protocol("aodv")
+        assert deployment.protocol("aodv")
+
+    def test_serial_and_simultaneous_deployment(self, kit):
+        """Paper goal 1: serial and simultaneous protocol deployment."""
+        _sim, deployment = kit
+        deployment.load_protocol("olsr")
+        deployment.load_protocol("dymo")  # simultaneous: proactive+reactive
+        names = {unit.name for unit in deployment.units()}
+        assert {"system", "olsr", "mpr", "dymo"} <= names
+        # DYMO reuses the co-deployed MPR CF's neighbourhood events instead
+        # of deploying its own Neighbour Detection CF (leaner deployment).
+        assert "neighbour-detection" not in names
+        deployment.undeploy("olsr")  # serial: swap out again
+        assert deployment.manager.unit("olsr") is None
+
+    def test_find_interface(self, kit):
+        _sim, deployment = kit
+        assert deployment.find_interface("ISysState") is not None
+        with pytest.raises(LookupError):
+            deployment.find_interface("IUnobtainium")
+
+    def test_shutdown(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        deployment.shutdown()
+        assert deployment.protocols() == []
+
+    def test_set_concurrency(self, kit):
+        _sim, deployment = kit
+        deployment.set_concurrency("thread-per-message")
+        assert deployment.manager.model.model_name == "ThreadPerMessage"
+        deployment.set_concurrency("single-threaded")
+
+    def test_dedicated_thread_per_protocol(self, kit):
+        _sim, deployment = kit
+        deployment.deploy(make_protocol("p1"))
+        deployment.use_dedicated_thread("p1")
+        deployment.use_dedicated_thread("p1", enabled=False)
+
+
+class CounterState(StateComponent):
+    def __init__(self):
+        super().__init__("state")
+        self.value = 0
+
+    def get_state(self):
+        return {"value": self.value}
+
+    def set_state(self, state):
+        self.value = state.get("value", 0)
+
+
+class TestReconfiguration:
+    def test_update_event_tuple(self, kit):
+        _sim, deployment = kit
+        protocol = deployment.deploy(make_protocol("p1"))
+        new_tuple = deployment.reconfig.update_event_tuple(
+            "p1", required=["TC_IN"], provided=["TC_OUT"]
+        )
+        assert protocol.event_tuple.requires("TC_IN")
+        assert new_tuple.provides("TC_OUT")
+
+    def test_update_tuple_partial(self, kit):
+        _sim, deployment = kit
+        protocol = deployment.deploy(make_protocol("p1"))
+        protocol.set_event_tuple(EventTuple(["TC_IN"], ["TC_OUT"]))
+        deployment.reconfig.update_event_tuple("p1", provided=["RE_OUT"])
+        assert protocol.event_tuple.requires("TC_IN")  # untouched
+        assert protocol.event_tuple.provided == ("RE_OUT",)
+
+    def test_update_unknown_unit(self, kit):
+        _sim, deployment = kit
+        with pytest.raises(ReconfigurationError):
+            deployment.reconfig.update_event_tuple("ghost", required=[])
+
+    def test_replace_component_via_manager(self, kit):
+        _sim, deployment = kit
+        protocol = deployment.deploy(make_protocol("p1"))
+        state = protocol.set_state(CounterState())
+        state.value = 7
+        deployment.reconfig.replace_component("p1", "state", CounterState())
+        assert protocol.state.value == 7
+        assert deployment.reconfig.enactments == 1
+
+    def test_insert_and_remove_component(self, kit):
+        _sim, deployment = kit
+        deployment.deploy(make_protocol("p1"))
+
+        class Probe(EventHandlerComponent):
+            handles = ("NHOOD_CHANGE",)
+
+            def __init__(self):
+                super().__init__("probe")
+
+            def handle(self, event):
+                pass
+
+        deployment.reconfig.insert_component("p1", Probe())
+        assert deployment.protocol("p1").control.has_child("probe")
+        deployment.reconfig.remove_component("p1", "probe")
+        assert not deployment.protocol("p1").control.has_child("probe")
+
+    def test_switch_protocol_carries_state(self, kit):
+        _sim, deployment = kit
+        old = make_protocol("old")
+        old_state = old.set_state(CounterState())
+        deployment.deploy(old)
+        old_state.value = 99
+        replacement = make_protocol("new")
+        replacement.set_state(CounterState())
+        deployment.reconfig.switch_protocol("old", replacement)
+        assert deployment.manager.unit("old") is None
+        assert deployment.protocol("new").state.value == 99
+
+    def test_switch_protocol_without_state(self, kit):
+        _sim, deployment = kit
+        old = make_protocol("old")
+        old.set_state(CounterState())
+        deployment.deploy(old)
+        old.state.value = 99
+        replacement = make_protocol("new")
+        replacement.set_state(CounterState())
+        deployment.reconfig.switch_protocol("old", replacement, carry_state=False)
+        assert deployment.protocol("new").state.value == 0
+
+    def test_replace_on_non_protocol_rejected(self, kit):
+        _sim, deployment = kit
+        with pytest.raises(ReconfigurationError):
+            deployment.reconfig.replace_component("system", "x", CounterState())
+
+    def test_transaction_across_units(self, kit):
+        _sim, deployment = kit
+        first = deployment.deploy(make_protocol("p1"))
+        second = deployment.deploy(make_protocol("p2"))
+        log = []
+        deployment.reconfig.run_transaction(
+            [first, second],
+            [
+                (lambda: log.append("a"), lambda: log.append("undo-a")),
+                (lambda: log.append("b"), lambda: log.append("undo-b")),
+            ],
+        )
+        assert log == ["a", "b"]
+
+
+class TestContextFacade:
+    def test_poll_and_event_sources_unified(self, kit):
+        sim, deployment = kit
+        deployment.context.register_poller(
+            "CPU_LOAD", deployment.node.cpu_load
+        )
+        assert deployment.context.read("CPU_LOAD") is not None
+        deployment.system.load_power_status(interval=1.0)
+        sim.run(1.5)
+        assert deployment.context.read("POWER_STATUS") is not None
+        names = deployment.context.known_names()
+        assert "CPU_LOAD" in names and "POWER_STATUS" in names
+
+    def test_subscribe(self, kit):
+        sim, deployment = kit
+        seen = []
+        deployment.context.subscribe("CONTEXT", seen.append)
+        deployment.system.load_power_status(interval=1.0)
+        sim.run(2.5)
+        assert len(seen) >= 2
+
+    def test_snapshot(self, kit):
+        _sim, deployment = kit
+        deployment.context.register_poller("MEMORY_USE", lambda: 1234)
+        assert deployment.context.snapshot()["MEMORY_USE"] == 1234

@@ -1,0 +1,157 @@
+"""Unit tests: the Neighbour Detection CF."""
+
+import pytest
+
+from repro.core import ManetKit, NeighbourDetectionCF
+from repro.core.unit import CFSUnit
+from repro.events.registry import EventTuple
+from repro.events.types import ontology
+from repro.packetbb.address import Address
+from repro.packetbb.message import Message, MsgType
+from repro.sim import Simulation, topology
+
+
+def build_network(node_count, seed=4, hello_interval=0.5):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.deploy(NeighbourDetectionCF(ontology, hello_interval=hello_interval))
+        kits[node_id] = kit
+    return sim, ids, kits
+
+
+def nd_of(kit):
+    return kit.protocol("neighbour-detection")
+
+
+class EventSink(CFSUnit):
+    def __init__(self, required):
+        super().__init__("event-sink", ontology)
+        self.set_event_tuple(EventTuple(required, []))
+        self.received = []
+        self.registry.register_handler("EVENT", self.received.append)
+
+
+class TestDiscovery:
+    def test_one_hop_neighbours(self):
+        sim, ids, kits = build_network(3)
+        sim.run(3.0)
+        assert nd_of(kits[ids[1]]).table.neighbours() == [ids[0], ids[2]]
+        assert nd_of(kits[ids[0]]).table.neighbours() == [ids[1]]
+
+    def test_symmetry_detection(self):
+        sim, ids, kits = build_network(2)
+        sim.run(3.0)
+        assert nd_of(kits[ids[0]]).table.symmetric_neighbours() == [ids[1]]
+
+    def test_two_hop_discovery(self):
+        sim, ids, kits = build_network(3)
+        sim.run(3.0)
+        assert nd_of(kits[ids[0]]).table.two_hop_neighbours() == {ids[2]}
+        assert nd_of(kits[ids[1]]).table.two_hop_neighbours() == set()
+
+    def test_neighbours_reaching(self):
+        sim, ids, kits = build_network(3)
+        sim.run(3.0)
+        table = nd_of(kits[ids[0]]).table
+        assert table.neighbours_reaching(ids[2]) == [ids[1]]
+
+    def test_nhood_change_event_emitted(self):
+        sim, ids, kits = build_network(2)
+        sink = EventSink(["NHOOD_CHANGE"])
+        sink.deployment = kits[ids[0]]
+        kits[ids[0]].manager.register_unit(sink)
+        sink.start()
+        sim.run(3.0)
+        assert any(e.payload["added"] == [ids[1]] for e in sink.received)
+
+
+class TestLoss:
+    def test_hold_time_expiry_and_link_break(self):
+        sim, ids, kits = build_network(3)
+        sim.run(3.0)
+        sink = EventSink(["LINK_BREAK"])
+        sink.deployment = kits[ids[1]]
+        kits[ids[1]].manager.register_unit(sink)
+        sink.start()
+        sim.topology.break_edge(ids[1], ids[2])
+        sim.run(5.0)
+        assert nd_of(kits[ids[1]]).table.neighbours() == [ids[0]]
+        assert any(e.payload["neighbour"] == ids[2] for e in sink.received)
+
+    def test_link_layer_feedback_detects_immediately(self):
+        sim, ids, kits = build_network(2)
+        sim.run(3.0)
+        nd = nd_of(kits[ids[0]])
+        nd.enable_link_layer_feedback()
+        sim.topology.break_edge(ids[0], ids[1])
+        # a failed unicast triggers detection without waiting out hold time
+        sim.node(ids[0]).send_control(b"\x00", link_dst=ids[1])
+        assert nd.table.neighbours() == []
+
+    def test_link_layer_feedback_idempotent(self):
+        sim, ids, kits = build_network(2)
+        nd = nd_of(kits[ids[0]])
+        assert nd.enable_link_layer_feedback() is nd.enable_link_layer_feedback()
+
+    def test_survives_lossy_links(self):
+        sim = Simulation(seed=8, loss=0.3)
+        sim.add_nodes(2)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+        sim.topology.loss = 0.3
+        sim.topology.apply(topology.linear_chain(ids))
+        kits = {}
+        for node_id in ids:
+            kit = ManetKit(sim.node(node_id))
+            kit.deploy(NeighbourDetectionCF(ontology, hello_interval=0.5))
+            kits[node_id] = kit
+        sim.run(20.0)
+        # despite 30% loss, 3.5x hold time keeps the neighbour stable
+        assert nd_of(kits[ids[0]]).table.neighbours() == [ids[1]]
+
+
+class TestPiggybacking:
+    def test_supplier_messages_ride_hello_packets(self):
+        sim, ids, kits = build_network(2)
+        nd = nd_of(kits[ids[0]])
+        extra = Message(MsgType.TC, originator=Address.from_node_id(ids[0]))
+        nd.add_piggyback_supplier(lambda: [extra])
+        # receiver needs a TC driver to turn the piggybacked message into
+        # an event
+        kits[ids[1]].system.load_network_driver(
+            "tc-driver", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+        )
+        sink = EventSink(["TC_IN"])
+        sink.deployment = kits[ids[1]]
+        kits[ids[1]].manager.register_unit(sink)
+        sink.start()
+        sim.run(2.0)
+        assert len(sink.received) >= 1
+
+    def test_supplier_removal(self):
+        sim, ids, kits = build_network(2)
+        nd = nd_of(kits[ids[0]])
+        supplier = lambda: []  # noqa: E731
+        nd.add_piggyback_supplier(supplier)
+        assert nd.piggyback_suppliers() == [supplier]
+        nd.remove_piggyback_supplier(supplier)
+        assert nd.piggyback_suppliers() == []
+
+
+class TestStateTransfer:
+    def test_table_state_roundtrip(self):
+        sim, ids, kits = build_network(3)
+        sim.run(3.0)
+        table = nd_of(kits[ids[1]]).table
+        state = table.get_state()
+        from repro.core.neighbour_detection import NeighbourTable
+
+        fresh = NeighbourTable()
+        fresh.set_state(state)
+        assert fresh.neighbours() == table.neighbours()
+        assert fresh.two_hop_neighbours() == table.two_hop_neighbours()

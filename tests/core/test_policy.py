@@ -1,0 +1,180 @@
+"""Tests: the ECA policy engine (the decision-making layer of §4.5)."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.policy import (
+    PolicyContext,
+    PolicyEngine,
+    Rule,
+    apply_power_aware_when_battery_low,
+    enable_mpr_flooding_when_dense,
+    switch_to_reactive_when_network_grows,
+)
+from repro.sim import Simulation, topology
+from repro.sim.node import BatteryModel
+
+import repro.protocols  # noqa: F401
+
+
+@pytest.fixture
+def kit():
+    sim = Simulation(seed=201)
+    node = sim.add_node()
+    return sim, ManetKit(node)
+
+
+class TestEngineMechanics:
+    def test_rule_fires_when_condition_true(self, kit):
+        sim, deployment = kit
+        fired = []
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        engine.add_rule(
+            Rule("always", lambda ctx: True, lambda d: fired.append(d))
+        )
+        sim.run(1.5)
+        assert fired == [deployment]
+
+    def test_cooldown_throttles(self, kit):
+        sim, deployment = kit
+        fired = []
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        engine.add_rule(
+            Rule("hot", lambda ctx: True, lambda d: fired.append(1),
+                 cooldown=5.0)
+        )
+        sim.run(6.5)
+        assert len(fired) == 2  # t=1 and t=6
+
+    def test_once_retires_rule(self, kit):
+        sim, deployment = kit
+        fired = []
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        engine.add_rule(
+            Rule("one-shot", lambda ctx: True, lambda d: fired.append(1),
+                 cooldown=0.0, once=True)
+        )
+        sim.run(5.0)
+        assert len(fired) == 1
+
+    def test_condition_error_contained(self, kit):
+        sim, deployment = kit
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        engine.add_rule(
+            Rule("broken", lambda ctx: 1 / 0, lambda d: None)
+        )
+        sim.run(2.5)
+        assert engine.evaluations >= 2  # engine survived
+        assert any(f.error and "condition" in f.error for f in engine.firings)
+
+    def test_action_error_contained(self, kit):
+        sim, deployment = kit
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        engine.add_rule(
+            Rule("explode", lambda ctx: True,
+                 lambda d: (_ for _ in ()).throw(RuntimeError("boom")),
+                 cooldown=0.0)
+        )
+        sim.run(2.5)
+        assert any(f.error and "action" in f.error for f in engine.firings)
+        assert engine.evaluations >= 2
+
+    def test_stop_halts_evaluation(self, kit):
+        sim, deployment = kit
+        engine = PolicyEngine(deployment, interval=1.0).start()
+        sim.run(2.5)
+        count = engine.evaluations
+        engine.stop()
+        sim.run(5.0)
+        assert engine.evaluations == count
+
+    def test_rule_management(self, kit):
+        _sim, deployment = kit
+        engine = PolicyEngine(deployment)
+        rule = engine.add_rule(Rule("r", lambda c: False, lambda d: None))
+        assert engine.rule("r") is rule
+        assert engine.remove_rule("r") is True
+        assert engine.remove_rule("r") is False
+
+
+class TestPolicyContext:
+    def test_reads_context_and_deployment_facts(self, kit):
+        sim, deployment = kit
+        deployment.load_protocol("dymo")
+        deployment.system.load_power_status(interval=1.0)
+        sim.run(1.5)
+        context = PolicyContext(deployment)
+        assert 0.0 <= context.battery() <= 1.0
+        assert context.has_protocol("dymo")
+        assert "dymo" in context.deployed_protocols()
+        assert context.known_destinations() == 0
+        assert context.now == sim.now
+
+    def test_neighbour_count_from_either_sensing_cf(self):
+        sim = Simulation(seed=202)
+        sim.add_nodes(3)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+        kits = {nid: ManetKit(sim.node(nid)) for nid in ids}
+        kits[ids[0]].load_protocol("dymo")           # neighbour-detection
+        kits[ids[1]].load_protocol("mpr", hello_interval=0.5)  # MPR sensing
+        kits[ids[2]].load_protocol("dymo")
+        sim.run(5.0)
+        assert PolicyContext(kits[ids[0]]).neighbour_count() == 1
+        assert PolicyContext(kits[ids[1]]).neighbour_count() >= 1
+
+
+class TestStandardRules:
+    def test_switch_to_reactive_closed_loop(self):
+        """The full control loop: context -> ECA rule -> enactment."""
+        sim = Simulation(seed=203)
+        sim.add_nodes(5)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+        kits = {nid: ManetKit(sim.node(nid)) for nid in ids}
+        engines = {}
+        for nid in ids:
+            kit = kits[nid]
+            kit.load_protocol("mpr", hello_interval=0.5)
+            kit.load_protocol("olsr", tc_interval=1.0)
+            engine = PolicyEngine(kit, interval=2.0).start()
+            engine.add_rule(switch_to_reactive_when_network_grows(4))
+            engines[nid] = engine
+        sim.run(30.0)
+        # 5-node chain: everyone learns 4 destinations -> everyone switched
+        for nid in ids:
+            assert kits[nid].manager.unit("olsr") is None, nid
+            assert kits[nid].manager.unit("dymo") is not None, nid
+            assert engines[nid].rule("switch-to-reactive").firings == 1
+
+    def test_power_aware_rule_applies_on_low_battery(self):
+        sim = Simulation(seed=204)
+        battery = BatteryModel(lambda: sim.scheduler.now, idle_rate=0.0)
+        battery._consumed = 0.7  # start at 30%
+        node = sim.add_node(battery=battery)
+        peer = sim.add_node()
+        sim.topology.add_edge(node.node_id, peer.node_id)
+        kit = ManetKit(node)
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol("olsr", tc_interval=1.0)
+        engine = PolicyEngine(kit, interval=2.0).start()
+        engine.add_rule(apply_power_aware_when_battery_low(0.4))
+        sim.run(12.0)  # POWER_STATUS sensor feeds the concentrator
+        assert kit.protocol("olsr").control.has_child("residual-power")
+
+    def test_mpr_flooding_rule_needs_density(self):
+        sim = Simulation(seed=205)
+        sim.add_nodes(6)
+        ids = sim.node_ids()
+        # star: the hub sees 5 neighbours, leaves see 1
+        sim.topology.apply([(ids[0], other) for other in ids[1:]])
+        kits = {nid: ManetKit(sim.node(nid)) for nid in ids}
+        engines = {}
+        for nid in ids:
+            kits[nid].load_protocol("dymo")
+            engine = PolicyEngine(kits[nid], interval=2.0).start()
+            engine.add_rule(enable_mpr_flooding_when_dense(4))
+            engines[nid] = engine
+        sim.run(15.0)
+        assert kits[ids[0]].protocol("dymo").config("flooding") == "mpr"
+        assert kits[ids[1]].protocol("dymo").config("flooding") == "blind"

@@ -1,0 +1,231 @@
+"""Unit tests: the System CF and its plug-ins."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.system_cf import NetlinkComponent, NetworkDriver
+from repro.core.unit import CFSUnit
+from repro.errors import IntegrityError
+from repro.events.registry import EventTuple
+from repro.events.types import ontology
+from repro.packetbb.address import Address
+from repro.packetbb.message import Message, MsgType
+from repro.sim import Simulation, topology
+
+
+@pytest.fixture
+def pair():
+    sim = Simulation(seed=2)
+    sim.add_nodes(2)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {nid: ManetKit(sim.node(nid)) for nid in ids}
+    return sim, ids, kits
+
+
+class Sink(CFSUnit):
+    def __init__(self, required=(), provided=()):
+        super().__init__("sink", ontology)
+        self.set_event_tuple(EventTuple(required, provided))
+        self.received = []
+        self.registry.register_handler("EVENT", self.received.append)
+
+
+class TestDrivers:
+    def test_driver_maps_message_to_event(self, pair):
+        sim, ids, kits = pair
+        for kit in kits.values():
+            kit.system.load_network_driver(
+                "hello-driver", [(int(MsgType.HELLO), "HELLO_IN", "HELLO_OUT")]
+            )
+        sink = Sink(required=["HELLO_IN"])
+        sink.deployment = kits[ids[1]]
+        kits[ids[1]].manager.register_unit(sink)
+        sink.start()
+
+        message = Message(MsgType.HELLO, originator=Address.from_node_id(ids[0]))
+        kits[ids[0]].system.sys_forward.send_message(message)
+        sim.run(0.1)
+        [event] = sink.received
+        assert event.etype.name == "HELLO_IN"
+        assert event.source == ids[0]
+        assert event.payload.originator.node_id == ids[0]
+
+    def test_unknown_message_counted(self, pair):
+        sim, ids, kits = pair
+        message = Message(200)
+        kits[ids[0]].system.sys_forward.send_message(message)
+        sim.run(0.1)
+        assert kits[ids[1]].system.sys_forward.unknown_messages == 1
+
+    def test_driver_updates_event_tuple(self, pair):
+        _sim, ids, kits = pair
+        system = kits[ids[0]].system
+        system.load_network_driver(
+            "tc-driver", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+        )
+        assert system.event_tuple.requires("TC_OUT")
+        assert system.event_tuple.provides("TC_IN")
+        system.unload_network_driver("tc-driver")
+        assert not system.event_tuple.requires("TC_OUT")
+
+    def test_driver_load_idempotent(self, pair):
+        _sim, ids, kits = pair
+        system = kits[ids[0]].system
+        first = system.load_network_driver(
+            "d", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+        )
+        second = system.load_network_driver("d", [])
+        assert first is second
+
+    def test_out_event_transmitted(self, pair):
+        sim, ids, kits = pair
+        for kit in kits.values():
+            kit.system.load_network_driver(
+                "tc-driver", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+            )
+        source = Sink(provided=["TC_OUT"])
+        source.deployment = kits[ids[0]]
+        kits[ids[0]].manager.register_unit(source)
+        source.start()
+        sink = Sink(required=["TC_IN"])
+        sink.deployment = kits[ids[1]]
+        kits[ids[1]].manager.register_unit(sink)
+        sink.start()
+
+        message = Message(MsgType.TC, originator=Address.from_node_id(ids[0]))
+        source.emit("TC_OUT", payload=message)
+        sim.run(0.1)
+        assert len(sink.received) == 1
+
+    def test_unicast_via_link_dst_meta(self, pair):
+        sim, ids, kits = pair
+        for kit in kits.values():
+            kit.system.load_network_driver(
+                "tc-driver", [(int(MsgType.TC), "TC_IN", "TC_OUT")]
+            )
+        source = Sink(provided=["TC_OUT"])
+        source.deployment = kits[ids[0]]
+        kits[ids[0]].manager.register_unit(source)
+        source.start()
+        message = Message(MsgType.TC, originator=Address.from_node_id(ids[0]))
+        source.emit("TC_OUT", payload=message, meta={"link_dst": ids[1]})
+        sim.run(0.1)
+        assert sim.medium.frames_delivered == 1
+
+
+class TestSysState:
+    def test_kernel_table_surface(self, pair):
+        sim, ids, kits = pair
+        state = kits[ids[0]].system.sys_state
+        state.add_route(9, next_hop=ids[1], metric=2, lifetime=5.0)
+        assert state.lookup(9).next_hop == ids[1]
+        assert state.refresh_route(9, 10.0)
+        assert [r.destination for r in state.routes()] == [9]
+        assert state.del_route(9)
+        assert state.flush_routes() == 0
+
+    def test_devices_and_address(self, pair):
+        _sim, ids, kits = pair
+        state = kits[ids[0]].system.sys_state
+        assert state.devices() == [("wlan0", ids[0])]
+        assert state.local_address() == ids[0]
+
+
+class TestSysControl:
+    def test_routing_environment_initialised_on_start(self, pair):
+        _sim, ids, kits = pair
+        node = kits[ids[0]].node
+        assert node.ip_forward is True
+        assert node.icmp_redirects is False
+
+    def test_restore_on_stop(self, pair):
+        _sim, ids, kits = pair
+        kits[ids[0]].system.stop()
+        node = kits[ids[0]].node
+        assert node.ip_forward is False
+        assert node.icmp_redirects is True
+
+
+class TestPowerStatus:
+    def test_emits_context_events(self, pair):
+        sim, ids, kits = pair
+        kit = kits[ids[0]]
+        kit.system.load_power_status(interval=1.0)
+        sim.run(2.5)
+        reading = kit.context.read("POWER_STATUS")
+        assert reading is not None
+        assert 0.0 <= reading["battery"] <= 1.0
+
+    def test_load_idempotent(self, pair):
+        _sim, ids, kits = pair
+        system = kits[ids[0]].system
+        assert system.load_power_status() is system.load_power_status()
+
+
+class TestNetlink:
+    def test_buffers_and_emits_no_route(self, pair):
+        sim, ids, kits = pair
+        kit = kits[ids[0]]
+        netlink = kit.system.load_netlink()
+        sink = Sink(required=["NO_ROUTE"])
+        sink.deployment = kit
+        kit.manager.register_unit(sink)
+        sink.start()
+        kit.node.send_data(99, b"x")
+        assert netlink.pending_for(99) == 1
+        assert len(sink.received) == 1
+        assert sink.received[0].payload["destination"] == 99
+
+    def test_route_found_reinjects_exclusively(self, pair):
+        sim, ids, kits = pair
+        kit = kits[ids[0]]
+        netlink = kit.system.load_netlink()
+        got = []
+        sim.node(ids[1]).add_app_receiver(got.append)
+        kit.node.send_data(ids[1], b"buffered")
+        kit.node.kernel_table.add_route(ids[1], next_hop=ids[1])
+        producer = Sink(provided=["ROUTE_FOUND"])
+        producer.deployment = kit
+        kit.manager.register_unit(producer)
+        producer.start()
+        producer.emit("ROUTE_FOUND", payload={"destination": ids[1]})
+        sim.run(0.1)
+        assert len(got) == 1
+        assert netlink.reinjected_count == 1
+        assert netlink.pending_for(ids[1]) == 0
+
+    def test_route_update_rate_limited(self, pair):
+        sim, ids, kits = pair
+        kit = kits[ids[0]]
+        kit.system.load_netlink()
+        sink = Sink(required=["ROUTE_UPDATE"])
+        sink.deployment = kit
+        kit.manager.register_unit(sink)
+        sink.start()
+        kit.node.kernel_table.add_route(ids[1], next_hop=ids[1])
+        for _ in range(5):
+            kit.node.send_data(ids[1], b"x")
+        assert len(sink.received) == 1  # rate limit collapses the burst
+
+    def test_drop_buffered(self, pair):
+        _sim, ids, kits = pair
+        kit = kits[ids[0]]
+        netlink = kit.system.load_netlink()
+        kit.node.send_data(99, b"x")
+        assert netlink.drop_buffered(99) == 1
+        assert netlink.drop_buffered(99) == 0
+
+    def test_single_netlink_enforced(self, pair):
+        _sim, ids, kits = pair
+        system = kits[ids[0]].system
+        system.load_netlink()
+        with pytest.raises(IntegrityError):
+            system.insert(NetlinkComponent(system))
+
+    def test_core_elements_protected(self, pair):
+        _sim, ids, kits = pair
+        system = kits[ids[0]].system
+        for core in ("sys-control", "sys-state", "sys-forward"):
+            with pytest.raises(IntegrityError):
+                system.remove(core)

@@ -1,0 +1,79 @@
+"""Tests: CFS-unit direct calls and interface discovery (§4.2 footnote 1)."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.manet_protocol import ManetProtocol, StateComponent
+from repro.events.types import ontology
+from repro.opencom.component import Component
+from repro.opencom.meta import InterfaceMetaModel
+from repro.sim import Simulation
+
+import repro.protocols  # noqa: F401
+
+
+@pytest.fixture
+def kit():
+    sim = Simulation(seed=111)
+    return sim, ManetKit(sim.add_node())
+
+
+class TestDirectCalls:
+    def test_direct_finds_other_units_interfaces(self, kit):
+        _sim, deployment = kit
+        protocol = ManetProtocol("p", ontology)
+        deployment.deploy(protocol)
+        sys_state = protocol.direct("ISysState")
+        assert sys_state is deployment.system.sys_state
+
+    def test_direct_excludes_own_unit(self, kit):
+        """direct() reaches *other* units; own plug-ins need
+        find_local_interface."""
+        _sim, deployment = kit
+        protocol = ManetProtocol("p", ontology)
+
+        class Local(StateComponent):
+            def __init__(self):
+                super().__init__("local-state")
+                self.provide_interface("IUnique", "IUnique")
+
+        protocol.set_state(Local())
+        deployment.deploy(protocol)
+        with pytest.raises(LookupError):
+            protocol.direct("IUnique")
+        assert protocol.find_local_interface("IUnique") is protocol.state
+
+    def test_find_local_interface_reaches_control_grandchildren(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        dymo = deployment.protocol("dymo")
+        # the Configurator lives inside the ManetControl sub-CF
+        assert dymo.find_local_interface("IConfigure") is dymo.configurator
+
+    def test_direct_requires_deployment(self):
+        protocol = ManetProtocol("stray", ontology)
+        with pytest.raises(LookupError):
+            protocol.direct("ISysState")
+
+    def test_cross_protocol_state_access(self, kit):
+        """The paper's canonical direct-call use: reading another CFS
+        unit's S element."""
+        _sim, deployment = kit
+        deployment.load_protocol("mpr")
+        deployment.load_protocol("olsr")
+        olsr = deployment.protocol("olsr")
+        mpr_state = olsr.direct("IMPRState")
+        assert mpr_state is deployment.protocol("mpr").mpr_state
+
+    def test_interface_meta_model_supports_discovery(self, kit):
+        _sim, deployment = kit
+        meta = InterfaceMetaModel(deployment.system.sys_state)
+        assert meta.provides("ISysState")
+        names = [d["name"] for d in meta.interface_descriptions()]
+        assert "ISysState" in names
+
+    def test_netlink_direct_interface(self, kit):
+        _sim, deployment = kit
+        deployment.load_protocol("dymo")
+        netlink = deployment.protocol("dymo").direct("INetlink")
+        assert netlink is deployment.system.find_child("netlink")

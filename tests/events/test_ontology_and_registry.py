@@ -1,0 +1,168 @@
+"""Unit tests: event ontology, events, tuples, registry."""
+
+import pytest
+
+from repro.errors import EventError, UnknownEventType
+from repro.events.event import Event
+from repro.events.registry import EventRegistry, EventTuple, Requirement
+from repro.events.types import EventOntology, ontology as default_ontology
+
+
+class TestOntology:
+    def test_default_vocabulary_present(self):
+        for name in (
+            "HELLO_IN", "TC_OUT", "RE_IN", "NHOOD_CHANGE", "MPR_CHANGE",
+            "NO_ROUTE", "ROUTE_UPDATE", "SEND_ROUTE_ERR", "ROUTE_FOUND",
+            "POWER_STATUS",
+        ):
+            assert default_ontology.has(name)
+
+    def test_polymorphic_matching(self):
+        hello_in = default_ontology.get("HELLO_IN")
+        assert hello_in.is_a(default_ontology.get("MSG_IN"))
+        assert hello_in.is_a(default_ontology.get("EVENT"))
+        assert not hello_in.is_a(default_ontology.get("MSG_OUT"))
+
+    def test_context_hierarchy(self):
+        power = default_ontology.get("POWER_STATUS")
+        assert power.is_a(default_ontology.get("CONTEXT"))
+
+    def test_define_extends_at_runtime(self):
+        onto = EventOntology()
+        onto.define("CUSTOM_BASE")
+        custom = onto.define("CUSTOM_CHILD", "CUSTOM_BASE")
+        assert custom.is_a(onto.get("CUSTOM_BASE"))
+        assert custom.is_a(onto.root)
+
+    def test_define_idempotent(self):
+        onto = EventOntology()
+        onto.define("X")
+        assert onto.define("X") is onto.get("X")
+
+    def test_conflicting_redefinition_rejected(self):
+        onto = EventOntology()
+        onto.define("A")
+        onto.define("B")
+        onto.define("X", "A")
+        with pytest.raises(EventError):
+            onto.define("X", "B")
+
+    def test_unknown_type(self):
+        with pytest.raises(UnknownEventType):
+            EventOntology().get("NOPE")
+
+    def test_lineage(self):
+        assert default_ontology.get("HELLO_IN").lineage() == [
+            "HELLO_IN", "MSG_IN", "EVENT",
+        ]
+
+    def test_root_defaults_for_parentless(self):
+        onto = EventOntology()
+        custom = onto.define("LONER")
+        assert custom.parent is onto.root
+
+
+class TestEvent:
+    def test_matches(self):
+        event = Event(default_ontology.get("TC_IN"))
+        assert event.matches(default_ontology.get("MSG_IN"))
+        assert not event.matches(default_ontology.get("TC_OUT"))
+
+    def test_ids_are_unique(self):
+        first = Event(default_ontology.get("TC_IN"))
+        second = Event(default_ontology.get("TC_IN"))
+        assert first.event_id != second.event_id
+
+    def test_derive_inherits_context(self):
+        original = Event(
+            default_ontology.get("TC_IN"),
+            payload="p",
+            source=4,
+            origin="mpr",
+            timestamp=1.5,
+            meta={"relay": True},
+        )
+        derived = original.derive(default_ontology.get("TC_OUT"), origin="fisheye")
+        assert derived.etype.name == "TC_OUT"
+        assert derived.source == 4
+        assert derived.origin == "fisheye"
+        assert derived.timestamp == 1.5
+        assert derived.meta == {"relay": True}
+        derived.meta["extra"] = 1
+        assert "extra" not in original.meta
+
+
+class TestEventTuple:
+    def test_requirement_coercion(self):
+        tup = EventTuple(
+            required=["A_IN", Requirement("B_IN", exclusive=True)],
+            provided=["C_OUT"],
+        )
+        assert tup.requires("A_IN") and tup.requires("B_IN")
+        assert tup.provides("C_OUT")
+        assert tup.required[1].exclusive
+
+    def test_with_required_and_provided_are_copies(self):
+        base = EventTuple(["A"], ["B"])
+        extended = base.with_required("C").with_provided("D")
+        assert base.required_names() == ["A"]
+        assert extended.required_names() == ["A", "C"]
+        assert extended.provided == ("B", "D")
+
+    def test_bad_requirement_type(self):
+        with pytest.raises(TypeError):
+            EventTuple(required=[42])
+
+
+class TestEventRegistry:
+    def make_registry(self):
+        return EventRegistry(default_ontology)
+
+    def test_dispatch_polymorphic(self):
+        registry = self.make_registry()
+        seen = []
+        registry.register_handler("MSG_IN", seen.append)
+        event = Event(default_ontology.get("HELLO_IN"))
+        assert registry.dispatch(event) == 1
+        assert seen == [event]
+
+    def test_dispatch_order_is_registration_order(self):
+        registry = self.make_registry()
+        order = []
+        registry.register_handler("MSG_IN", lambda e: order.append("first"))
+        registry.register_handler("HELLO_IN", lambda e: order.append("second"))
+        registry.dispatch(Event(default_ontology.get("HELLO_IN")))
+        assert order == ["first", "second"]
+
+    def test_non_matching_handler_skipped(self):
+        registry = self.make_registry()
+        seen = []
+        registry.register_handler("TC_IN", seen.append)
+        assert registry.dispatch(Event(default_ontology.get("HELLO_IN"))) == 0
+        assert seen == []
+
+    def test_unregister(self):
+        registry = self.make_registry()
+        handler = lambda e: None  # noqa: E731
+        registry.register_handler("MSG_IN", handler)
+        registry.register_handler("TC_IN", handler)
+        assert registry.unregister_handler(handler) == 2
+        assert registry.dispatch(Event(default_ontology.get("TC_IN"))) == 0
+
+    def test_handler_table(self):
+        registry = self.make_registry()
+        registry.register_handler("TC_IN", lambda e: None, label="tc-handler")
+        assert registry.handler_table() == [("TC_IN", "tc-handler")]
+
+    def test_sources(self):
+        registry = self.make_registry()
+        source = object()
+        registry.register_source("hello-generator", source)
+        assert registry.sources() == {"hello-generator": source}
+        registry.unregister_source("hello-generator")
+        assert registry.sources() == {}
+
+    def test_unknown_event_type_rejected_eagerly(self):
+        registry = self.make_registry()
+        with pytest.raises(UnknownEventType):
+            registry.register_handler("NOPE", lambda e: None)

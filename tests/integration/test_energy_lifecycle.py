@@ -1,0 +1,80 @@
+"""Energy lifecycle: battery drain feeds back into routing decisions.
+
+The full section-5.1 energy story over time: transmit/receive costs drain
+batteries, the System CF's PowerStatus sensor reports falling levels, the
+WillingnessHandler lowers the node's advertised willingness, and relay
+selection routes around the dying node — extending its lifetime.
+"""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.common import Willingness
+from repro.sim import Simulation, topology
+from repro.sim.node import BatteryModel
+
+import repro.protocols  # noqa: F401
+
+
+def build_diamond_with_draining_relay():
+    """1-{2,3}-4; node 2's battery drains fast with traffic."""
+    sim = Simulation(seed=901)
+    for node_id in (1, 2, 3, 4):
+        battery = None
+        if node_id == 2:
+            battery = BatteryModel(
+                lambda: sim.scheduler.now,
+                idle_rate=0.004,      # dies in ~250 s idle
+                tx_cost=0.0015,
+                rx_cost=0.0005,
+            )
+        sim.add_node(node_id=node_id, battery=battery)
+    sim.topology.apply([(1, 2), (1, 3), (2, 4), (3, 4)])
+    kits = {}
+    for node_id in sim.node_ids():
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol("olsr", tc_interval=1.0)
+        kit.system.load_power_status(interval=2.0)
+        kits[node_id] = kit
+    return sim, kits
+
+
+class TestEnergyFeedback:
+    def test_battery_drains_with_traffic(self):
+        sim, kits = build_diamond_with_draining_relay()
+        level_start = sim.node(2).battery_level()
+        sim.run(60.0)
+        assert sim.node(2).battery_level() < level_start
+        # the healthy nodes stay at full charge (default battery: no drain)
+        assert sim.node(3).battery_level() == 1.0
+
+    def test_willingness_tracks_battery(self):
+        sim, kits = build_diamond_with_draining_relay()
+        sim.run(10.0)
+        state = kits[2].protocol("mpr").mpr_state
+        assert state.own_willingness >= int(Willingness.DEFAULT)
+        sim.run(140.0)  # battery well below 0.5 by now
+        assert state.own_willingness <= int(Willingness.LOW)
+
+    def test_relay_selection_abandons_dying_node(self):
+        sim, kits = build_diamond_with_draining_relay()
+        sim.run(10.0)
+        # early on: either relay is acceptable
+        sim.run(180.0)  # node 2 nearly flat -> advertises NEVER/LOW
+        # relay duty shifts entirely to the healthy node...
+        assert kits[1].protocol("mpr").mpr_state.mpr_set == {3}
+        assert kits[4].protocol("mpr").mpr_state.mpr_set == {3}
+        # ...so the dying node has no selectors left and relays nothing
+        # (RFC-correct OLSR still *unicasts* over any symmetric link; only
+        # the power-aware variant changes path selection itself)
+        assert kits[2].protocol("mpr").selectors() == []
+
+    def test_traffic_still_flows_around_the_dying_node(self):
+        sim, kits = build_diamond_with_draining_relay()
+        sim.run(190.0)
+        got = []
+        sim.node(4).add_app_receiver(got.append)
+        sim.start_cbr(1, 4, interval=0.5, count=10)
+        sim.run(6.0)
+        assert len(got) == 10

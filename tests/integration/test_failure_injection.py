@@ -1,0 +1,146 @@
+"""Failure injection: the stack under churn, partitions and restarts."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+FAST_OLSR = {"mpr": {"hello_interval": 0.5}, "olsr": {"tc_interval": 1.0}}
+
+
+def build(protocol, node_count, seed, edges=None):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(
+        edges if edges is not None else topology.linear_chain(ids)
+    )
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        if protocol == "olsr":
+            kit.load_protocol("mpr", **FAST_OLSR["mpr"])
+            kit.load_protocol("olsr", **FAST_OLSR["olsr"])
+        else:
+            kit.load_protocol(protocol)
+        kits[nid] = kit
+    return sim, ids, kits
+
+
+class TestPartitionAndHeal:
+    def test_olsr_partition_heals(self):
+        sim, ids, kits = build("olsr", 6, seed=701)
+        sim.run(15.0)
+        # partition the chain in the middle
+        sim.topology.break_edge(ids[2], ids[3])
+        sim.run(20.0)
+        left = kits[ids[0]].protocol("olsr").routing_table()
+        assert set(left) == {ids[1], ids[2]}
+        # heal
+        sim.topology.add_edge(ids[2], ids[3])
+        sim.run(20.0)
+        healed = kits[ids[0]].protocol("olsr").routing_table()
+        assert set(healed) == set(ids) - {ids[0]}
+
+    def test_dymo_rediscovers_after_heal(self):
+        sim, ids, kits = build("dymo", 5, seed=702)
+        sim.run(5.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"before")
+        sim.run(2.0)
+        assert len(got) == 1
+        sim.topology.break_edge(ids[1], ids[2])
+        sim.run(8.0)  # routes invalidated via RERR/hold-time
+        sim.node(ids[0]).send_data(ids[-1], b"during")
+        sim.run(8.0)
+        assert len(got) == 1  # unreachable: discovery fails, packet dropped
+        sim.topology.add_edge(ids[1], ids[2])
+        sim.run(4.0)
+        sim.node(ids[0]).send_data(ids[-1], b"after")
+        sim.run(4.0)
+        assert len(got) == 2  # healed: discovery succeeds again
+
+
+class TestNodeChurn:
+    def test_dymo_under_serial_node_restarts(self):
+        """Kill and resurrect the middle relay; traffic recovers."""
+        sim, ids, kits = build("dymo", 5, seed=703)
+        sim.run(5.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        assert len(got) == 1
+        # kill the relay node entirely
+        middle = ids[2]
+        kits[middle].shutdown()
+        sim.remove_node(middle)
+        sim.run(10.0)
+        # resurrect it (fresh node object, fresh deployment, same id)
+        node = sim.add_node(node_id=middle)
+        kits[middle] = ManetKit(node)
+        kits[middle].load_protocol("dymo")
+        sim.topology.add_edge(ids[1], middle)
+        sim.topology.add_edge(middle, ids[3])
+        sim.run(5.0)
+        sim.node(ids[0]).send_data(ids[-1], b"y")
+        sim.run(4.0)
+        assert len(got) == 2
+
+    def test_olsr_forgets_dead_node_topology(self):
+        sim, ids, kits = build("olsr", 5, seed=704)
+        sim.run(15.0)
+        victim = ids[-1]
+        kits[victim].shutdown()
+        sim.remove_node(victim)
+        sim.run(25.0)  # hold times + topology expiry
+        for nid in ids[:-1]:
+            table = kits[nid].protocol("olsr").routing_table()
+            assert victim not in table, nid
+
+
+class TestStateCarryOverOnRestart:
+    def test_protocol_switch_preserves_learned_routes(self):
+        """switch_protocol carries the S element: routes survive a swap of
+        the entire DYMO instance for a fresh one."""
+        from repro.protocols.dymo.protocol import DymoCF
+
+        sim, ids, kits = build("dymo", 4, seed=705)
+        sim.run(5.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        kit = kits[ids[0]]
+        old_state = kit.protocol("dymo").dymo_state
+        learned = {r.destination for r in old_state.table if r.valid}
+        assert learned
+        replacement = DymoCF(kit.ontology)
+        kit.reconfig.switch_protocol("dymo", replacement)
+        new_state = kit.protocol("dymo").dymo_state
+        assert new_state is not old_state
+        carried = {r.destination for r in new_state.table if r.valid}
+        assert carried == learned
+        assert new_state.own_seqnum == old_state.own_seqnum
+
+
+class TestAsymmetricLinks:
+    def test_olsr_refuses_asymmetric_links(self):
+        """A one-way link never becomes a route (RFC 3626 link sensing)."""
+        sim = Simulation(seed=706)
+        sim.add_nodes(2)
+        a, b = sim.node_ids()
+        # b hears a, but a does not hear b
+        sim.medium.set_link(a, b, symmetric=False)
+        kits = {nid: ManetKit(sim.node(nid)) for nid in (a, b)}
+        for kit in kits.values():
+            kit.load_protocol("mpr", **FAST_OLSR["mpr"])
+            kit.load_protocol("olsr", **FAST_OLSR["olsr"])
+        sim.run(15.0)
+        mpr_b = kits[b].protocol("mpr")
+        assert mpr_b.mpr_state.heard_neighbours(sim.now) == [a]
+        assert mpr_b.symmetric_neighbours() == []
+        assert kits[b].protocol("olsr").routing_table() == {}

@@ -1,0 +1,147 @@
+"""The real-time UDP backend: unmodified protocols over real sockets.
+
+These tests use wall-clock time and loopback UDP sockets — they are the
+"porting" claim (goal 3) made executable.  Timings are kept short but
+generous enough for loaded CI machines.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ManetKit
+from repro.rt import RealTimeScheduler, UdpNetwork
+
+import repro.protocols  # noqa: F401
+
+
+def wait_for(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def udp_chain3():
+    net = UdpNetwork()
+    nodes = [net.add_node() for _ in range(3)]
+    ids = net.node_ids()
+    net.set_connectivity([(ids[0], ids[1]), (ids[1], ids[2])])
+    yield net, ids, nodes
+    net.shutdown()
+
+
+class TestRealTimeScheduler:
+    def test_call_later_fires(self):
+        scheduler = RealTimeScheduler()
+        fired = []
+        scheduler.call_later(0.05, fired.append, 1)
+        assert wait_for(lambda: fired == [1], timeout=2.0)
+        scheduler.shutdown()
+
+    def test_cancel(self):
+        scheduler = RealTimeScheduler()
+        fired = []
+        handle = scheduler.call_later(0.2, fired.append, 1)
+        handle.cancel()
+        time.sleep(0.4)
+        assert fired == []
+        scheduler.shutdown()
+
+    def test_ordering(self):
+        scheduler = RealTimeScheduler()
+        fired = []
+        scheduler.call_later(0.10, fired.append, "b")
+        scheduler.call_later(0.05, fired.append, "a")
+        assert wait_for(lambda: len(fired) == 2, timeout=2.0)
+        assert fired == ["a", "b"]
+        scheduler.shutdown()
+
+    def test_callback_error_contained(self):
+        scheduler = RealTimeScheduler()
+        fired = []
+        scheduler.call_later(0.01, lambda: 1 / 0)
+        scheduler.call_later(0.05, fired.append, 1)
+        assert wait_for(lambda: fired == [1], timeout=2.0)
+        assert len(scheduler.errors) == 1
+        scheduler.shutdown()
+
+    def test_shutdown_rejects_new_work(self):
+        scheduler = RealTimeScheduler()
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.call_later(0.01, lambda: None)
+
+
+class TestDymoOverUdp:
+    def test_discovery_and_delivery_over_real_sockets(self, udp_chain3):
+        net, ids, nodes = udp_chain3
+        kits = [ManetKit(node) for node in nodes]
+        for kit in kits:
+            kit.load_protocol("dymo")
+        # hello exchange over real UDP
+        nd = kits[1].protocol("neighbour-detection")
+        assert wait_for(lambda: nd.table.neighbours() == [ids[0], ids[2]])
+        got = []
+        nodes[2].add_app_receiver(got.append)
+        nodes[0].send_data(ids[2], b"over real sockets")
+        assert wait_for(lambda: got, timeout=5.0)
+        assert got[0].payload == b"over real sockets"
+        # path accumulation populated the kernel via the same ISysState path
+        assert nodes[0].kernel_table.lookup(ids[2]) is not None
+
+    def test_connectivity_filter_enforced(self, udp_chain3):
+        net, ids, nodes = udp_chain3
+        kits = [ManetKit(node) for node in nodes]
+        for kit in kits:
+            kit.load_protocol("dymo")
+        nd_end = kits[0].protocol("neighbour-detection")
+        assert wait_for(lambda: nd_end.table.neighbours() == [ids[1]])
+        # the two chain ends never hear each other directly
+        assert ids[2] not in nd_end.table.neighbours()
+
+
+class TestOlsrOverUdp:
+    def test_proactive_convergence_in_real_time(self):
+        net = UdpNetwork()
+        nodes = [net.add_node() for _ in range(3)]
+        ids = net.node_ids()
+        net.set_connectivity([(ids[0], ids[1]), (ids[1], ids[2])])
+        try:
+            kits = [ManetKit(node) for node in nodes]
+            for kit in kits:
+                kit.load_protocol("mpr", hello_interval=0.3)
+                kit.load_protocol("olsr", tc_interval=0.5)
+            olsr = kits[0].protocol("olsr")
+            assert wait_for(
+                lambda: set(olsr.routing_table()) == {ids[1], ids[2]},
+                timeout=15.0,
+            )
+            assert olsr.routing_table()[ids[2]] == (ids[1], 2)
+            got = []
+            nodes[2].add_app_receiver(got.append)
+            nodes[0].send_data(ids[2], b"proactive over UDP")
+            assert wait_for(lambda: got, timeout=3.0)
+        finally:
+            net.shutdown()
+
+    def test_link_break_detected_in_real_time(self):
+        net = UdpNetwork()
+        nodes = [net.add_node() for _ in range(2)]
+        ids = net.node_ids()
+        net.set_connectivity([(ids[0], ids[1])])
+        try:
+            kits = [ManetKit(node) for node in nodes]
+            for kit in kits:
+                kit.load_protocol("mpr", hello_interval=0.2)
+            mpr = kits[0].protocol("mpr")
+            assert wait_for(lambda: mpr.symmetric_neighbours() == [ids[1]],
+                            timeout=10.0)
+            net.set_link(ids[0], ids[1], up=False)
+            assert wait_for(lambda: mpr.symmetric_neighbours() == [],
+                            timeout=10.0)
+        finally:
+            net.shutdown()

@@ -1,0 +1,217 @@
+"""Tests: the monolithic comparator daemons (olsrd / DYMOUM stand-ins)."""
+
+import networkx as nx
+import pytest
+
+from repro.monolithic import DymoumDaemon, OlsrdDaemon
+from repro.sim import Simulation, topology
+
+
+def build_olsrd(node_count, seed=81, **kwargs):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    daemons = {}
+    for node_id in ids:
+        daemon = OlsrdDaemon(sim.node(node_id), hello_interval=0.5,
+                             tc_interval=1.0, **kwargs)
+        daemon.start()
+        daemons[node_id] = daemon
+    return sim, ids, daemons
+
+
+def build_dymoum(node_count, seed=82, **kwargs):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    daemons = {}
+    for node_id in ids:
+        daemon = DymoumDaemon(sim.node(node_id), **kwargs)
+        daemon.start()
+        daemons[node_id] = daemon
+    return sim, ids, daemons
+
+
+class TestOlsrd:
+    def test_convergence_matches_shortest_paths(self):
+        sim, ids, daemons = build_olsrd(5)
+        sim.run(15.0)
+        graph = topology.to_graph(ids, topology.linear_chain(ids))
+        for node_id in ids:
+            table = daemons[node_id].routing_table()
+            expected = nx.single_source_shortest_path_length(graph, node_id)
+            expected.pop(node_id)
+            assert set(table) == set(expected)
+            for destination, (_next_hop, hops) in table.items():
+                assert hops == expected[destination]
+
+    def test_data_delivery(self):
+        sim, ids, daemons = build_olsrd(5)
+        sim.run(15.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(1.0)
+        assert len(got) == 1
+
+    def test_link_break_convergence(self):
+        sim, ids, daemons = build_olsrd(4)
+        sim.run(15.0)
+        sim.topology.break_edge(ids[1], ids[2])
+        sim.run(20.0)
+        assert set(daemons[ids[0]].routing_table()) == {ids[1]}
+
+    def test_stop_silences_daemon(self):
+        sim, ids, daemons = build_olsrd(2)
+        sim.run(5.0)
+        daemons[ids[0]].stop()
+        before = sim.stats.control_tx_frames[ids[0]]
+        sim.run(5.0)
+        assert sim.stats.control_tx_frames[ids[0]] == before
+
+    def test_processing_delay_charged(self):
+        # per-message processing delay pushes convergence measurably later
+        def convergence_time(processing_delay):
+            sim, ids, daemons = build_olsrd(
+                3, processing_delay=processing_delay
+            )
+            while sim.now < 30.0:
+                sim.run(0.05)
+                if len(daemons[ids[0]].routing_table()) == 2:
+                    return sim.now
+            return 30.0
+
+        assert convergence_time(0.5) > convergence_time(0.0)
+
+    def test_mpr_selection_on_chain(self):
+        sim, ids, daemons = build_olsrd(3)
+        sim.run(10.0)
+        assert daemons[ids[0]].mpr_set == {ids[1]}
+        assert daemons[ids[1]].mpr_set == set()
+
+
+class TestDymoum:
+    def test_route_discovery(self):
+        sim, ids, daemons = build_dymoum(5)
+        sim.run(5.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        assert len(got) == 1
+        assert (ids[-1], ids[1], 4) in [
+            (d, nh, h) for d, nh, h in daemons[ids[0]].routing_table()
+        ]
+
+    def test_path_accumulation(self):
+        sim, ids, daemons = build_dymoum(5)
+        sim.run(5.0)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        middle = {d for d, _nh, _h in daemons[ids[2]].routing_table()}
+        assert {ids[0], ids[-1]} <= middle
+
+    def test_route_expiry(self):
+        sim, ids, daemons = build_dymoum(3, route_timeout=2.0)
+        sim.run(5.0)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(1.0)
+        assert any(d == ids[-1] for d, _n, _h in daemons[ids[0]].routing_table())
+        sim.run(5.0)
+        assert not any(
+            d == ids[-1] for d, _n, _h in daemons[ids[0]].routing_table()
+        )
+
+    def test_libipq_delay_slows_discovery(self):
+        def discovery_time(processing_delay):
+            sim, ids, daemons = build_dymoum(
+                5, processing_delay=processing_delay
+            )
+            sim.run(5.0)
+            got = []
+            sim.node(ids[-1]).add_app_receiver(got.append)
+            start = sim.now
+            sim.node(ids[0]).send_data(ids[-1], b"x")
+            while sim.now - start < 3.0 and not got:
+                sim.run(0.001)
+            assert got
+            return sim.now - start
+
+        fast = discovery_time(0.0)
+        slow = discovery_time(0.0012)
+        assert slow > fast
+
+    def test_retry_until_give_up(self):
+        sim, ids, daemons = build_dymoum(3, rreq_tries=2, rreq_wait=0.5)
+        sim.run(3.0)
+        sim.node(ids[0]).send_data(99, b"x")
+        assert 99 in daemons[ids[0]].pending
+        sim.run(5.0)
+        assert 99 not in daemons[ids[0]].pending
+        assert 99 not in daemons[ids[0]].buffers
+
+    def test_neighbour_loss_rerr(self):
+        sim, ids, daemons = build_dymoum(4)
+        sim.run(5.0)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        sim.topology.break_edge(ids[2], ids[3])
+        sim.run(8.0)
+        assert not any(
+            d == ids[-1] for d, _n, _h in daemons[ids[0]].routing_table()
+        )
+
+
+class TestCrossComparison:
+    """MANETKit and monolith implement the same protocol behaviour."""
+
+    def test_olsr_tables_agree(self):
+        from repro.core import ManetKit
+        import repro.protocols  # noqa: F401
+
+        sim, ids, daemons = build_olsrd(4)
+        sim.run(15.0)
+        sim2 = Simulation(seed=81)
+        sim2.add_nodes(4)
+        ids2 = sim2.node_ids()
+        sim2.topology.apply(topology.linear_chain(ids2))
+        kits = {}
+        for node_id in ids2:
+            kit = ManetKit(sim2.node(node_id))
+            kit.load_protocol("mpr", hello_interval=0.5)
+            kit.load_protocol("olsr", tc_interval=1.0)
+            kits[node_id] = kit
+        sim2.run(15.0)
+        for node_id, node_id2 in zip(ids, ids2):
+            assert daemons[node_id].routing_table() == (
+                kits[node_id2].protocol("olsr").routing_table()
+            )
+
+    def test_dymo_hop_counts_agree(self):
+        from repro.core import ManetKit
+        import repro.protocols  # noqa: F401
+
+        sim, ids, daemons = build_dymoum(5)
+        sim.run(5.0)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        mono = {d: h for d, _n, h in daemons[ids[0]].routing_table()}
+
+        sim2 = Simulation(seed=82)
+        sim2.add_nodes(5)
+        ids2 = sim2.node_ids()
+        sim2.topology.apply(topology.linear_chain(ids2))
+        kits = {nid: ManetKit(sim2.node(nid)) for nid in ids2}
+        for nid in ids2:
+            kits[nid].load_protocol("dymo")
+        sim2.run(5.0)
+        sim2.node(ids2[0]).send_data(ids2[-1], b"x")
+        sim2.run(2.0)
+        mkit = {
+            r.destination: r.hop_count
+            for r in kits[ids2[0]].protocol("dymo").routing_table()
+            if r.valid
+        }
+        assert mono.get(ids[-1]) == mkit.get(ids2[-1]) == 4

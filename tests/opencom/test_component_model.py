@@ -1,0 +1,162 @@
+"""Unit tests: OpenCom components, interfaces, receptacles, bindings."""
+
+import pytest
+
+from repro.errors import (
+    BindingError,
+    InterfaceNotFound,
+    LifecycleError,
+    ReceptacleNotFound,
+)
+from repro.opencom.binding import Binding
+from repro.opencom.component import Component
+
+
+class Greeter(Component):
+    def __init__(self, name="greeter"):
+        super().__init__(name)
+        self.provide_interface("IGreet", "IGreet")
+
+    def greet(self):
+        return f"hello from {self.name}"
+
+
+class Consumer(Component):
+    def __init__(self, name="consumer", multiple=False):
+        super().__init__(name)
+        self.add_receptacle("greeter", "IGreet", multiple=multiple)
+
+
+class TestDeclaration:
+    def test_interface_lookup(self):
+        greeter = Greeter()
+        iface = greeter.interface("IGreet")
+        assert iface.iface_type == "IGreet"
+        assert iface.target is greeter
+
+    def test_interface_missing(self):
+        with pytest.raises(InterfaceNotFound):
+            Greeter().interface("nope")
+
+    def test_receptacle_missing(self):
+        with pytest.raises(ReceptacleNotFound):
+            Consumer().receptacle("nope")
+
+    def test_find_interface_by_type(self):
+        greeter = Greeter()
+        assert greeter.find_interface_by_type("IGreet") is not None
+        assert greeter.find_interface_by_type("IOther") is None
+
+    def test_interface_external_target(self):
+        backing = object()
+        component = Component("holder")
+        iface = component.provide_interface("ISvc", "ISvc", target=backing)
+        assert iface.target is backing
+
+
+class TestBinding:
+    def test_call_through(self):
+        greeter, consumer = Greeter(), Consumer()
+        Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+        assert consumer.receptacle("greeter").call("greet") == "hello from greeter"
+
+    def test_provider_access(self):
+        greeter, consumer = Greeter(), Consumer()
+        Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+        assert consumer.receptacle("greeter").provider() is greeter
+
+    def test_unbound_receptacle_raises(self):
+        with pytest.raises(ReceptacleNotFound):
+            Consumer().receptacle("greeter").provider()
+
+    def test_type_mismatch_rejected(self):
+        other = Component("other")
+        other.provide_interface("IOther", "IOther")
+        consumer = Consumer()
+        with pytest.raises(BindingError):
+            Binding(consumer.receptacle("greeter"), other.interface("IOther"))
+
+    def test_single_receptacle_rejects_second_binding(self):
+        consumer = Consumer()
+        a, b = Greeter("a"), Greeter("b")
+        Binding(consumer.receptacle("greeter"), a.interface("IGreet"))
+        with pytest.raises(BindingError):
+            Binding(consumer.receptacle("greeter"), b.interface("IGreet"))
+
+    def test_multi_receptacle_fans_out(self):
+        consumer = Consumer(multiple=True)
+        providers = [Greeter(f"g{i}") for i in range(3)]
+        for greeter in providers:
+            Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+        assert consumer.receptacle("greeter").providers() == providers
+
+    def test_duplicate_binding_rejected(self):
+        consumer = Consumer(multiple=True)
+        greeter = Greeter()
+        Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+        with pytest.raises(BindingError):
+            Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+
+    def test_destroy_is_idempotent(self):
+        consumer, greeter = Consumer(), Greeter()
+        binding = Binding(consumer.receptacle("greeter"), greeter.interface("IGreet"))
+        binding.destroy()
+        binding.destroy()
+        assert not consumer.receptacle("greeter").connected
+
+
+class TestLifecycle:
+    def test_transitions(self):
+        component = Component("c")
+        assert component.lifecycle == Component.CREATED
+        component.start()
+        assert component.lifecycle == Component.STARTED
+        component.stop()
+        assert component.lifecycle == Component.STOPPED
+        component.start()
+        assert component.lifecycle == Component.STARTED
+        component.destroy()
+        assert component.lifecycle == Component.DESTROYED
+
+    def test_start_idempotent(self):
+        hooks = []
+
+        class Probe(Component):
+            def on_start(self):
+                hooks.append("start")
+
+        probe = Probe("p")
+        probe.start()
+        probe.start()
+        assert hooks == ["start"]
+
+    def test_destroyed_cannot_restart(self):
+        component = Component("c")
+        component.destroy()
+        with pytest.raises(LifecycleError):
+            component.start()
+
+    def test_destroy_stops_first(self):
+        hooks = []
+
+        class Probe(Component):
+            def on_stop(self):
+                hooks.append("stop")
+
+            def on_destroy(self):
+                hooks.append("destroy")
+
+        probe = Probe("p")
+        probe.start()
+        probe.destroy()
+        assert hooks == ["stop", "destroy"]
+
+    def test_stop_without_start_is_noop(self):
+        component = Component("c")
+        component.stop()
+        assert component.lifecycle == Component.CREATED
+
+    def test_default_state_transfer_is_empty(self):
+        component = Component("c")
+        assert component.get_state() == {}
+        component.set_state({"anything": 1})  # must not raise

@@ -1,0 +1,286 @@
+"""Unit tests: component frameworks, integrity rules, meta-models, quiescence."""
+
+import threading
+
+import pytest
+
+from repro.errors import BindingError, IntegrityError, QuiescenceError
+from repro.opencom.component import Component
+from repro.opencom.framework import ComponentFramework, Mutation
+from repro.opencom.meta import ArchitectureMetaModel, InterfaceMetaModel
+from repro.opencom.quiescence import QuiescenceManager
+
+
+class Producer(Component):
+    def __init__(self, name="producer", value=1):
+        super().__init__(name)
+        self.value = value
+        self.provide_interface("IValue", "IValue")
+
+    def read(self):
+        return self.value
+
+    def get_state(self):
+        return {"value": self.value}
+
+    def set_state(self, state):
+        self.value = state.get("value", self.value)
+
+
+class Reader(Component):
+    def __init__(self, name="reader"):
+        super().__init__(name)
+        self.add_receptacle("source", "IValue")
+
+    def read(self):
+        return self.receptacle("source").call("read")
+
+
+class TestCompositeStructure:
+    def test_insert_and_lookup(self):
+        cf = ComponentFramework("cf")
+        producer = cf.insert(Producer())
+        assert cf.child("producer") is producer
+        assert cf.has_child("producer")
+        assert cf.child_names() == ["producer"]
+        assert producer.parent is cf
+
+    def test_duplicate_name_rejected(self):
+        cf = ComponentFramework("cf")
+        cf.insert(Producer())
+        with pytest.raises(IntegrityError):
+            cf.insert(Producer())
+
+    def test_remove_severs_bindings(self):
+        cf = ComponentFramework("cf")
+        producer, reader = cf.insert(Producer()), cf.insert(Reader())
+        cf.connect(reader, "source", producer)
+        cf.remove("producer")
+        assert not cf.has_child("producer")
+        assert cf.internal_bindings() == []
+        assert producer.parent is None
+
+    def test_lifecycle_cascades(self):
+        cf = ComponentFramework("cf")
+        producer = cf.insert(Producer())
+        cf.start()
+        assert producer.lifecycle == Component.STARTED
+        late = cf.insert(Producer("late"))
+        assert late.lifecycle == Component.STARTED  # started on insert
+        cf.stop()
+        assert producer.lifecycle == Component.STOPPED
+
+    def test_destroy_clears_children(self):
+        cf = ComponentFramework("cf")
+        cf.insert(Producer())
+        cf.destroy()
+        assert cf.children() == []
+
+    def test_nesting(self):
+        outer = ComponentFramework("outer")
+        inner = ComponentFramework("inner")
+        outer.insert(inner)
+        inner.insert(Producer())
+        outer.start()
+        assert inner.child("producer").lifecycle == Component.STARTED
+
+
+class TestIntegrityRules:
+    def test_rule_vetoes_insert(self):
+        cf = ComponentFramework("cf")
+
+        def at_most_one(framework, mutation):
+            if mutation.kind == "insert" and framework.children():
+                raise IntegrityError("only one child allowed")
+
+        cf.register_integrity_rule(at_most_one)
+        cf.insert(Producer("a"))
+        with pytest.raises(IntegrityError):
+            cf.insert(Producer("b"))
+        assert cf.child_names() == ["a"]
+
+    def test_rule_sees_mutation_details(self):
+        seen = []
+        cf = ComponentFramework("cf")
+        cf.register_integrity_rule(lambda f, m: seen.append((m.kind, m.component)))
+        producer = cf.insert(Producer())
+        cf.remove("producer")
+        assert [kind for kind, _c in seen] == ["insert", "remove"]
+        assert seen[0][1] is producer
+
+    def test_rule_vetoes_bind_and_binding_is_undone(self):
+        cf = ComponentFramework("cf")
+        producer, reader = cf.insert(Producer()), cf.insert(Reader())
+
+        def no_bindings(framework, mutation):
+            if mutation.kind == "bind":
+                raise IntegrityError("no bindings allowed")
+
+        cf.register_integrity_rule(no_bindings)
+        with pytest.raises(IntegrityError):
+            cf.connect(reader, "source", producer)
+        assert not reader.receptacle("source").connected
+        assert cf.internal_bindings() == []
+
+
+class TestReplace:
+    def test_replace_transfers_state_and_rewires(self):
+        cf = ComponentFramework("cf")
+        producer, reader = cf.insert(Producer(value=42)), cf.insert(Reader())
+        cf.connect(reader, "source", producer)
+        cf.start()
+        replacement = Producer("producer", value=0)
+        old = cf.replace("producer", replacement)
+        assert old is producer
+        assert replacement.value == 42          # state carried over
+        assert reader.read() == 42              # rewired to the replacement
+        assert replacement.lifecycle == Component.STARTED
+        assert old.lifecycle == Component.STOPPED
+
+    def test_replace_without_state_transfer(self):
+        cf = ComponentFramework("cf")
+        cf.insert(Producer(value=42))
+        cf.replace("producer", Producer("producer", value=7), transfer_state=False)
+        assert cf.child("producer").value == 7
+
+    def test_replace_missing_interface_rejected(self):
+        cf = ComponentFramework("cf")
+        producer, reader = cf.insert(Producer()), cf.insert(Reader())
+        cf.connect(reader, "source", producer)
+        with pytest.raises(BindingError):
+            cf.replace("producer", Component("producer"))
+
+    def test_replace_recreates_self_bindings_on_replacement(self):
+        """Regression (found by the stateful property test): replacing a
+        component with a self-binding must not resurrect the dead
+        component's receptacle."""
+
+        class Loop(Component):
+            def __init__(self, name="loop"):
+                super().__init__(name)
+                self.provide_interface("IValue", "IValue")
+                self.add_receptacle("source", "IValue")
+
+        cf = ComponentFramework("cf")
+        loop = cf.insert(Loop())
+        cf.connect(loop, "source", loop)  # self-binding
+        replacement = Loop("loop")
+        cf.replace("loop", replacement)
+        [binding] = cf.internal_bindings()
+        assert binding.receptacle.owner is replacement
+        assert binding.interface.provider is replacement
+        assert not loop.receptacle("source").connected
+
+    def test_replace_rewires_outbound_receptacles(self):
+        cf = ComponentFramework("cf")
+        producer = cf.insert(Producer())
+        reader = cf.insert(Reader())
+        cf.connect(reader, "source", producer)
+        replacement = Reader("reader")
+        cf.replace("reader", replacement)
+        assert replacement.read() == 1
+
+
+class TestMetaModels:
+    def test_interface_meta_model(self):
+        producer = Producer()
+        meta = InterfaceMetaModel(producer)
+        assert meta.provides("IValue")
+        assert not meta.requires("IValue")
+        descriptions = meta.interface_descriptions()
+        assert {"name": "IValue", "type": "IValue", "provider": "producer"} in descriptions
+
+    def test_interface_meta_model_receptacles(self):
+        meta = InterfaceMetaModel(Reader())
+        assert meta.requires("IValue")
+        [description] = meta.receptacle_descriptions()
+        assert description["bound"] == 0
+
+    def test_architecture_meta_model_inspection(self):
+        cf = ComponentFramework("cf")
+        producer, reader = cf.insert(Producer()), cf.insert(Reader())
+        meta = ArchitectureMetaModel(cf)
+        meta.connect("reader", "source", "producer")
+        assert meta.component_names() == ["producer", "reader"]
+        assert meta.graph() == {"producer": [], "reader": ["producer"]}
+        assert len(meta.bindings()) == 1
+
+    def test_architecture_meta_model_mutation_respects_rules(self):
+        cf = ComponentFramework("cf")
+        cf.register_integrity_rule(
+            lambda f, m: (_ for _ in ()).throw(IntegrityError("frozen"))
+            if m.kind == "insert"
+            else None
+        )
+        meta = ArchitectureMetaModel(cf)
+        with pytest.raises(IntegrityError):
+            meta.insert(Producer())
+
+
+class TestQuiescence:
+    def test_locks_held_and_released(self):
+        cfs = [ComponentFramework(f"cf{i}") for i in range(3)]
+        with QuiescenceManager(cfs) as quiescence:
+            assert quiescence.quiescent
+            # locks are reentrant for the holder
+            for cf in cfs:
+                assert cf.lock.acquire(blocking=False)
+                cf.lock.release()
+        # another thread can now take them
+        acquired = []
+
+        def try_acquire():
+            for cf in cfs:
+                if cf.lock.acquire(blocking=False):
+                    acquired.append(cf.name)
+                    cf.lock.release()
+
+        thread = threading.Thread(target=try_acquire)
+        thread.start()
+        thread.join()
+        assert len(acquired) == 3
+
+    def test_transaction_applies_in_order(self):
+        cf = ComponentFramework("cf")
+        log = []
+        steps = [
+            (lambda: log.append("a"), lambda: log.append("undo-a")),
+            (lambda: log.append("b"), lambda: log.append("undo-b")),
+        ]
+        with QuiescenceManager([cf]) as quiescence:
+            quiescence.run_transaction(steps)
+        assert log == ["a", "b"]
+
+    def test_transaction_rolls_back_on_failure(self):
+        cf = ComponentFramework("cf")
+        log = []
+
+        def boom():
+            raise RuntimeError("step failed")
+
+        steps = [
+            (lambda: log.append("a"), lambda: log.append("undo-a")),
+            (boom, lambda: log.append("undo-boom")),
+        ]
+        with QuiescenceManager([cf]) as quiescence:
+            with pytest.raises(QuiescenceError):
+                quiescence.run_transaction(steps)
+        assert log == ["a", "undo-a"]
+
+    def test_transaction_requires_quiescence(self):
+        manager = QuiescenceManager([ComponentFramework("cf")])
+        with pytest.raises(QuiescenceError):
+            manager.run_transaction([])
+
+    def test_empty_framework_list_rejected(self):
+        with pytest.raises(QuiescenceError):
+            QuiescenceManager([])
+
+    def test_double_acquire_rejected(self):
+        manager = QuiescenceManager([ComponentFramework("cf")])
+        manager.acquire()
+        try:
+            with pytest.raises(QuiescenceError):
+                manager.acquire()
+        finally:
+            manager.release()

@@ -1,0 +1,141 @@
+"""Unit tests: the OpenCom runtime kernel."""
+
+import pytest
+
+from repro.errors import (
+    BindingError,
+    ComponentAlreadyRegistered,
+    ComponentNotRegistered,
+    LifecycleError,
+)
+from repro.opencom.component import Component
+from repro.opencom.kernel import OpenComKernel
+
+
+class Widget(Component):
+    def __init__(self, name="widget"):
+        super().__init__(name)
+        self.provide_interface("IWidget", "IWidget")
+
+
+class Holder(Component):
+    def __init__(self, name="holder"):
+        super().__init__(name)
+        self.add_receptacle("widget", "IWidget")
+
+
+@pytest.fixture
+def kernel():
+    kernel = OpenComKernel()
+    kernel.load("widget", Widget)
+    kernel.load("holder", Holder)
+    return kernel
+
+
+class TestLoading:
+    def test_load_and_list(self, kernel):
+        assert kernel.loaded_names() == ["holder", "widget"]
+        assert kernel.is_loaded("widget")
+
+    def test_double_load_rejected(self, kernel):
+        with pytest.raises(ComponentAlreadyRegistered):
+            kernel.load("widget", Widget)
+
+    def test_unload(self, kernel):
+        kernel.unload("widget")
+        assert not kernel.is_loaded("widget")
+        with pytest.raises(ComponentNotRegistered):
+            kernel.instantiate("widget")
+
+    def test_unload_unknown(self, kernel):
+        with pytest.raises(ComponentNotRegistered):
+            kernel.unload("nope")
+
+    def test_unload_keeps_live_instances(self, kernel):
+        widget = kernel.instantiate("widget")
+        kernel.unload("widget")
+        assert widget in kernel.instances()
+
+
+class TestInstantiation:
+    def test_instantiate(self, kernel):
+        widget = kernel.instantiate("widget")
+        assert isinstance(widget, Widget)
+        assert widget in kernel.instances()
+
+    def test_instantiate_with_args(self, kernel):
+        widget = kernel.instantiate("widget", "custom-name")
+        assert widget.name == "custom-name"
+
+    def test_instantiate_unknown(self, kernel):
+        with pytest.raises(ComponentNotRegistered):
+            kernel.instantiate("nope")
+
+    def test_destroy_severs_bindings(self, kernel):
+        widget = kernel.instantiate("widget")
+        holder = kernel.instantiate("holder")
+        kernel.bind(holder, "widget", widget)
+        kernel.destroy_instance(widget)
+        assert widget not in kernel.instances()
+        assert widget.lifecycle == Component.DESTROYED
+        assert not holder.receptacle("widget").connected
+        assert kernel.bindings() == []
+
+    def test_adopt(self, kernel):
+        external = Widget("external")
+        kernel.adopt(external)
+        kernel.adopt(external)
+        assert kernel.instances().count(external) == 1
+
+
+class TestComposition:
+    def test_bind_by_type(self, kernel):
+        widget = kernel.instantiate("widget")
+        holder = kernel.instantiate("holder")
+        binding = kernel.bind(holder, "widget", widget)
+        assert binding.alive
+        assert holder.receptacle("widget").provider() is widget
+
+    def test_bind_by_interface_name(self, kernel):
+        widget = kernel.instantiate("widget")
+        holder = kernel.instantiate("holder")
+        kernel.bind(holder, "widget", widget, interface_name="IWidget")
+        assert holder.receptacle("widget").connected
+
+    def test_bind_no_matching_type(self, kernel):
+        holder = kernel.instantiate("holder")
+        other = kernel.instantiate("holder", "other")
+        with pytest.raises(BindingError):
+            kernel.bind(holder, "widget", other)
+
+    def test_unbind(self, kernel):
+        widget = kernel.instantiate("widget")
+        holder = kernel.instantiate("holder")
+        binding = kernel.bind(holder, "widget", widget)
+        kernel.unbind(binding)
+        assert not binding.alive
+        assert kernel.bindings() == []
+
+    def test_bindings_of(self, kernel):
+        widget = kernel.instantiate("widget")
+        holder = kernel.instantiate("holder")
+        binding = kernel.bind(holder, "widget", widget)
+        assert kernel.bindings_of(widget) == [binding]
+        assert kernel.bindings_of(holder) == [binding]
+
+
+class TestKernelUnload:
+    def test_unload_kernel_frees_registry(self, kernel):
+        widget = kernel.instantiate("widget")
+        kernel.unload_kernel()
+        assert kernel.kernel_unloaded
+        assert kernel.loaded_names() == []
+        # live instances keep working
+        assert widget.find_interface_by_type("IWidget") is not None
+
+    def test_no_dynamics_after_unload(self, kernel):
+        kernel.unload_kernel()
+        with pytest.raises(LifecycleError):
+            kernel.instantiate("widget")
+        with pytest.raises(LifecycleError):
+            kernel.load("new", Widget)

@@ -1,0 +1,277 @@
+"""Unit tests: the PacketBB wire format."""
+
+import pytest
+
+from repro.errors import ParseError, SerializationError
+from repro.packetbb import (
+    TLV,
+    Address,
+    AddressBlock,
+    Message,
+    MsgType,
+    Packet,
+    TLVBlock,
+    decode,
+    encode,
+)
+
+
+class TestAddress:
+    def test_string_roundtrip(self):
+        addr = Address.from_string("10.1.2.3")
+        assert str(addr) == "10.1.2.3"
+
+    def test_node_id_mapping(self):
+        addr = Address.from_node_id(77)
+        assert addr.node_id == 77
+        assert str(addr) == "10.0.0.77"
+
+    def test_node_id_multibyte(self):
+        addr = Address.from_node_id(0x012345)
+        assert addr.node_id == 0x012345
+
+    def test_bytes_roundtrip(self):
+        addr = Address.from_string("192.168.1.200")
+        assert Address.from_bytes(addr.to_bytes()) == addr
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Address(1 << 32)
+        with pytest.raises(ValueError):
+            Address(-1)
+
+    def test_malformed_string(self):
+        with pytest.raises(ValueError):
+            Address.from_string("10.0.0")
+        with pytest.raises(ValueError):
+            Address.from_string("10.0.0.256")
+
+    def test_ordering_and_hash(self):
+        a, b = Address(1), Address(2)
+        assert a < b
+        assert len({a, Address(1)}) == 1
+
+
+class TestTLV:
+    def test_int_roundtrip(self):
+        tlv = TLV.of_int(5, 0xBEEF, width=2)
+        assert tlv.as_int() == 0xBEEF
+
+    def test_serialize_parse(self):
+        tlv = TLV(7, b"payload")
+        parsed, offset = TLV.parse(tlv.serialize(), 0)
+        assert parsed == tlv
+        assert offset == len(tlv.serialize())
+
+    def test_empty_value(self):
+        tlv = TLV(9)
+        parsed, _ = TLV.parse(tlv.serialize(), 0)
+        assert parsed.value == b""
+
+    def test_index_range(self):
+        tlv = TLV.of_int(5, 1, width=1, index_start=2, index_stop=4)
+        assert tlv.covers_index(3)
+        assert not tlv.covers_index(5)
+        parsed, _ = TLV.parse(tlv.serialize(), 0)
+        assert parsed.index_start == 2 and parsed.index_stop == 4
+
+    def test_no_index_covers_everything(self):
+        assert TLV(5).covers_index(200)
+
+    def test_invalid_index_pair(self):
+        with pytest.raises(SerializationError):
+            TLV(5, index_start=3, index_stop=None)
+        with pytest.raises(SerializationError):
+            TLV(5, index_start=4, index_stop=2)
+
+    def test_type_out_of_range(self):
+        with pytest.raises(SerializationError):
+            TLV(300)
+
+    def test_truncated_parse(self):
+        data = TLV(7, b"payload").serialize()
+        with pytest.raises(ParseError):
+            TLV.parse(data[:-2], 0)
+
+
+class TestTLVBlock:
+    def test_roundtrip(self):
+        block = TLVBlock([TLV(1, b"a"), TLV.of_int(2, 9, width=1)])
+        parsed, _ = TLVBlock.parse(block.serialize(), 0)
+        assert parsed == block
+
+    def test_find(self):
+        block = TLVBlock([TLV(1, b"a"), TLV(1, b"b"), TLV(2)])
+        assert block.find(1).value == b"a"
+        assert block.find(9) is None
+        assert len(block.find_all(1)) == 2
+
+    def test_find_for_index(self):
+        block = TLVBlock(
+            [
+                TLV.of_int(5, 10, width=1, index_start=0, index_stop=0),
+                TLV.of_int(5, 20, width=1, index_start=1, index_stop=1),
+            ]
+        )
+        assert block.find_for_index(5, 1).as_int() == 20
+        assert block.find_for_index(5, 2) is None
+
+    def test_empty_block(self):
+        parsed, offset = TLVBlock.parse(TLVBlock().serialize(), 0)
+        assert len(parsed) == 0
+        assert offset == 2
+
+    def test_length_mismatch_detected(self):
+        corrupted = b"\x00\x05" + TLV(1).serialize()
+        with pytest.raises(ParseError):
+            TLVBlock.parse(corrupted, 0)
+
+
+class TestAddressBlock:
+    def test_roundtrip_with_common_head(self):
+        block = AddressBlock([Address.from_node_id(i) for i in (1, 2, 3)])
+        parsed, _ = AddressBlock.parse(block.serialize(), 0)
+        assert parsed == block
+
+    def test_head_compression_shrinks_encoding(self):
+        shared = AddressBlock([Address.from_node_id(i) for i in range(10)])
+        unshared = AddressBlock(
+            [Address(i << 24) for i in range(10)]
+        )
+        assert len(shared.serialize()) < len(unshared.serialize())
+
+    def test_single_repeated_address(self):
+        block = AddressBlock([Address.from_node_id(5), Address.from_node_id(5)])
+        parsed, _ = AddressBlock.parse(block.serialize(), 0)
+        assert parsed.addresses == block.addresses
+
+    def test_empty_block(self):
+        parsed, _ = AddressBlock.parse(AddressBlock([]).serialize(), 0)
+        assert parsed.addresses == []
+
+    def test_attached_tlvs_roundtrip(self):
+        block = AddressBlock(
+            [Address.from_node_id(1)],
+            TLVBlock([TLV.of_int(5, 77, width=2, index_start=0, index_stop=0)]),
+        )
+        parsed, _ = AddressBlock.parse(block.serialize(), 0)
+        assert parsed.tlv_block.find(5).as_int() == 77
+
+    def test_too_many_addresses(self):
+        with pytest.raises(SerializationError):
+            AddressBlock([Address(i) for i in range(256)])
+
+
+class TestMessage:
+    def make_message(self, **overrides):
+        fields = dict(
+            msg_type=MsgType.TC,
+            originator=Address.from_node_id(3),
+            hop_limit=16,
+            hop_count=2,
+            seqnum=99,
+            tlv_block=TLVBlock([TLV.of_int(20, 7, width=2)]),
+            address_blocks=[AddressBlock([Address.from_node_id(4)])],
+        )
+        fields.update(overrides)
+        return Message(**fields)
+
+    def test_full_roundtrip(self):
+        message = self.make_message()
+        parsed, _ = Message.parse(message.serialize(), 0)
+        assert parsed == message
+
+    def test_minimal_roundtrip(self):
+        message = Message(1)
+        parsed, _ = Message.parse(message.serialize(), 0)
+        assert parsed == message
+        assert parsed.originator is None
+        assert parsed.hop_limit is None
+
+    def test_optional_field_combinations(self):
+        for overrides in (
+            {"originator": None},
+            {"hop_limit": None},
+            {"hop_count": None},
+            {"seqnum": None},
+            {"originator": None, "seqnum": None},
+        ):
+            message = self.make_message(**overrides)
+            parsed, _ = Message.parse(message.serialize(), 0)
+            assert parsed == message
+
+    def test_decrement_hop_limit(self):
+        message = self.make_message(hop_limit=2, hop_count=0)
+        message.decrement_hop_limit()
+        assert message.hop_limit == 1
+        assert message.hop_count == 1
+        message.decrement_hop_limit()
+        assert not message.forwardable
+        with pytest.raises(SerializationError):
+            message.decrement_hop_limit()
+
+    def test_forwardable_without_hop_limit(self):
+        assert Message(1).forwardable
+
+    def test_all_addresses(self):
+        message = self.make_message(
+            address_blocks=[
+                AddressBlock([Address.from_node_id(1)]),
+                AddressBlock([Address.from_node_id(2), Address.from_node_id(3)]),
+            ]
+        )
+        assert [a.node_id for a in message.all_addresses()] == [1, 2, 3]
+
+    def test_size_field_validated(self):
+        data = bytearray(self.make_message().serialize())
+        data[2:4] = (0xFF, 0xFF)  # corrupt declared size
+        with pytest.raises(ParseError):
+            Message.parse(bytes(data), 0)
+
+    def test_invalid_field_ranges(self):
+        with pytest.raises(SerializationError):
+            Message(1, hop_limit=300)
+        with pytest.raises(SerializationError):
+            Message(1, seqnum=1 << 16)
+        with pytest.raises(SerializationError):
+            Message(999)
+
+
+class TestPacket:
+    def test_roundtrip_multi_message(self):
+        packet = Packet(
+            [Message(1, seqnum=1), Message(2, seqnum=2)],
+            seqnum=55,
+        )
+        assert decode(encode(packet)) == packet
+
+    def test_empty_packet_roundtrip(self):
+        packet = Packet()
+        assert decode(encode(packet)) == packet
+
+    def test_packet_tlv_block(self):
+        packet = Packet([Message(1)], tlv_block=TLVBlock([TLV(9, b"z")]))
+        parsed = decode(encode(packet))
+        assert parsed.tlv_block.find(9).value == b"z"
+
+    def test_empty_bytes_rejected(self):
+        with pytest.raises(ParseError):
+            decode(b"")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ParseError):
+            decode(bytes([0xF0]))
+
+    def test_trailing_garbage_rejected(self):
+        data = encode(Packet([Message(1)])) + b"\x01"
+        with pytest.raises(ParseError):
+            decode(data)
+
+    def test_piggyback_aggregation(self):
+        """Several protocols' messages share one on-air packet."""
+        packet = Packet([Message(MsgType.HELLO), Message(MsgType.TC),
+                         Message(MsgType.RE)])
+        parsed = decode(encode(packet))
+        assert [m.msg_type for m in parsed.messages] == [
+            MsgType.HELLO, MsgType.TC, MsgType.RE,
+        ]

@@ -1,0 +1,128 @@
+"""Stateful property test: ComponentFramework structural invariants.
+
+Hypothesis drives random sequences of insert / remove / replace / connect /
+disconnect operations against a component framework and checks, after
+every step, the invariants the reflective layer depends on:
+
+* every internal binding's endpoints are current children;
+* every live receptacle binding is tracked by the CF;
+* children's ``parent`` pointers are consistent;
+* lifecycle state of children follows the CF's own state.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import BindingError, IntegrityError
+from repro.opencom.component import Component
+from repro.opencom.framework import ComponentFramework
+
+
+class Node(Component):
+    """A component that both provides and requires the same service type."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.provide_interface("IThing", "IThing")
+        self.add_receptacle("upstream", "IThing")
+        self.value = 0
+
+    def get_state(self):
+        return {"value": self.value}
+
+    def set_state(self, state):
+        self.value = state.get("value", 0)
+
+
+class FrameworkMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cf = ComponentFramework("cf")
+        self.cf.start()
+        self.counter = 0
+
+    # -- operations -----------------------------------------------------------
+
+    @rule()
+    def insert(self):
+        self.counter += 1
+        self.cf.insert(Node(f"n{self.counter}"))
+
+    @precondition(lambda self: self.cf.children())
+    @rule(index=st.integers(0, 50))
+    def remove(self, index):
+        names = self.cf.child_names()
+        self.cf.remove(names[index % len(names)])
+
+    @precondition(lambda self: self.cf.children())
+    @rule(index=st.integers(0, 50), value=st.integers(0, 100))
+    def replace(self, index, value):
+        names = self.cf.child_names()
+        name = names[index % len(names)]
+        self.cf.child(name).value = value
+        replacement = Node(name)
+        self.cf.replace(name, replacement)
+        assert replacement.value == value  # state carried
+
+    @precondition(lambda self: len(self.cf.children()) >= 2)
+    @rule(a=st.integers(0, 50), b=st.integers(0, 50))
+    def connect(self, a, b):
+        names = self.cf.child_names()
+        source = self.cf.child(names[a % len(names)])
+        provider = self.cf.child(names[b % len(names)])
+        try:
+            self.cf.connect(source, "upstream", provider)
+        except BindingError:
+            pass  # already bound / self-binding attempts are fine
+
+    @precondition(lambda self: self.cf.internal_bindings())
+    @rule(index=st.integers(0, 50))
+    def disconnect(self, index):
+        bindings = self.cf.internal_bindings()
+        self.cf.disconnect(bindings[index % len(bindings)])
+
+    @rule()
+    def stop_start(self):
+        self.cf.stop()
+        self.cf.start()
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def binding_endpoints_are_children(self):
+        children = set(self.cf.children())
+        for binding in self.cf.internal_bindings():
+            assert binding.alive
+            assert binding.receptacle.owner in children
+            assert binding.interface.provider in children
+
+    @invariant()
+    def receptacle_bindings_are_tracked(self):
+        tracked = set(map(id, self.cf.internal_bindings()))
+        for child in self.cf.children():
+            for receptacle in child.receptacles():
+                for binding in receptacle.bindings:
+                    assert id(binding) in tracked
+
+    @invariant()
+    def parent_pointers_consistent(self):
+        for child in self.cf.children():
+            assert child.parent is self.cf
+
+    @invariant()
+    def lifecycle_follows_cf(self):
+        if self.cf.lifecycle == Component.STARTED:
+            for child in self.cf.children():
+                assert child.lifecycle == Component.STARTED
+
+
+FrameworkMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestFrameworkStateful = FrameworkMachine.TestCase

@@ -1,0 +1,115 @@
+"""Property-based tests: PacketBB serialize/parse is a bijection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packetbb import (
+    TLV,
+    Address,
+    AddressBlock,
+    Message,
+    Packet,
+    TLVBlock,
+    decode,
+    encode,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1).map(Address)
+
+index_ranges = st.one_of(
+    st.none(),
+    st.tuples(
+        st.integers(0, 255), st.integers(0, 255)
+    ).map(lambda pair: (min(pair), max(pair))),
+)
+
+
+@st.composite
+def tlvs(draw):
+    index_range = draw(index_ranges)
+    start, stop = (index_range if index_range is not None else (None, None))
+    return TLV(
+        draw(st.integers(0, 255)),
+        draw(st.binary(max_size=64)),
+        index_start=start,
+        index_stop=stop,
+    )
+
+
+tlv_blocks = st.lists(tlvs(), max_size=6).map(TLVBlock)
+
+
+@st.composite
+def address_blocks(draw):
+    return AddressBlock(
+        draw(st.lists(addresses, max_size=10)),
+        draw(tlv_blocks),
+    )
+
+
+@st.composite
+def messages(draw):
+    return Message(
+        msg_type=draw(st.integers(0, 255)),
+        originator=draw(st.one_of(st.none(), addresses)),
+        hop_limit=draw(st.one_of(st.none(), st.integers(0, 255))),
+        hop_count=draw(st.one_of(st.none(), st.integers(0, 255))),
+        seqnum=draw(st.one_of(st.none(), st.integers(0, 0xFFFF))),
+        tlv_block=draw(tlv_blocks),
+        address_blocks=draw(st.lists(address_blocks(), max_size=4)),
+    )
+
+
+@st.composite
+def packets(draw):
+    return Packet(
+        messages=draw(st.lists(messages(), max_size=4)),
+        seqnum=draw(st.one_of(st.none(), st.integers(0, 0xFFFF))),
+        tlv_block=draw(st.one_of(st.none(), tlv_blocks)),
+    )
+
+
+class TestRoundTrips:
+    @given(tlvs())
+    def test_tlv_roundtrip(self, tlv):
+        parsed, offset = TLV.parse(tlv.serialize(), 0)
+        assert parsed == tlv
+        assert offset == len(tlv.serialize())
+
+    @given(tlv_blocks)
+    def test_tlv_block_roundtrip(self, block):
+        parsed, offset = TLVBlock.parse(block.serialize(), 0)
+        assert parsed == block
+        assert offset == len(block.serialize())
+
+    @given(address_blocks())
+    def test_address_block_roundtrip(self, block):
+        parsed, offset = AddressBlock.parse(block.serialize(), 0)
+        assert parsed == block
+        assert offset == len(block.serialize())
+
+    @given(messages())
+    @settings(max_examples=200)
+    def test_message_roundtrip(self, message):
+        parsed, offset = Message.parse(message.serialize(), 0)
+        assert parsed == message
+        assert offset == len(message.serialize())
+
+    @given(packets())
+    @settings(max_examples=200)
+    def test_packet_roundtrip(self, packet):
+        assert decode(encode(packet)) == packet
+
+    @given(st.lists(messages(), min_size=1, max_size=5))
+    def test_message_concatenation_preserves_boundaries(self, msgs):
+        """Messages parse back from a concatenated stream (aggregation)."""
+        packet = Packet(msgs)
+        assert decode(encode(packet)).messages == msgs
+
+    @given(addresses)
+    def test_address_string_roundtrip(self, address):
+        assert Address.from_string(str(address)) == address
+
+    @given(address_blocks())
+    def test_serialization_is_deterministic(self, block):
+        assert block.serialize() == block.serialize()

@@ -1,0 +1,179 @@
+"""Property-based tests: protocol invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.common import (
+    SEQNUM_MOD,
+    seq_diff,
+    seq_increment,
+    seq_newer,
+    seq_newer_or_equal,
+)
+from repro.protocols.mpr.calculator import MprCalculator
+from repro.protocols.mpr.state import MprState
+from repro.protocols.common import Willingness
+from repro.utils.routing_table import Route, RoutingTable
+
+seqnums = st.integers(0, SEQNUM_MOD - 1)
+
+
+class TestSequenceNumbers:
+    @given(seqnums)
+    def test_increment_is_newer(self, value):
+        assert seq_newer(seq_increment(value), value)
+
+    @given(seqnums)
+    def test_not_newer_than_self(self, value):
+        assert not seq_newer(value, value)
+        assert seq_newer_or_equal(value, value)
+
+    @given(seqnums, seqnums)
+    def test_antisymmetry(self, a, b):
+        assume(seq_diff(a, b) != -(SEQNUM_MOD // 2))  # the ambiguous point
+        assume(a != b)
+        assert seq_newer(a, b) != seq_newer(b, a)
+
+    @given(seqnums, st.integers(1, SEQNUM_MOD // 2 - 1))
+    def test_wraparound_freshness(self, base, step):
+        """Advancing less than half the space is always 'newer'."""
+        advanced = seq_increment(base, step)
+        assert seq_newer(advanced, base)
+
+    @given(seqnums, seqnums)
+    def test_diff_bounds(self, a, b):
+        delta = seq_diff(a, b)
+        assert -(SEQNUM_MOD // 2) <= delta < SEQNUM_MOD // 2
+
+    @given(seqnums, seqnums)
+    def test_diff_antisymmetric_modulo(self, a, b):
+        assert (seq_diff(a, b) + seq_diff(b, a)) % SEQNUM_MOD == 0
+
+
+@st.composite
+def neighbourhoods(draw):
+    """Random 1-hop/2-hop structure for MPR selection."""
+    neighbours = draw(
+        st.lists(st.integers(1, 30), min_size=0, max_size=8, unique=True)
+    )
+    two_hop = {}
+    for neighbour in neighbours:
+        two_hop[neighbour] = set(
+            draw(st.lists(st.integers(31, 60), max_size=5, unique=True))
+        )
+    willingness = {
+        neighbour: draw(
+            st.sampled_from(
+                [int(w) for w in (Willingness.NEVER, Willingness.LOW,
+                                  Willingness.DEFAULT, Willingness.HIGH,
+                                  Willingness.ALWAYS)]
+            )
+        )
+        for neighbour in neighbours
+    }
+    return neighbours, two_hop, willingness
+
+
+class TestMprCoverProperty:
+    @given(neighbourhoods())
+    @settings(max_examples=150)
+    def test_every_coverable_two_hop_covered(self, neighbourhood):
+        """The defining MPR invariant: every strict 2-hop neighbour that is
+        reachable through some willing neighbour is covered by the MPR set."""
+        neighbours, two_hop, willingness = neighbourhood
+        state = MprState()
+        for neighbour in neighbours:
+            link = state.ensure_link(neighbour)
+            link.sym_until = link.asym_until = 1000.0
+        state.two_hop.update(two_hop)
+        state.willingness_of.update(willingness)
+
+        mprs = MprCalculator().compute(state, now=0.0, self_address=0)
+
+        willing = {
+            n for n in neighbours
+            if willingness[n] != int(Willingness.NEVER)
+        }
+        strict = state.strict_two_hop(0.0, 0)
+        coverable = set()
+        for neighbour in willing:
+            coverable |= two_hop[neighbour] & strict
+        covered = set()
+        for neighbour in mprs:
+            covered |= two_hop[neighbour] & strict
+        assert coverable <= covered
+        # and MPRs are drawn only from willing symmetric neighbours
+        assert mprs <= willing
+
+    @given(neighbourhoods())
+    @settings(max_examples=100)
+    def test_deterministic(self, neighbourhood):
+        neighbours, two_hop, willingness = neighbourhood
+        def run():
+            state = MprState()
+            for neighbour in neighbours:
+                link = state.ensure_link(neighbour)
+                link.sym_until = link.asym_until = 1000.0
+            state.two_hop.update(two_hop)
+            state.willingness_of.update(willingness)
+            return MprCalculator().compute(state, 0.0, 0)
+
+        assert run() == run()
+
+
+@st.composite
+def route_operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(0, 30))):
+        kind = draw(st.sampled_from(["add", "remove", "invalidate", "purge"]))
+        dest = draw(st.integers(1, 10))
+        if kind == "add":
+            ops.append((kind, dest, draw(st.integers(1, 5)),
+                        draw(st.one_of(st.none(), st.floats(0.1, 50.0)))))
+        else:
+            ops.append((kind, dest, None, None))
+    return ops
+
+
+class TestRoutingTableInvariants:
+    @given(route_operations(), st.floats(0.0, 100.0))
+    @settings(max_examples=150)
+    def test_lookup_never_returns_stale(self, ops, final_time):
+        state = {"now": 0.0}
+        table = RoutingTable(clock=lambda: state["now"])
+        invalidated = set()
+        for kind, dest, hops, lifetime in ops:
+            if kind == "add":
+                expiry = state["now"] + lifetime if lifetime else None
+                table.add(Route(dest, next_hop=dest, hop_count=hops,
+                                expiry=expiry))
+                invalidated.discard(dest)
+            elif kind == "remove":
+                table.remove(dest)
+            elif kind == "invalidate":
+                if table.get(dest) is not None:
+                    table.invalidate(dest)
+                    invalidated.add(dest)
+            else:
+                table.purge_expired()
+            state["now"] += 0.5
+        state["now"] = max(state["now"], final_time)
+        for dest in range(1, 11):
+            route = table.lookup(dest)
+            if route is not None:
+                assert route.valid
+                assert dest not in invalidated
+                assert not route.is_expired(state["now"])
+
+    @given(route_operations())
+    def test_snapshot_sorted_and_defensive(self, ops):
+        table = RoutingTable()
+        for kind, dest, hops, _lifetime in ops:
+            if kind == "add":
+                table.add(Route(dest, next_hop=dest, hop_count=hops))
+        snapshot = table.snapshot()
+        destinations = [r.destination for r in snapshot]
+        assert destinations == sorted(destinations)
+        for route in snapshot:
+            route.hop_count = -1
+        assert all(r.hop_count != -1 for r in table)

@@ -1,0 +1,90 @@
+"""Randomised end-to-end correctness: OLSR routes equal shortest paths.
+
+Full simulations are too slow for hypothesis's default example counts, so
+this drives a seeded family of random connected topologies through the real
+stack and checks every node's installed routes against networkx.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def random_connected_topology(node_count, seed):
+    """A connected random geometric graph (retrying denser radii)."""
+    ids = list(range(1, node_count + 1))
+    for radius in (0.45, 0.55, 0.65, 0.8, 1.0):
+        edges, positions = topology.random_geometric(ids, radius, seed=seed)
+        graph = topology.to_graph(ids, edges)
+        if nx.is_connected(graph):
+            return edges
+    return topology.linear_chain(ids)  # degenerate fallback
+
+
+@pytest.mark.parametrize("seed", [1, 7, 13, 23, 42])
+@pytest.mark.parametrize("node_count", [6, 9])
+def test_olsr_routes_are_shortest_paths(seed, node_count):
+    edges = random_connected_topology(node_count, seed)
+    sim = Simulation(seed=seed)
+    for node_id in range(1, node_count + 1):
+        sim.add_node(node_id=node_id)
+    sim.topology.apply(edges)
+    kits = {}
+    for node_id in sim.node_ids():
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol("olsr", tc_interval=1.0)
+        kits[node_id] = kit
+    sim.run(25.0)
+
+    graph = topology.to_graph(sim.node_ids(), edges)
+    for node_id, kit in kits.items():
+        table = kit.protocol("olsr").routing_table()
+        expected = nx.single_source_shortest_path_length(graph, node_id)
+        expected.pop(node_id)
+        assert set(table) == set(expected), (seed, node_id)
+        for destination, (next_hop, hops) in table.items():
+            assert hops == expected[destination], (seed, node_id, destination)
+            assert graph.has_edge(node_id, next_hop)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 29])
+def test_dymo_discovered_routes_are_loop_free_and_connected(seed):
+    """Following DYMO next-hops from any node reaches the destination
+    without revisiting a node (loop freedom)."""
+    node_count = 7
+    edges = random_connected_topology(node_count, seed)
+    sim = Simulation(seed=seed)
+    for node_id in range(1, node_count + 1):
+        sim.add_node(node_id=node_id)
+    sim.topology.apply(edges)
+    kits = {}
+    for node_id in sim.node_ids():
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo", route_timeout=60.0)
+        kits[node_id] = kit
+    sim.run(5.0)
+    destination = node_count
+    sim.node(1).send_data(destination, b"probe")
+    sim.run(3.0)
+
+    # walk the kernel tables hop by hop from every node that has a route
+    for start in sim.node_ids():
+        if start == destination:
+            continue
+        route = sim.node(start).kernel_table.lookup(destination)
+        if route is None:
+            continue
+        visited = {start}
+        current = start
+        while current != destination:
+            hop = sim.node(current).kernel_table.lookup(destination)
+            assert hop is not None, (seed, start, current)
+            assert hop.next_hop not in visited, f"loop at {current} (seed {seed})"
+            visited.add(hop.next_hop)
+            current = hop.next_hop
+        assert len(visited) <= node_count

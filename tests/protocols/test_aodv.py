@@ -1,0 +1,156 @@
+"""Tests: AODV — hop-by-hop discovery, errors, route piggybacking."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.aodv.messages import (
+    build_aodv_rerr,
+    build_rrep,
+    build_rreq,
+    parse_aodv_rerr,
+    parse_rrep,
+    parse_rreq,
+)
+from repro.protocols.aodv.protocol import AodvState
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build_network(node_count, seed=71, piggyback=False):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("aodv")
+        if piggyback:
+            kit.protocol("aodv").enable_route_piggyback()
+        kits[node_id] = kit
+    sim.run(5.0)
+    return sim, ids, kits
+
+
+def discover(sim, src_node, dst_id, timeout=5.0):
+    delivered = []
+    sim.node(dst_id).add_app_receiver(delivered.append)
+    start = sim.now
+    src_node.send_data(dst_id, b"probe")
+    while sim.now - start < timeout and not delivered:
+        sim.run(0.005)
+    return (sim.now - start) if delivered else None
+
+
+class TestMessages:
+    def test_rreq_roundtrip(self):
+        message = build_rreq(1, 10, 5, destination=9, dest_seqnum=3, hop_count=2)
+        info = parse_rreq(message)
+        assert (info.originator, info.orig_seqnum, info.rreq_id) == (1, 10, 5)
+        assert (info.destination, info.dest_seqnum, info.hop_count) == (9, 3, 2)
+
+    def test_rreq_without_dest_seqnum(self):
+        info = parse_rreq(build_rreq(1, 10, 5, 9, None))
+        assert info.dest_seqnum is None
+
+    def test_rrep_roundtrip(self):
+        message = build_rrep(9, 33, originator=1, hop_count=2, lifetime=4.5)
+        info = parse_rrep(message)
+        assert (info.destination, info.dest_seqnum) == (9, 33)
+        assert info.originator == 1
+        assert info.lifetime == pytest.approx(4.5)
+
+    def test_rerr_roundtrip(self):
+        message = build_aodv_rerr([(9, 5), (10, None)], source=1)
+        assert parse_aodv_rerr(message) == [(9, 5), (10, None)]
+
+    def test_parse_wrong_type_returns_none(self):
+        assert parse_rreq(build_rrep(9, 1, 1, 1, 1.0)) is None
+        assert parse_rrep(build_rreq(1, 1, 1, 9, None)) is None
+
+
+class TestStateUnit:
+    def test_seqnum_never_zero(self):
+        state = AodvState()
+        state.own_seqnum = 0xFFFF
+        assert state.next_seqnum() == 1
+
+    def test_rreq_id_monotonic(self):
+        state = AodvState()
+        assert state.next_rreq_id() == 1
+        assert state.next_rreq_id() == 2
+
+    def test_duplicate_tracking(self):
+        state = AodvState()
+        state.note(1, 5, now=0.0)
+        assert state.seen(1, 5)
+        assert not state.seen(1, 6)
+
+    def test_state_roundtrip(self):
+        state = AodvState()
+        state.own_seqnum = 40
+        state.table.add(
+            __import__("repro.utils.routing_table", fromlist=["Route"]).Route(
+                9, 2, 3, 7, None
+            )
+        )
+        fresh = AodvState()
+        fresh.set_state(state.get_state())
+        assert fresh.own_seqnum == 40
+        assert fresh.table.get(9).next_hop == 2
+
+
+class TestDiscovery:
+    def test_route_discovery_and_delivery(self):
+        sim, ids, kits = build_network(4)
+        elapsed = discover(sim, sim.node(ids[0]), ids[-1])
+        assert elapsed is not None and elapsed < 0.2
+
+    def test_reverse_routes_from_rreq(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        # destination learned a route back to the originator
+        dest_table = kits[ids[-1]].protocol("aodv").aodv_state.table
+        assert dest_table.lookup(ids[0]) is not None
+
+    def test_forward_routes_hop_by_hop(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        origin = kits[ids[0]].protocol("aodv").aodv_state.table
+        route = origin.lookup(ids[-1])
+        assert route.next_hop == ids[1]
+        assert route.hop_count == 3
+
+    def test_unreachable_gives_up(self):
+        sim, ids, kits = build_network(3)
+        kit = kits[ids[0]]
+        kit.node.send_data(99, b"x")
+        state = kit.protocol("aodv").aodv_state
+        assert 99 in state.pending
+        sim.run(8.0)
+        assert 99 not in state.pending
+
+    def test_link_break_rerr(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        sim.topology.break_edge(ids[2], ids[3])
+        sim.run(8.0)
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is None
+
+
+class TestPiggybacking:
+    def test_routes_learned_without_discovery(self):
+        sim, ids, kits = build_network(4, piggyback=True)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        sim.run(4.0)  # a few HELLO cycles with piggybacked routes
+        # node 2's neighbours learned node 2's routes from its HELLOs:
+        # node 1 now knows the far end without its own discovery involving
+        # that exact destination... it already did; check a leaf instead:
+        # node 4 learns a route to node 1 (2 hops) gratis.
+        table = kits[ids[-1]].protocol("aodv").aodv_state.table
+        assert table.lookup(ids[0]) is not None
+
+    def test_piggyback_config_flag(self):
+        sim, ids, kits = build_network(2, piggyback=True)
+        assert kits[ids[0]].protocol("aodv").config("piggyback_routes") is True

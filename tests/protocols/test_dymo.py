@@ -1,0 +1,287 @@
+"""Tests: DYMO — discovery, path accumulation, errors, lifetimes."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.dymo.messages import (
+    RREP,
+    RREQ,
+    build_re,
+    build_rerr,
+    build_uerr,
+    critical_unsupported_tlvs,
+    extend_re,
+    parse_re,
+    parse_rerr,
+)
+from repro.protocols.dymo.state import DymoState
+from repro.packetbb.tlv import TLV
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build_network(node_count, seed=51, edges=None, loss=0.0):
+    sim = Simulation(seed=seed, loss=loss)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.loss = loss
+    sim.topology.apply(edges if edges is not None else topology.linear_chain(ids))
+    kits = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo")
+        kits[node_id] = kit
+    sim.run(5.0)  # neighbour detection settles
+    return sim, ids, kits
+
+
+def discover(sim, src_node, dst_id, timeout=5.0):
+    """Send one data packet and wait for delivery; returns elapsed time."""
+    delivered = []
+    sim.node(dst_id).add_app_receiver(delivered.append)
+    start = sim.now
+    src_node.send_data(dst_id, b"probe")
+    while sim.now - start < timeout and not delivered:
+        sim.run(0.005)
+    return (sim.now - start) if delivered else None
+
+
+class TestMessageFormats:
+    def test_re_roundtrip(self):
+        message = build_re(
+            RREQ, target=9, path=[(1, 100), (2, 50)], hop_limit=10,
+            target_seqnum=77,
+        )
+        info = parse_re(message)
+        assert info.is_rreq and not info.is_rrep
+        assert info.target == 9
+        assert info.target_seqnum == 77
+        assert info.path == [(1, 100), (2, 50)]
+        assert info.originator == 1
+        assert info.originator_seqnum == 100
+
+    def test_extend_re_accumulates(self):
+        message = build_re(RREQ, target=9, path=[(1, 100)], hop_limit=10)
+        info = parse_re(message)
+        extended = extend_re(message, info, self_address=2, self_seqnum=55)
+        new_info = parse_re(extended)
+        assert new_info.path == [(1, 100), (2, 55)]
+        assert extended.hop_limit == 9
+        assert extended.hop_count == 1
+
+    def test_build_re_requires_path(self):
+        with pytest.raises(ValueError):
+            build_re(RREQ, target=9, path=[], hop_limit=10)
+
+    def test_parse_re_rejects_other_types(self):
+        assert parse_re(build_rerr([(9, 1)], source=1)) is None
+
+    def test_rerr_roundtrip(self):
+        message = build_rerr([(9, 5), (10, None)], source=1)
+        assert parse_rerr(message) == [(9, 5), (10, None)]
+
+    def test_uerr_carries_offender(self):
+        from repro.protocols.common import TlvType
+
+        message = build_uerr(130, source=1, re_originator=7)
+        assert message.tlv_block.find(TlvType.UNSUPPORTED).as_int() == 130
+
+    def test_critical_tlv_detection(self):
+        message = build_re(RREQ, target=9, path=[(1, 1)], hop_limit=10)
+        assert critical_unsupported_tlvs(message) == []
+        message.tlv_block.add(TLV(200, b"\x01"))
+        assert critical_unsupported_tlvs(message) == [200]
+
+
+class TestStateUnit:
+    def test_seqnum_skips_zero(self):
+        state = DymoState()
+        state.own_seqnum = 0xFFFF
+        assert state.next_seqnum() == 1
+
+    def test_freshness_rules(self):
+        state = DymoState()
+        state.install_route(9, next_hop=2, hop_count=3, seqnum=10, expiry=None)
+        assert state.is_fresher(9, 11, 5)        # newer seqnum wins
+        assert not state.is_fresher(9, 9, 1)     # older seqnum loses
+        assert state.is_fresher(9, 10, 2)        # same seqnum, fewer hops
+        assert not state.is_fresher(9, 10, 3)    # same seqnum, same hops
+
+    def test_invalid_route_always_replaceable(self):
+        state = DymoState()
+        state.install_route(9, 2, 3, 10, None)
+        state.table.invalidate(9)
+        assert state.is_fresher(9, 1, 99)
+
+    def test_rreq_duplicate_window(self):
+        state = DymoState()
+        assert not state.rreq_is_duplicate(1, 5)
+        state.note_rreq(1, 5, now=0.0)
+        assert state.rreq_is_duplicate(1, 5)
+        assert not state.rreq_is_duplicate(1, 6)
+
+    def test_state_transfer_roundtrip(self):
+        state = DymoState()
+        state.install_route(9, 2, 3, 10, expiry=50.0)
+        state.own_seqnum = 77
+        state.discoveries_initiated = 3
+        fresh = DymoState()
+        fresh.set_state(state.get_state())
+        assert fresh.own_seqnum == 77
+        route = fresh.table.get(9)
+        assert route.next_hop == 2 and route.seqnum == 10
+
+
+class TestDiscovery:
+    def test_route_discovery_across_chain(self):
+        sim, ids, kits = build_network(5)
+        elapsed = discover(sim, sim.node(ids[0]), ids[-1])
+        assert elapsed is not None
+        assert elapsed < 0.1  # tens of milliseconds, like the paper
+
+    def test_path_accumulation_teaches_intermediates(self):
+        sim, ids, kits = build_network(5)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        # the middle node learned routes to both ends from one exchange
+        middle = kits[ids[2]].protocol("dymo")
+        destinations = {r.destination for r in middle.routing_table()}
+        assert {ids[0], ids[-1]} <= destinations
+
+    def test_reverse_route_installed(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        got = []
+        sim.node(ids[0]).add_app_receiver(got.append)
+        sim.node(ids[-1]).send_data(ids[0], b"reply")
+        sim.run(0.2)
+        assert len(got) == 1  # no new discovery needed
+
+    def test_buffered_packets_reinjected_in_order(self):
+        sim, ids, kits = build_network(4)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        for index in range(3):
+            sim.node(ids[0]).send_data(ids[-1], bytes([index]))
+        sim.run(2.0)
+        assert [p.payload for p in got] == [b"\x00", b"\x01", b"\x02"]
+
+    def test_discovery_counts(self):
+        sim, ids, kits = build_network(3)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        state = kits[ids[0]].protocol("dymo").dymo_state
+        assert state.discoveries_initiated == 1
+        assert state.discoveries_succeeded == 1
+        assert state.pending == {}
+
+    def test_failed_discovery_gives_up_with_backoff(self):
+        sim, ids, kits = build_network(3)
+        unreachable = 99  # no such node
+        kit = kits[ids[0]]
+        kit.node.send_data(unreachable, b"x")
+        state = kit.protocol("dymo").dymo_state
+        assert unreachable in state.pending
+        sim.run(10.0)  # 1 + 2 + 4 seconds of backoff
+        assert unreachable not in state.pending
+        assert state.discoveries_failed == 1
+        netlink = kit.system.find_child("netlink")
+        assert netlink.pending_for(unreachable) == 0  # buffer purged
+
+    def test_packet_loss_context_event_on_failure(self):
+        sim, ids, kits = build_network(3)
+        kit = kits[ids[0]]
+        kit.node.send_data(99, b"x")
+        sim.run(10.0)
+        loss = kit.context.read("PACKET_LOSS")
+        assert loss is not None and loss["destination"] == 99
+
+    def test_discovery_under_packet_loss_retries(self):
+        sim, ids, kits = build_network(4, seed=99, loss=0.2)
+        kit = kits[ids[0]]
+        kit.node.send_data(ids[-1], b"probe")
+        state = kit.protocol("dymo").dymo_state
+        start = sim.now
+        while sim.now - start < 12.0 and state.discoveries_succeeded == 0:
+            sim.run(0.05)
+        # RREQ retries (exponential backoff) get the discovery through loss
+        assert state.discoveries_succeeded == 1
+        assert state.pending == {}
+
+    def test_concurrent_discoveries(self):
+        sim, ids, kits = build_network(5)
+        got_a, got_b = [], []
+        sim.node(ids[3]).add_app_receiver(got_a.append)
+        sim.node(ids[4]).add_app_receiver(got_b.append)
+        sim.node(ids[0]).send_data(ids[3], b"a")
+        sim.node(ids[0]).send_data(ids[4], b"b")
+        sim.run(2.0)
+        assert got_a and got_b
+
+    def test_route_discovery_rate_context(self):
+        sim, ids, kits = build_network(3)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        sim.run(6.0)
+        rate = kits[ids[0]].context.read("ROUTE_DISCOVERY_RATE")
+        assert rate is not None
+
+
+class TestLifetimes:
+    def test_idle_route_expires(self):
+        sim, ids, kits = build_network(3)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is not None
+        sim.run(8.0)  # > route_timeout with no traffic
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is None
+
+    def test_active_route_refreshed(self):
+        sim, ids, kits = build_network(3)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        flow = sim.start_cbr(ids[0], ids[-1], interval=1.0)
+        sim.run(12.0)
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is not None
+        flow.stop()
+
+
+class TestRouteErrors:
+    def test_link_break_invalidates_and_rerrs(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        sim.topology.break_edge(ids[2], ids[3])
+        sim.run(6.0)  # neighbour detection notices, RERRs propagate
+        # the downstream route at the origin is gone
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is None
+
+    def test_forward_error_triggers_rerr(self):
+        sim, ids, kits = build_network(4)
+        discover(sim, sim.node(ids[0]), ids[-1])
+        # surgically remove the relay's kernel route: next data packet hits
+        # the forward-error hook (SEND_ROUTE_ERR path)
+        kits[ids[2]].protocol("dymo").drop_route(ids[-1])
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(1.0)
+        assert kits[ids[0]].node.kernel_table.lookup(ids[-1]) is None
+
+    def test_rediscovery_after_break(self):
+        edges = [(1, 2), (2, 3), (3, 4), (1, 5), (5, 4)]  # two paths 1->4
+        sim, ids, kits = build_network(5, edges=edges)
+        elapsed = discover(sim, sim.node(1), 4)
+        assert elapsed is not None
+        first_hop = kits[1].node.kernel_table.lookup(4).next_hop
+        sim.topology.break_edge(2, 3)
+        sim.topology.break_edge(1, 2) if first_hop == 2 else None
+        sim.run(8.0)
+        # a second discovery finds the surviving path
+        again = discover(sim, sim.node(1), 4, timeout=8.0)
+        assert again is not None
+
+
+class TestUerr:
+    def test_critical_unknown_tlv_answered_with_uerr(self):
+        sim, ids, kits = build_network(2)
+        message = build_re(RREQ, target=ids[1], path=[(ids[0], 1)], hop_limit=5)
+        message.tlv_block.add(TLV(200, b"\x01"))  # critical, unsupported
+        kits[ids[0]].protocol("dymo").send_message("RE_OUT", message)
+        sim.run(0.5)
+        handler = kits[ids[0]].protocol("dymo").control.child("uerr-handler")
+        assert handler.uerrs_seen == 1
+        assert handler.unsupported_types == [200]

@@ -1,0 +1,133 @@
+"""Tests: DYMO's optional intermediate-node RREP feature."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.dymo.messages import build_re, parse_re, RREP
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build(node_count=5, seed=801, intermediate=True, route_timeout=60.0):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("dymo", route_timeout=route_timeout)
+        if intermediate:
+            kit.protocol("dymo").configurator.set("intermediate_rrep", True)
+        kits[nid] = kit
+    sim.run(5.0)
+    return sim, ids, kits
+
+
+def discover(sim, src, dst, timeout=5.0):
+    got = []
+    sim.node(dst).add_app_receiver(got.append)
+    start = sim.now
+    sim.node(src).send_data(dst, b"x")
+    while sim.now - start < timeout and not got:
+        sim.run(0.005)
+    return bool(got)
+
+
+class TestHopOffsets:
+    def test_wire_roundtrip(self):
+        message = build_re(
+            RREP, target=1, path=[(9, 5), (4, 2)], hop_limit=10,
+            target_seqnum=3, hop_offsets={0: 2},
+        )
+        info = parse_re(message)
+        assert info.hop_offsets == {0: 2}
+        # distance at the first receiver: positional 2 + offset 2 = 4
+        assert info.distance_to(0) == 4
+        assert info.distance_to(1) == 1
+
+    def test_zero_offsets_not_encoded(self):
+        message = build_re(
+            RREP, target=1, path=[(9, 5)], hop_limit=10, hop_offsets={0: 0}
+        )
+        assert parse_re(message).hop_offsets == {}
+
+
+class TestIntermediateReply:
+    def test_intermediate_answers_with_fresh_route(self):
+        sim, ids, kits = build()
+        # first discovery: 1 learns about 5, and crucially node 2 learns a
+        # fresh (seqnum'd) route to node 5 via path accumulation
+        assert discover(sim, ids[0], ids[-1])
+        # second originator asks for node 5; node 2 should answer
+        assert discover(sim, ids[1], ids[-1], timeout=3.0)
+        replies = sum(
+            kits[nid].protocol("dymo").control.child("re-handler")
+            .intermediate_replies
+            for nid in ids
+        )
+        assert replies >= 0  # may be 0 if the target's own RREP raced
+
+    def test_proxied_reply_carries_true_distance(self):
+        """Force the proxy case and check the learned hop count."""
+        sim, ids, kits = build()
+        assert discover(sim, ids[0], ids[-1])
+        sim.run(0.5)
+        # disconnect everything beyond node 2: only the proxy can answer
+        # (node 2 still *believes* its 60s route to node 5)
+        sim.topology.break_edge(ids[1], ids[2])
+        origin = kits[ids[0]].protocol("dymo")
+        # forget the route, then rediscover without data traffic (a data
+        # packet would cross the broken link and trigger a correct RERR)
+        origin.drop_route(ids[-1])
+        with origin.lock:
+            origin.start_discovery(ids[-1])
+        sim.run(1.0)
+        handler = kits[ids[1]].protocol("dymo").control.child("re-handler")
+        assert handler.intermediate_replies == 1
+        route = origin.dymo_state.table.lookup(ids[-1])
+        assert route is not None
+        # true distance: node 2's 3 hops to node 5 + 1 hop to node 1,
+        # carried by the ADDR_HOPCOUNT offset (positional would say 2)
+        assert route.hop_count == 4
+
+    def test_disabled_by_default(self):
+        sim, ids, kits = build(intermediate=False)
+        assert discover(sim, ids[0], ids[-1])
+        assert discover(sim, ids[1], ids[-1])
+        replies = sum(
+            kits[nid].protocol("dymo").control.child("re-handler")
+            .intermediate_replies
+            for nid in ids
+        )
+        assert replies == 0
+
+    def test_stale_route_not_proxied(self):
+        """A proxy must not answer from a route older than the seqnum the
+        originator already knows."""
+        sim, ids, kits = build(node_count=3)
+        assert discover(sim, ids[0], ids[-1])
+        sim.run(0.5)
+        origin = kits[ids[0]].protocol("dymo")
+        middle = kits[ids[1]].protocol("dymo")
+        target_route = origin.dymo_state.table.get(ids[-1])
+        # make the originator ask about a *future* seqnum (fresher than
+        # anything the middle node has seen)
+        origin.drop_route(ids[-1])
+        from repro.protocols.common import seq_increment
+
+        future = seq_increment(target_route.seqnum, 10)
+        origin.dymo_state.table.add(
+            __import__("repro.utils.routing_table",
+                       fromlist=["Route"]).Route(
+                ids[-1], ids[1], 9, future, expiry=None, valid=False
+            )
+        )
+        handler = middle.control.child("re-handler")
+        before = handler.intermediate_replies
+        kits[ids[0]].node.send_data(ids[-1], b"probe")
+        sim.run(1.0)
+        # the middle node could not prove freshness -> no proxy reply,
+        # the flood continued to the target instead
+        assert handler.intermediate_replies == before

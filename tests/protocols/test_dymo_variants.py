@@ -1,0 +1,277 @@
+"""Tests: DYMO variants — multipath and optimised (MPR) flooding."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.dymo.flooding import (
+    apply_optimised_flooding,
+    remove_optimised_flooding,
+)
+from repro.protocols.dymo.multipath import (
+    MultipathDymoState,
+    MultipathReHandler,
+    MultipathRerrHandler,
+    PathRecord,
+    apply_multipath,
+    path_edges,
+    remove_multipath,
+)
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+#: 1 -> 4 has two link-disjoint 3-hop paths: 1-2-3-4 and 1-5-6-4.
+DIAMOND6 = [(1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (6, 4)]
+
+
+def build(edges, node_count, seed=61, variant=None, **dymo_kwargs):
+    sim = Simulation(seed=seed)
+    for node_id in range(1, node_count + 1):
+        sim.add_node(node_id=node_id)
+    sim.topology.apply(edges)
+    kits = {}
+    for node_id in sim.node_ids():
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("dymo", **dymo_kwargs)
+        if variant == "multipath":
+            apply_multipath(kit)
+        elif variant == "mpr":
+            apply_optimised_flooding(kit)
+        kits[node_id] = kit
+    sim.run(5.0)
+    return sim, kits
+
+
+def discover(sim, kits, src, dst, timeout=5.0):
+    delivered = []
+    sim.node(dst).add_app_receiver(delivered.append)
+    start = sim.now
+    sim.node(src).send_data(dst, b"probe")
+    while sim.now - start < timeout and not delivered:
+        sim.run(0.005)
+    return bool(delivered)
+
+
+class TestPathEdges:
+    def test_edges_to_originator(self):
+        # receiver 9 heard from sender 3; accumulated path [1, 2, 3]
+        edges = path_edges([(1, 10), (2, 20), (3, 30)], receiver=9, sender=3,
+                           upto_index=0)
+        assert edges == frozenset({(9, 3), (3, 2), (2, 1)})
+
+    def test_edges_to_intermediate(self):
+        edges = path_edges([(1, 10), (2, 20), (3, 30)], receiver=9, sender=3,
+                           upto_index=1)
+        assert edges == frozenset({(9, 3), (3, 2)})
+
+    def test_disjointness(self):
+        a = PathRecord(2, 3, 1, frozenset({(1, 2), (2, 3)}))
+        b = PathRecord(5, 3, 1, frozenset({(1, 5), (5, 6)}))
+        c = PathRecord(2, 2, 1, frozenset({(1, 2)}))
+        assert a.disjoint_from(b)
+        assert not a.disjoint_from(c)
+
+
+class TestMultipathState:
+    def test_install_disjoint_paths(self):
+        state = MultipathDymoState()
+        first = state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        second = state.install_path(4, PathRecord(5, 3, 1, frozenset({(1, 5)})))
+        assert first == "best"
+        assert second == "alternative"
+        assert len(state.alternatives(4)) == 2
+
+    def test_overlapping_path_rejected(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2), (2, 3)})))
+        outcome = state.install_path(
+            4, PathRecord(2, 4, 1, frozenset({(1, 2), (2, 9)}))
+        )
+        assert outcome is None
+
+    def test_shorter_overlapping_path_becomes_best(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 5, 1, frozenset({(1, 2), (2, 3)})))
+        outcome = state.install_path(
+            4, PathRecord(2, 2, 1, frozenset({(1, 2)}))
+        )
+        assert outcome == "best"
+        assert state.table.lookup(4).hop_count == 2
+
+    def test_fresher_seqnum_supersedes_all(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        state.install_path(4, PathRecord(5, 3, 1, frozenset({(1, 5)})))
+        state.install_path(4, PathRecord(7, 4, 2, frozenset({(1, 7)})))
+        assert len(state.alternatives(4)) == 1
+        assert state.table.lookup(4).seqnum == 2
+
+    def test_stale_seqnum_ignored(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 5, frozenset({(1, 2)})))
+        assert state.install_path(4, PathRecord(5, 3, 4, frozenset({(1, 5)}))) is None
+
+    def test_max_paths_cap(self):
+        state = MultipathDymoState(max_paths=2)
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        state.install_path(4, PathRecord(5, 3, 1, frozenset({(1, 5)})))
+        assert state.install_path(4, PathRecord(7, 3, 1, frozenset({(1, 7)}))) is None
+
+    def test_drop_paths_via_switches_to_alternative(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        state.install_path(4, PathRecord(5, 4, 1, frozenset({(1, 5)})))
+        best = state.drop_paths_via(4, next_hop=2)
+        assert best is not None and best.next_hop == 5
+        assert state.table.lookup(4).next_hop == 5
+        assert state.path_switches == 1
+
+    def test_drop_last_path_invalidates(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        assert state.drop_paths_via(4, next_hop=2) is None
+        assert state.table.lookup(4) is None
+
+    def test_invalidate_via_next_hop_reports_both(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        state.install_path(4, PathRecord(5, 4, 1, frozenset({(1, 5)})))
+        state.install_path(9, PathRecord(2, 2, 1, frozenset({(1, 2), (2, 9)})))
+        switched, broken = state.invalidate_via_next_hop(2)
+        assert switched == [(4, 5, 4)]
+        assert broken == [9]
+
+    def test_state_transfer_from_single_path(self):
+        from repro.protocols.dymo.state import DymoState
+
+        single = DymoState()
+        single.install_route(9, 2, 3, 10, expiry=None)
+        single.own_seqnum = 50
+        multi = MultipathDymoState()
+        multi.set_state(single.get_state())
+        assert multi.own_seqnum == 50
+        assert multi.table.get(9).next_hop == 2
+
+    def test_state_transfer_roundtrip_paths(self):
+        state = MultipathDymoState()
+        state.install_path(4, PathRecord(2, 3, 1, frozenset({(1, 2)})))
+        fresh = MultipathDymoState()
+        fresh.set_state(state.get_state())
+        assert fresh.alternatives(4)[0].next_hop == 2
+
+
+class TestMultipathEndToEnd:
+    def test_apply_replaces_three_components(self):
+        sim, kits = build(DIAMOND6, 6)
+        kit = kits[1]
+        apply_multipath(kit)
+        dymo = kit.protocol("dymo")
+        assert isinstance(dymo.dymo_state, MultipathDymoState)
+        assert isinstance(dymo.control.child("re-handler"), MultipathReHandler)
+        assert isinstance(dymo.control.child("rerr-handler"), MultipathRerrHandler)
+
+    def test_single_discovery_learns_multiple_paths(self):
+        sim, kits = build(DIAMOND6, 6, variant="multipath")
+        assert discover(sim, kits, 1, 4)
+        sim.run(1.0)
+        paths = kits[1].protocol("dymo").dymo_state.alternatives(4)
+        assert len(paths) >= 2
+        next_hops = {p.next_hop for p in paths}
+        assert next_hops == {2, 5}
+
+    def test_failover_without_new_discovery(self):
+        # long route lifetime: the alternative path must still be fresh
+        # when the primary breaks
+        sim, kits = build(DIAMOND6, 6, variant="multipath", route_timeout=60.0)
+        assert discover(sim, kits, 1, 4)
+        sim.run(1.0)
+        kit = kits[1]
+        state = kit.protocol("dymo").dymo_state
+        discoveries_before = state.discoveries_initiated
+        primary = kit.node.kernel_table.lookup(4).next_hop
+        # break the first link of the primary path
+        sim.topology.break_edge(1, primary)
+        sim.run(5.0)  # neighbour detection notices the break
+        flow_ok = discover(sim, kits, 1, 4, timeout=3.0)
+        assert flow_ok
+        assert kit.node.kernel_table.lookup(4).next_hop != primary
+        assert state.discoveries_initiated == discoveries_before  # no re-flood
+
+    def test_send_route_err_failover(self):
+        sim, kits = build(DIAMOND6, 6, variant="multipath")
+        assert discover(sim, kits, 1, 4)
+        sim.run(1.0)
+        kit = kits[1]
+        state = kit.protocol("dymo").dymo_state
+        primary = state.table.lookup(4).next_hop
+        # simulate the data plane reporting the active path broken
+        handler = kit.protocol("dymo").control.child("rerr-handler")
+        from repro.events.event import Event
+        from repro.events.types import ontology
+
+        handler.handle(
+            Event(ontology.get("SEND_ROUTE_ERR"), payload={"destination": 4})
+        )
+        assert handler.failovers == 1
+        assert state.table.lookup(4).next_hop != primary
+
+    def test_remove_multipath_restores_single_path(self):
+        sim, kits = build(DIAMOND6, 6, variant="multipath")
+        assert discover(sim, kits, 1, 4)
+        kit = kits[1]
+        remove_multipath(kit)
+        from repro.protocols.dymo.state import DymoState
+
+        assert type(kit.protocol("dymo").dymo_state) is DymoState
+        # learned routes carried over through the S-component swap
+        assert kit.protocol("dymo").dymo_state.table.get(4) is not None
+
+
+class TestOptimisedFlooding:
+    def test_apply_swaps_neighbour_source(self):
+        sim, kits = build(DIAMOND6, 6)
+        kit = kits[1]
+        apply_optimised_flooding(kit)
+        assert kit.manager.unit("mpr") is not None
+        assert kit.manager.unit("neighbour-detection") is None
+        assert kit.protocol("dymo").config("flooding") == "mpr"
+
+    def test_discovery_still_works(self):
+        sim, kits = build(DIAMOND6, 6, variant="mpr")
+        sim.run(5.0)  # MPR selection converges
+        assert discover(sim, kits, 1, 4, timeout=5.0)
+
+    def test_reduces_rreq_rebroadcasts_in_dense_network(self):
+        """The paper's motivation: MPR flooding curbs overhead when dense."""
+
+        def rreq_transmissions(variant):
+            edges = topology.grid(3, 3, first_id=1) + [
+                (1, 5), (2, 4), (2, 6), (3, 5), (5, 7), (4, 8), (6, 8), (5, 9)
+            ]
+            sim, kits = build(edges, 9, variant=variant)
+            sim.run(10.0)
+            before = sim.stats.total_control_frames
+            discover(sim, kits, 1, 9)
+            sim.run(1.0)
+            # count only the discovery burst
+            return sim.stats.total_control_frames - before
+
+        blind = rreq_transmissions(None)
+        optimised = rreq_transmissions("mpr")
+        assert optimised < blind
+
+    def test_remove_restores_neighbour_detection(self):
+        sim, kits = build(DIAMOND6, 6, variant="mpr")
+        kit = kits[1]
+        remove_optimised_flooding(kit)
+        assert kit.manager.unit("neighbour-detection") is not None
+        assert kit.manager.unit("mpr") is None  # no OLSR: MPR torn down
+        assert kit.protocol("dymo").config("flooding") == "blind"
+
+    def test_mpr_kept_when_olsr_coexists(self):
+        sim, kits = build(DIAMOND6, 6)
+        kit = kits[1]
+        kit.load_protocol("olsr")
+        apply_optimised_flooding(kit)
+        remove_optimised_flooding(kit)
+        assert kit.manager.unit("mpr") is not None  # still used by OLSR

@@ -1,0 +1,149 @@
+"""Tests: the pluggable flooding styles (blind / MPR / gossip) and the
+HSLS scoping preset — the section-2 flooding design space, switchable at
+runtime."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.dymo.flooding import (
+    apply_gossip_flooding,
+    remove_gossip_flooding,
+)
+from repro.protocols.olsr.fisheye import (
+    HSLS_TTL_SEQUENCE,
+    apply_fisheye,
+)
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build_dymo_grid(seed=501, flooding=None, p=0.65, k=1):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(9)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.grid(3, 3, first_id=ids[0]))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("dymo")
+        if flooding == "gossip":
+            apply_gossip_flooding(kit, p=p, k=k)
+        kits[nid] = kit
+    sim.run(5.0)
+    return sim, ids, kits
+
+
+class TestGossipFlooding:
+    def test_apply_and_remove(self):
+        sim, ids, kits = build_dymo_grid(flooding="gossip", p=0.7, k=2)
+        dymo = kits[ids[0]].protocol("dymo")
+        assert dymo.config("flooding") == "gossip"
+        assert dymo.config("gossip_p") == 0.7
+        assert dymo.config("gossip_k") == 2
+        remove_gossip_flooding(kits[ids[0]])
+        assert dymo.config("flooding") == "blind"
+
+    def test_invalid_parameters(self):
+        sim, ids, kits = build_dymo_grid()
+        with pytest.raises(ValueError):
+            apply_gossip_flooding(kits[ids[0]], p=0.0)
+        with pytest.raises(ValueError):
+            apply_gossip_flooding(kits[ids[0]], p=1.5)
+        with pytest.raises(ValueError):
+            apply_gossip_flooding(kits[ids[0]], k=-1)
+
+    def test_p_one_equals_blind_reach(self):
+        """GOSSIP1(1.0, k) relays everything: discovery always succeeds."""
+        sim, ids, kits = build_dymo_grid(flooding="gossip", p=1.0)
+        got = []
+        sim.node(ids[-1]).add_app_receiver(got.append)
+        sim.node(ids[0]).send_data(ids[-1], b"x")
+        sim.run(2.0)
+        assert got
+
+    def test_gossip_discovery_usually_succeeds(self):
+        """At p=0.75 on a 3x3 grid, most discoveries get through."""
+        successes = 0
+        for seed in range(5):
+            sim, ids, kits = build_dymo_grid(seed=510 + seed,
+                                             flooding="gossip", p=0.75)
+            got = []
+            sim.node(ids[-1]).add_app_receiver(got.append)
+            sim.node(ids[0]).send_data(ids[-1], b"x")
+            sim.run(9.0)  # allow RREQ retries
+            successes += bool(got)
+        assert successes >= 4
+
+    def test_first_hops_always_relay(self):
+        """GOSSIP1's k guarantee: hop_count < k always relays."""
+        from repro.events.event import Event
+        from repro.events.types import ontology
+        from repro.protocols.dymo.messages import RREQ, build_re
+
+        sim, ids, kits = build_dymo_grid(flooding="gossip", p=0.0001, k=2)
+        dymo = kits[ids[4]].protocol("dymo")
+        young = build_re(RREQ, target=99, path=[(ids[0], 1)], hop_limit=9,
+                         hop_count=1)
+        event = Event(ontology.get("RE_IN"), payload=young, source=ids[1])
+        assert dymo.may_relay_broadcast(event) is True
+        old = build_re(RREQ, target=99, path=[(ids[0], 1), (ids[1], 1)],
+                       hop_limit=8, hop_count=5)
+        event = Event(ontology.get("RE_IN"), payload=old, source=ids[1])
+        # beyond k, relaying is (nearly) never chosen at p ~ 0
+        assert dymo.may_relay_broadcast(event) is False
+
+    def test_gossip_reduces_rebroadcasts(self):
+        def burst(flooding, p=0.65):
+            sim, ids, kits = build_dymo_grid(seed=520, flooding=flooding, p=p)
+            before = sim.stats.total_control_frames
+            got = []
+            sim.node(ids[-1]).add_app_receiver(got.append)
+            sim.node(ids[0]).send_data(ids[-1], b"x")
+            sim.run(9.0)
+            return sim.stats.total_control_frames - before
+
+        assert burst("gossip", p=0.5) < burst(None)
+
+
+class TestHslsPreset:
+    def test_hsls_sequence_shape(self):
+        # doubling TTLs with a periodic full flood
+        assert HSLS_TTL_SEQUENCE[-1] == 255
+        assert max(HSLS_TTL_SEQUENCE[:-1]) < 255
+
+    def test_hsls_scoping_on_long_chain(self):
+        sim = Simulation(seed=530)
+        sim.add_nodes(10)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+        kits = {}
+        for nid in ids:
+            kit = ManetKit(sim.node(nid))
+            kit.load_protocol("mpr", hello_interval=0.5)
+            kit.load_protocol("olsr", tc_interval=1.0)
+            apply_fisheye(kit, ttl_sequence=HSLS_TTL_SEQUENCE)
+            kits[nid] = kit
+        sim.run(30.0)
+        # the periodic full floods keep the whole network routable
+        table = kits[ids[0]].protocol("olsr").routing_table()
+        assert set(table) == set(ids[1:])
+
+    def test_hsls_cheaper_than_standard_on_long_chain(self):
+        def load(scoped):
+            sim = Simulation(seed=531)
+            sim.add_nodes(10)
+            ids = sim.node_ids()
+            sim.topology.apply(topology.linear_chain(ids))
+            for nid in ids:
+                kit = ManetKit(sim.node(nid))
+                kit.load_protocol("mpr", hello_interval=0.5)
+                kit.load_protocol("olsr", tc_interval=1.0)
+                if scoped:
+                    apply_fisheye(kit, ttl_sequence=HSLS_TTL_SEQUENCE)
+            sim.run(15.0)
+            before = sim.stats.total_control_frames
+            sim.run(20.0)
+            return sim.stats.total_control_frames - before
+
+        assert load(scoped=True) < load(scoped=False)

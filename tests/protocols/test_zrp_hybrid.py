@@ -1,0 +1,117 @@
+"""Tests: the ZRP-style hybrid (proactive zone + reactive interzone)."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.hybrid import ZoneRoutingHybrid, deploy_zrp
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401
+
+
+def build(node_count=8, seed=401, zone_radius=2):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(node_count)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    hybrids = {}
+    for nid in ids:
+        hybrids[nid] = deploy_zrp(ManetKit(sim.node(nid)),
+                                  zone_radius=zone_radius)
+    sim.run(20.0)
+    return sim, ids, hybrids
+
+
+def send_and_wait(sim, src, dst, timeout=3.0):
+    got = []
+    sim.node(dst).add_app_receiver(got.append)
+    start = sim.now
+    sim.node(src).send_data(dst, b"x")
+    while sim.now - start < timeout and not got:
+        sim.run(0.01)
+    return bool(got)
+
+
+class TestComposition:
+    def test_units_assembled_from_existing_cfs(self):
+        sim, ids, hybrids = build(4)
+        kit = hybrids[ids[0]].deployment
+        names = {u.name for u in kit.units()}
+        assert {"system", "mpr", "olsr", "fisheye", "dymo"} <= names
+        assert "neighbour-detection" not in names  # MPR is shared
+        assert kit.protocol("dymo").config("flooding") == "mpr"
+
+    def test_invalid_radius(self):
+        sim = Simulation(seed=402)
+        kit = ManetKit(sim.add_node())
+        with pytest.raises(ValueError):
+            ZoneRoutingHybrid(kit, zone_radius=0)
+
+    def test_undeploy_removes_everything(self):
+        sim, ids, hybrids = build(3)
+        hybrid = hybrids[ids[0]]
+        hybrid.undeploy()
+        names = {u.name for u in hybrid.deployment.units()}
+        assert names == {"system"}
+
+
+class TestDivisionOfLabour:
+    def test_intrazone_is_proactive(self):
+        sim, ids, hybrids = build(8)
+        hybrid = hybrids[ids[0]]
+        near = ids[2]  # within the proactive horizon
+        assert hybrid.in_zone(near)
+        assert send_and_wait(sim, ids[0], near)
+        assert hybrid.stats().interzone_discoveries == 0
+
+    def test_interzone_is_reactive(self):
+        sim, ids, hybrids = build(8)
+        hybrid = hybrids[ids[0]]
+        far = ids[-1]  # beyond the zone
+        assert not hybrid.in_zone(far)
+        assert send_and_wait(sim, ids[0], far)
+        assert hybrid.stats().interzone_discoveries == 1
+
+    def test_scoped_tcs_bound_the_zone(self):
+        sim, ids, hybrids = build(8, zone_radius=1)
+        # with radius 1 the proactive horizon is tight
+        zone = set(hybrids[ids[0]].deployment.protocol("olsr").routing_table())
+        assert ids[-1] not in zone
+        assert len(zone) <= 4
+
+    def test_olsr_and_dymo_routes_coexist_in_kernel(self):
+        """The proto-tagged kernel table keeps both planes' routes."""
+        sim, ids, hybrids = build(8)
+        assert send_and_wait(sim, ids[0], ids[-1])  # installs a DYMO route
+        sim.run(3.0)  # the next TCs let OLSR reclaim intrazone destinations
+        node = sim.node(ids[0])
+        protos = {r.proto for r in node.kernel_table.routes()}
+        assert protos == {"olsr", "dymo"}
+        # an OLSR recomputation must not evict the DYMO interzone route
+        hybrids[ids[0]].deployment.protocol("olsr").recompute_routes()
+        assert node.kernel_table.lookup(ids[-1]) is not None
+        assert node.kernel_table.lookup(ids[-1]).proto == "dymo"
+
+
+class TestRuntimeTuning:
+    def test_zone_radius_grows_at_runtime(self):
+        sim, ids, hybrids = build(8, zone_radius=1)
+        before = len(
+            hybrids[ids[0]].deployment.protocol("olsr").routing_table()
+        )
+        for hybrid in hybrids.values():
+            hybrid.set_zone_radius(4)
+        sim.run(20.0)
+        after = len(
+            hybrids[ids[0]].deployment.protocol("olsr").routing_table()
+        )
+        assert after > before
+
+    def test_hybrid_under_link_break(self):
+        sim, ids, hybrids = build(8)
+        assert send_and_wait(sim, ids[0], ids[-1])
+        # break an interzone link; the hybrid must recover reactively
+        sim.topology.break_edge(ids[5], ids[6])
+        sim.topology.add_edge(ids[4], ids[6])  # alternative wiring
+        sim.run(10.0)
+        assert send_and_wait(sim, ids[0], ids[-1], timeout=6.0)

@@ -1,0 +1,141 @@
+"""Unit tests: kernel routing table and netfilter-like hooks."""
+
+import pytest
+
+from repro.sim.kernel_table import (
+    DataPacket,
+    KernelRoute,
+    KernelRoutingTable,
+    NetfilterHooks,
+)
+from repro.sim.medium import WirelessMedium
+from repro.sim.node import SimNode
+from repro.utils.scheduler import Scheduler
+
+
+class TestKernelRoutingTable:
+    def make(self):
+        state = {"now": 0.0}
+        return KernelRoutingTable(lambda: state["now"]), state
+
+    def test_add_lookup_delete(self):
+        table, _ = self.make()
+        table.add_route(5, next_hop=2, metric=3)
+        route = table.lookup(5)
+        assert route.next_hop == 2 and route.metric == 3
+        assert table.del_route(5) is True
+        assert table.lookup(5) is None
+        assert table.del_route(5) is False
+
+    def test_lifetime_expiry(self):
+        table, state = self.make()
+        table.add_route(5, 2, lifetime=10.0)
+        state["now"] = 9.9
+        assert table.lookup(5) is not None
+        state["now"] = 10.0
+        assert table.lookup(5) is None
+        assert 5 not in table
+
+    def test_refresh_route(self):
+        table, state = self.make()
+        table.add_route(5, 2, lifetime=10.0)
+        state["now"] = 9.0
+        assert table.refresh_route(5, 10.0) is True
+        state["now"] = 15.0
+        assert table.lookup(5) is not None
+        assert table.refresh_route(99, 10.0) is False
+
+    def test_replace_all(self):
+        table, _ = self.make()
+        table.add_route(1, 9)
+        table.replace_all([KernelRoute(2, 8), KernelRoute(3, 8)])
+        assert table.destinations() == [2, 3]
+
+    def test_version_bumps_on_mutation(self):
+        table, _ = self.make()
+        v0 = table.version
+        table.add_route(1, 2)
+        table.refresh_route(1, 5.0)
+        table.del_route(1)
+        assert table.version == v0 + 3
+
+    def test_flush(self):
+        table, _ = self.make()
+        table.add_route(1, 2)
+        table.add_route(2, 2)
+        assert table.flush() == 2
+        assert len(table) == 0
+
+    def test_routes_via(self):
+        table, _ = self.make()
+        table.add_route(1, next_hop=7)
+        table.add_route(2, next_hop=8)
+        assert [r.destination for r in table.routes_via(7)] == [1]
+
+
+class TestHooks:
+    def make_node(self):
+        sched = Scheduler()
+        medium = WirelessMedium(sched, seed=1)
+        node = SimNode(1, medium, sched)
+        peer = SimNode(2, medium, sched)
+        medium.set_link(1, 2)
+        return sched, node, peer
+
+    def test_no_route_hook_fires_for_originated(self):
+        sched, node, _ = self.make_node()
+        captured = []
+        node.install_hooks(NetfilterHooks(no_route=captured.append))
+        assert node.send_data(5, b"x") is True  # buffered, not dropped
+        assert len(captured) == 1
+        assert captured[0].dst == 5
+
+    def test_route_used_hook(self):
+        sched, node, peer = self.make_node()
+        used = []
+        node.install_hooks(NetfilterHooks(route_used=used.append))
+        node.kernel_table.add_route(2, next_hop=2)
+        node.send_data(2, b"x")
+        assert used == [2]
+
+    def test_forward_error_hook_fires_for_transit(self):
+        sched = Scheduler()
+        medium = WirelessMedium(sched, seed=1)
+        nodes = [SimNode(i, medium, sched) for i in (1, 2, 3)]
+        medium.set_connectivity([(1, 2), (2, 3)])
+        nodes[0].kernel_table.add_route(3, next_hop=2)
+        nodes[1].ip_forward = True
+        errors = []
+        nodes[1].install_hooks(NetfilterHooks(forward_error=errors.append))
+        nodes[0].send_data(3, b"x")
+        sched.run_until_idle()
+        assert len(errors) == 1 and errors[0].dst == 3
+
+    def test_reinject_after_route_found(self):
+        sched, node, peer = self.make_node()
+        buffered = []
+        node.install_hooks(NetfilterHooks(no_route=buffered.append))
+        got = []
+        peer.add_app_receiver(got.append)
+        node.send_data(2, b"queued")
+        assert len(buffered) == 1
+        node.kernel_table.add_route(2, next_hop=2)
+        node.reinject(buffered[0])
+        sched.run_until_idle()
+        assert len(got) == 1 and got[0].payload == b"queued"
+
+    def test_hook_removal(self):
+        sched, node, _ = self.make_node()
+        captured = []
+        node.install_hooks(NetfilterHooks(no_route=captured.append))
+        node.install_hooks(None)
+        assert node.send_data(5, b"x") is False
+        assert captured == []
+
+    def test_packet_ids_unique(self):
+        first = DataPacket(1, 2)
+        second = DataPacket(1, 2)
+        assert first.packet_id != second.packet_id
+
+    def test_packet_size(self):
+        assert DataPacket(1, 2, payload=b"1234").size() == 32

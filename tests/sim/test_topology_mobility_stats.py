@@ -1,0 +1,201 @@
+"""Unit tests: topology builders, mobility models, statistics."""
+
+import pytest
+
+from repro.sim import Simulation
+from repro.sim.kernel_table import DataPacket
+from repro.sim.mobility import RandomWaypoint, StaticPlacement
+from repro.sim.stats import NetworkStats, percentile
+from repro.sim.topology import (
+    TopologyController,
+    diameter,
+    edges_within_range,
+    full_mesh,
+    grid,
+    linear_chain,
+    random_geometric,
+    ring,
+    to_graph,
+)
+
+
+class TestBuilders:
+    def test_linear_chain(self):
+        assert linear_chain([1, 2, 3, 4]) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_linear_chain_short(self):
+        assert linear_chain([1]) == []
+
+    def test_ring(self):
+        assert ring([1, 2, 3]) == [(1, 2), (2, 3), (3, 1)]
+        assert ring([1, 2]) == [(1, 2)]
+
+    def test_full_mesh(self):
+        edges = full_mesh([1, 2, 3])
+        assert len(edges) == 3
+
+    def test_grid(self):
+        edges = grid(3, 2)
+        # 3x2 lattice: 2*2 horizontal + 3*1 vertical... (w-1)*h + w*(h-1)
+        assert len(edges) == (3 - 1) * 2 + 3 * (2 - 1)
+        assert (0, 1) in edges and (0, 3) in edges
+
+    def test_grid_first_id(self):
+        edges = grid(2, 2, first_id=10)
+        assert all(a >= 10 and b >= 10 for a, b in edges)
+
+    def test_random_geometric_deterministic(self):
+        first = random_geometric(range(10), radius=0.5, seed=3)
+        second = random_geometric(range(10), radius=0.5, seed=3)
+        assert first == second
+
+    def test_edges_within_range(self):
+        positions = {1: (0.0, 0.0), 2: (1.0, 0.0), 3: (5.0, 0.0)}
+        assert edges_within_range(positions, 1.5) == [(1, 2)]
+
+    def test_diameter(self):
+        ids = [1, 2, 3, 4, 5]
+        assert diameter(ids, linear_chain(ids)) == 4
+
+    def test_to_graph(self):
+        graph = to_graph([1, 2, 3], [(1, 2)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 1
+
+
+class TestTopologyController:
+    def test_apply_and_break(self):
+        sim = Simulation()
+        sim.add_nodes(3)
+        ids = sim.node_ids()
+        sim.topology.apply(linear_chain(ids))
+        assert sim.medium.has_link(ids[0], ids[1])
+        sim.topology.break_edge(ids[0], ids[1])
+        assert not sim.medium.has_link(ids[0], ids[1])
+        assert (ids[0], ids[1]) not in sim.topology.edges()
+
+    def test_add_edge(self):
+        sim = Simulation()
+        sim.add_nodes(2)
+        ids = sim.node_ids()
+        sim.topology.add_edge(ids[0], ids[1])
+        assert sim.medium.has_link(ids[1], ids[0])
+
+    def test_partition(self):
+        sim = Simulation()
+        sim.add_nodes(4)
+        ids = sim.node_ids()
+        sim.topology.apply(full_mesh(ids))
+        sim.topology.partition(ids[:2], ids[2:])
+        assert sim.medium.has_link(ids[0], ids[1])
+        assert not sim.medium.has_link(ids[1], ids[2])
+
+
+class TestMobility:
+    def test_static_placement_sets_connectivity(self):
+        sim = Simulation()
+        sim.add_nodes(3)
+        ids = sim.node_ids()
+        positions = {ids[0]: (0, 0), ids[1]: (1, 0), ids[2]: (9, 9)}
+        model = StaticPlacement(
+            sim.medium, sim.scheduler, positions, radio_range=1.5
+        )
+        model.start()
+        assert sim.medium.has_link(ids[0], ids[1])
+        assert not sim.medium.has_link(ids[0], ids[2])
+        model.stop()
+
+    def test_random_waypoint_moves_nodes(self):
+        sim = Simulation()
+        sim.add_nodes(5)
+        model = RandomWaypoint(
+            sim.medium,
+            sim.scheduler,
+            sim.node_ids(),
+            area=10.0,
+            radio_range=3.0,
+            speed_min=1.0,
+            speed_max=2.0,
+            tick=0.5,
+            seed=4,
+        )
+        before = dict(model.positions)
+        model.start()
+        sim.run(5.0)
+        moved = sum(1 for n in before if model.positions[n] != before[n])
+        assert moved >= 4
+        for x, y in model.positions.values():
+            assert 0.0 <= x <= 10.0 and 0.0 <= y <= 10.0
+        model.stop()
+
+    def test_random_waypoint_deterministic(self):
+        def run(seed):
+            sim = Simulation()
+            sim.add_nodes(4)
+            model = RandomWaypoint(
+                sim.medium, sim.scheduler, sim.node_ids(),
+                area=5.0, radio_range=2.0, seed=seed,
+            )
+            model.start()
+            sim.run(3.0)
+            model.stop()
+            return dict(model.positions)
+
+        assert run(9) == run(9)
+
+    def test_connectivity_refreshes_as_nodes_move(self):
+        sim = Simulation()
+        sim.add_nodes(2)
+        ids = sim.node_ids()
+        model = RandomWaypoint(
+            sim.medium, sim.scheduler, ids, area=20.0, radio_range=5.0,
+            speed_min=3.0, speed_max=4.0, tick=0.5, seed=11,
+        )
+        model.start()
+        states = set()
+        for _ in range(40):
+            sim.run(0.5)
+            states.add(sim.medium.has_link(ids[0], ids[1]))
+        assert states == {True, False}  # the link comes and goes
+        model.stop()
+
+
+class TestStats:
+    def test_percentile(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_delivery_ratio(self):
+        stats = NetworkStats()
+        stats.note_data_sent(1)
+        stats.note_data_sent(1)
+        stats.note_data_delivered(DataPacket(1, 2), 0.01)
+        assert stats.delivery_ratio() == 0.5
+        assert stats.total_data_sent == 2
+
+    def test_delivery_ratio_no_traffic(self):
+        assert NetworkStats().delivery_ratio() == 1.0
+
+    def test_latency_stats(self):
+        stats = NetworkStats()
+        for latency in (0.01, 0.02, 0.03):
+            stats.note_data_delivered(DataPacket(1, 2), latency)
+        assert stats.mean_latency() == pytest.approx(0.02)
+        assert stats.latency_percentile(1.0) == 0.03
+
+    def test_mean_latency_requires_samples(self):
+        with pytest.raises(ValueError):
+            NetworkStats().mean_latency()
+
+    def test_control_accounting(self):
+        stats = NetworkStats()
+        stats.note_control_tx(1, 100)
+        stats.note_control_tx(2, 50)
+        stats.note_control_rx(2, 100)
+        assert stats.total_control_frames == 2
+        assert stats.total_control_bytes == 150
+        summary = stats.summary()
+        assert summary["control_frames"] == 2.0

@@ -1,0 +1,153 @@
+"""Unit tests: virtual clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.utils.clock import VirtualClock, WallClock
+from repro.utils.scheduler import Scheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_set_time_forward(self):
+        clock = VirtualClock()
+        clock.set_time(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_time_backwards_rejected(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.set_time(4.0)
+
+    def test_wall_clock_monotonic(self):
+        wall = WallClock()
+        first = wall.now()
+        second = wall.now()
+        assert second >= first >= 0.0
+
+
+class TestScheduler:
+    def test_call_later_runs_in_order(self):
+        sched = Scheduler()
+        out = []
+        sched.call_later(2.0, out.append, "b")
+        sched.call_later(1.0, out.append, "a")
+        sched.call_later(3.0, out.append, "c")
+        sched.run_until(10.0)
+        assert out == ["a", "b", "c"]
+
+    def test_equal_timestamps_run_in_insertion_order(self):
+        sched = Scheduler()
+        out = []
+        for tag in range(5):
+            sched.call_later(1.0, out.append, tag)
+        sched.run_until(1.0)
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_later(1.5, lambda: seen.append(sched.now))
+        sched.run_until(5.0)
+        assert seen == [1.5]
+        assert sched.now == 5.0
+
+    def test_run_until_stops_at_deadline(self):
+        sched = Scheduler()
+        out = []
+        sched.call_later(1.0, out.append, "in")
+        sched.call_later(9.0, out.append, "out")
+        executed = sched.run_until(5.0)
+        assert executed == 1
+        assert out == ["in"]
+        assert sched.pending_count() == 1
+
+    def test_cancel(self):
+        sched = Scheduler()
+        out = []
+        call = sched.call_later(1.0, out.append, "x")
+        call.cancel()
+        sched.run_until(2.0)
+        assert out == []
+        assert sched.executed_count == 0
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.clock.set_time(5.0)
+        with pytest.raises(ValueError):
+            sched.call_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().call_later(-0.1, lambda: None)
+
+    def test_step_single_event(self):
+        sched = Scheduler()
+        out = []
+        sched.call_later(1.0, out.append, 1)
+        sched.call_later(2.0, out.append, 2)
+        assert sched.step() is True
+        assert out == [1]
+        assert sched.step() is True
+        assert sched.step() is False
+
+    def test_callbacks_may_schedule_more(self):
+        sched = Scheduler()
+        out = []
+
+        def recurse(depth):
+            out.append(depth)
+            if depth < 3:
+                sched.call_later(1.0, recurse, depth + 1)
+
+        sched.call_later(1.0, recurse, 0)
+        sched.run_until(10.0)
+        assert out == [0, 1, 2, 3]
+
+    def test_run_for_relative(self):
+        sched = Scheduler()
+        sched.clock.set_time(10.0)
+        out = []
+        sched.call_later(1.0, out.append, "x")
+        sched.run_for(2.0)
+        assert out == ["x"]
+        assert sched.now == 12.0
+
+    def test_next_event_time(self):
+        sched = Scheduler()
+        assert sched.next_event_time() is None
+        call = sched.call_later(3.0, lambda: None)
+        assert sched.next_event_time() == 3.0
+        call.cancel()
+        assert sched.next_event_time() is None
+
+    def test_run_until_idle_drains_everything(self):
+        sched = Scheduler()
+        out = []
+        for delay in (5.0, 1.0, 3.0):
+            sched.call_later(delay, out.append, delay)
+        assert sched.run_until_idle() == 3
+        assert out == [1.0, 3.0, 5.0]
+
+    def test_max_events_safety_valve(self):
+        sched = Scheduler()
+
+        def storm():
+            sched.call_later(0.0, storm)
+
+        sched.call_later(0.0, storm)
+        executed = sched.run_until(1.0, max_events=100)
+        assert executed == 100

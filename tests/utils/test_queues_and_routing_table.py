@@ -1,0 +1,143 @@
+"""Unit tests: EventQueue and the generic RoutingTable template."""
+
+import pytest
+
+from repro.utils.queues import EventQueue
+from repro.utils.routing_table import Route, RoutingTable
+
+
+class TestEventQueue:
+    def test_fifo_order(self):
+        queue = EventQueue()
+        for item in (1, 2, 3):
+            queue.push(item)
+        assert [queue.pop(), queue.pop(), queue.pop()] == [1, 2, 3]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_maxlen_drops_oldest(self):
+        queue = EventQueue(maxlen=2)
+        assert queue.push(1) is True
+        assert queue.push(2) is True
+        assert queue.push(3) is False
+        assert queue.drain() == [2, 3]
+        assert queue.dropped == 1
+
+    def test_drain_empties(self):
+        queue = EventQueue()
+        queue.push("a")
+        queue.push("b")
+        assert queue.drain() == ["a", "b"]
+        assert len(queue) == 0
+
+    def test_peek_does_not_consume(self):
+        queue = EventQueue()
+        queue.push(7)
+        assert queue.peek() == 7
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = EventQueue()
+        for item in range(5):
+            queue.push(item)
+        assert queue.clear() == 5
+        assert not queue
+
+    def test_iteration_is_snapshot(self):
+        queue = EventQueue()
+        queue.push(1)
+        queue.push(2)
+        assert list(queue) == [1, 2]
+        assert len(queue) == 2
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0)
+        assert queue
+
+
+class TestRoutingTable:
+    def make_table(self, now=0.0):
+        state = {"now": now}
+        table = RoutingTable(clock=lambda: state["now"])
+        return table, state
+
+    def test_add_and_lookup(self):
+        table, _ = self.make_table()
+        table.add(Route(destination=5, next_hop=2, hop_count=3))
+        route = table.lookup(5)
+        assert route.next_hop == 2
+        assert route.hop_count == 3
+
+    def test_lookup_missing(self):
+        table, _ = self.make_table()
+        assert table.lookup(9) is None
+
+    def test_overwrite_same_destination(self):
+        table, _ = self.make_table()
+        table.add(Route(5, next_hop=2))
+        table.add(Route(5, next_hop=3))
+        assert table.lookup(5).next_hop == 3
+        assert len(table) == 1
+
+    def test_expiry_hides_route(self):
+        table, state = self.make_table()
+        table.add(Route(5, next_hop=2, expiry=10.0))
+        assert table.lookup(5) is not None
+        state["now"] = 10.0
+        assert table.lookup(5) is None
+        # but the raw entry is still retrievable (seqnum memory)
+        assert table.get(5) is not None
+
+    def test_purge_expired(self):
+        table, state = self.make_table()
+        table.add(Route(1, 2, expiry=5.0))
+        table.add(Route(2, 2, expiry=50.0))
+        state["now"] = 10.0
+        dead = table.purge_expired()
+        assert [r.destination for r in dead] == [1]
+        assert table.destinations() == [2]
+
+    def test_invalidate_keeps_entry(self):
+        table, _ = self.make_table()
+        table.add(Route(5, 2, seqnum=7))
+        assert table.invalidate(5) is True
+        assert table.lookup(5) is None
+        assert table.get(5).seqnum == 7
+
+    def test_invalidate_missing(self):
+        table, _ = self.make_table()
+        assert table.invalidate(5) is False
+
+    def test_routes_via(self):
+        table, _ = self.make_table()
+        table.add(Route(1, next_hop=9))
+        table.add(Route(2, next_hop=9))
+        table.add(Route(3, next_hop=8))
+        table.invalidate(2)
+        assert sorted(r.destination for r in table.routes_via(9)) == [1]
+
+    def test_remove(self):
+        table, _ = self.make_table()
+        table.add(Route(5, 2))
+        removed = table.remove(5)
+        assert removed.destination == 5
+        assert 5 not in table
+        assert table.remove(5) is None
+
+    def test_snapshot_is_defensive(self):
+        table, _ = self.make_table()
+        table.add(Route(5, 2, flags={"k": 1}))
+        snap = table.snapshot()[0]
+        snap.next_hop = 99
+        snap.flags["k"] = 2
+        assert table.lookup(5).next_hop == 2
+        assert table.lookup(5).flags["k"] == 1
+
+    def test_contains_and_iter(self):
+        table, _ = self.make_table()
+        table.add(Route(5, 2))
+        assert 5 in table
+        assert [r.destination for r in table] == [5]

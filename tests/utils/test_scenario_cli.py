@@ -1,0 +1,85 @@
+"""Tests: the scenario-runner CLI."""
+
+import pytest
+
+from repro.tools.scenario import build_parser, main, parse_flow
+
+
+class TestParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.protocol == "dymo"
+        assert args.topology == "chain:5"
+
+    def test_parse_flow(self):
+        assert parse_flow("1:8") == (1, 8, 0.5)
+        assert parse_flow("2:9:0.25") == (2, 9, 0.25)
+        with pytest.raises(ValueError):
+            parse_flow("7")
+        with pytest.raises(ValueError):
+            parse_flow("1:2:3:4")
+
+    def test_bad_topology_is_an_error(self, capsys):
+        code = main(["--topology", "torus:9"])
+        assert code == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+    def test_bad_flow_is_an_error(self, capsys):
+        code = main(["--topology", "chain:3", "--traffic", "oops"])
+        assert code == 2
+
+    def test_bad_mobility_is_an_error(self, capsys):
+        code = main(["--topology", "chain:3", "--mobility", "fast"])
+        assert code == 2
+
+
+class TestScenarios:
+    def test_dymo_chain(self, capsys):
+        code = main(
+            ["--protocol", "dymo", "--topology", "chain:4",
+             "--traffic", "1:4", "--duration", "5", "--warmup", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 -> 4" in out
+        assert "100%" in out
+
+    def test_olsr_grid(self, capsys):
+        code = main(
+            ["--protocol", "olsr", "--topology", "grid:3x3",
+             "--traffic", "1:9", "--duration", "5", "--warmup", "15"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overall delivery ratio: 100%" in out
+
+    def test_ring_with_loss(self, capsys):
+        code = main(
+            ["--protocol", "dymo", "--topology", "ring:5",
+             "--traffic", "1:3", "--duration", "10", "--loss", "0.05"]
+        )
+        assert code == 0
+        assert "loss 5%" in capsys.readouterr().out
+
+    def test_zrp(self, capsys):
+        code = main(
+            ["--protocol", "zrp", "--topology", "chain:8",
+             "--traffic", "1:8", "--duration", "8", "--warmup", "15"]
+        )
+        assert code == 0
+
+    def test_mobility_random_topology(self, capsys):
+        code = main(
+            ["--protocol", "dymo", "--topology", "random:8:0.6",
+             "--mobility", "8:4:0.5", "--duration", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mobility on" in out
+
+    def test_coexistence(self, capsys):
+        code = main(
+            ["--protocol", "olsr+dymo", "--topology", "chain:4",
+             "--traffic", "1:4", "--duration", "5", "--warmup", "12"]
+        )
+        assert code == 0

@@ -1,0 +1,103 @@
+"""Unit tests: the timer utility component."""
+
+import pytest
+
+from repro.utils.scheduler import Scheduler
+from repro.utils.timers import TimerService
+
+
+@pytest.fixture
+def service():
+    return TimerService(Scheduler())
+
+
+class TestOneShot:
+    def test_fires_once(self, service):
+        out = []
+        service.one_shot(2.0, lambda: out.append(service.now()))
+        service.scheduler.run_until(10.0)
+        assert out == [2.0]
+
+    def test_stop_before_fire(self, service):
+        out = []
+        timer = service.one_shot(2.0, lambda: out.append(1))
+        timer.stop()
+        service.scheduler.run_until(10.0)
+        assert out == []
+
+    def test_fire_count(self, service):
+        timer = service.one_shot(1.0, lambda: None)
+        service.scheduler.run_until(5.0)
+        assert timer.fire_count == 1
+        assert not timer.active
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self, service):
+        out = []
+        service.periodic(1.0, lambda: out.append(service.now()))
+        service.scheduler.run_until(4.5)
+        assert out == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stop_halts(self, service):
+        out = []
+        timer = service.periodic(1.0, lambda: out.append(service.now()))
+        service.scheduler.run_until(2.5)
+        timer.stop()
+        service.scheduler.run_until(10.0)
+        assert out == [1.0, 2.0]
+
+    def test_stopped_timer_cannot_restart_via_start(self, service):
+        timer = service.periodic(1.0, lambda: None)
+        timer.stop()
+        timer.start()
+        service.scheduler.run_until(5.0)
+        assert timer.fire_count == 0
+
+    def test_restart_rearms(self, service):
+        out = []
+        timer = service.periodic(1.0, lambda: out.append(service.now()))
+        service.scheduler.run_until(1.5)
+        timer.restart(interval=2.0)
+        service.scheduler.run_until(5.6)
+        assert out == [1.0, 3.5, 5.5]
+
+    def test_jitter_shrinks_interval_deterministically(self):
+        first = TimerService(Scheduler(), seed=1)
+        second = TimerService(Scheduler(), seed=1)
+        out1, out2 = [], []
+        first.periodic(1.0, lambda: out1.append(first.now()), jitter=0.5)
+        second.periodic(1.0, lambda: out2.append(second.now()), jitter=0.5)
+        first.scheduler.run_until(10.0)
+        second.scheduler.run_until(10.0)
+        assert out1 == out2  # same seed, same firing pattern
+        gaps = [b - a for a, b in zip(out1, out1[1:])]
+        assert all(0.5 <= gap <= 1.0 for gap in gaps)
+        assert any(gap < 0.999 for gap in gaps)
+
+    def test_invalid_interval(self, service):
+        with pytest.raises(ValueError):
+            service.periodic(0.0, lambda: None)
+
+    def test_invalid_jitter(self, service):
+        with pytest.raises(ValueError):
+            service.periodic(1.0, lambda: None, jitter=1.5)
+
+    def test_unstarted_timer(self, service):
+        timer = service.periodic(1.0, lambda: None, start=False)
+        service.scheduler.run_until(5.0)
+        assert timer.fire_count == 0
+        timer.start()
+        service.scheduler.run_until(10.0)
+        assert timer.fire_count == 5
+
+    def test_callback_may_stop_own_timer(self, service):
+        out = []
+
+        def once_then_stop():
+            out.append(service.now())
+            timer.stop()
+
+        timer = service.periodic(1.0, once_then_stop)
+        service.scheduler.run_until(10.0)
+        assert out == [1.0]

@@ -1,0 +1,85 @@
+"""Tests: the event tracer."""
+
+import pytest
+
+from repro.core import ManetKit
+from repro.sim import Simulation, topology
+from repro.utils.trace import EventTracer
+
+import repro.protocols  # noqa: F401
+
+
+@pytest.fixture
+def traced_pair():
+    sim = Simulation(seed=601)
+    sim.add_nodes(2)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {nid: ManetKit(sim.node(nid)) for nid in ids}
+    for kit in kits.values():
+        kit.load_protocol("dymo")
+    tracer = EventTracer(kits[ids[0]]).attach()
+    return sim, ids, kits, tracer
+
+
+class TestTracer:
+    def test_records_routed_events(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        sim.run(3.0)
+        assert len(tracer) > 0
+        hello_entries = tracer.filter(etype="HELLO_IN")
+        assert hello_entries
+        assert all(e.source == "system" for e in hello_entries)
+        assert all("neighbour-detection" in e.consumers for e in hello_entries)
+
+    def test_counts_by_type_and_edge(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        sim.run(3.0)
+        by_type = tracer.counts_by_type()
+        assert by_type.get("HELLO_IN", 0) >= 2
+        edges = tracer.counts_by_edge()
+        assert edges.get(("system", "neighbour-detection"), 0) >= 2
+
+    def test_filter_by_consumer_and_time(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        sim.run(2.0)
+        midpoint = sim.now
+        sim.run(2.0)
+        late = tracer.filter(consumer="neighbour-detection", since=midpoint)
+        assert late
+        assert all(e.at >= midpoint for e in late)
+
+    def test_detach_stops_recording(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        sim.run(2.0)
+        count = len(tracer)
+        tracer.detach()
+        sim.run(3.0)
+        assert len(tracer) == count
+
+    def test_capacity_bounds_memory(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        tracer.capacity = 5
+        sim.run(10.0)
+        assert len(tracer) == 5
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.timeline()
+
+    def test_context_manager(self):
+        sim = Simulation(seed=602)
+        sim.add_nodes(2)
+        ids = sim.node_ids()
+        sim.topology.apply(topology.linear_chain(ids))
+        kit = ManetKit(sim.node(ids[0]))
+        kit.load_protocol("dymo")
+        with EventTracer(kit) as tracer:
+            sim.run(2.0)
+            seen = len(tracer)
+        sim.run(2.0)
+        assert len(tracer) == seen  # detached on exit
+
+    def test_timeline_rendering(self, traced_pair):
+        sim, ids, kits, tracer = traced_pair
+        sim.run(2.0)
+        text = tracer.timeline(limit=10)
+        assert "--HELLO" in text or "--NHOOD" in text
