@@ -16,11 +16,13 @@ testbed evidently ran accelerated timers (EXPERIMENTS.md discusses this).
 from __future__ import annotations
 
 import pathlib
+from typing import Dict, Optional, Union
 
 import pytest
 
 from repro.core import ManetKit
 from repro.monolithic import DymoumDaemon, OlsrdDaemon
+from repro.obs.bench import BenchMetric, metric_from_samples, write_bench
 from repro.sim import Simulation, topology
 
 import repro.protocols  # noqa: F401
@@ -37,6 +39,44 @@ def record(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_bench(
+    name: str,
+    metrics: Dict[str, Union[BenchMetric, float, int]],
+    meta: Optional[Dict[str, object]] = None,
+) -> pathlib.Path:
+    """Persist machine-readable results as ``results/BENCH_<name>.json``.
+
+    The emitted file is what CI uploads as an artifact and what
+    ``tools/bench_check.py`` gates against ``benchmarks/baseline/``.
+    """
+    path = write_bench(name, metrics, RESULTS_DIR, meta=meta)
+    print(f"\n[bench] wrote {path}")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark bridge: every micro benchmark in the session is exported
+# as an info-grade (machine-dependent, never gated) BENCH metric.
+# ---------------------------------------------------------------------------
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    metrics: Dict[str, BenchMetric] = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        data = list(getattr(stats, "data", []) or [])
+        if not data:
+            continue
+        key = bench.name.replace("test_", "", 1)
+        metrics[f"micro.{key}.wall_s"] = metric_from_samples(
+            data, unit="s", direction="info"
+        )
+    if metrics:
+        write_bench("micro", metrics, RESULTS_DIR)
 
 
 # ---------------------------------------------------------------------------

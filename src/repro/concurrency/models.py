@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Tuple
 
 from repro.events.event import Event
 

@@ -24,7 +24,7 @@ arbitrary behaviour.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.manet_protocol import EventHandlerComponent, ManetProtocol

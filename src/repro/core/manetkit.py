@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.concurrency.models import ConcurrencyModel, make_model
+from repro.concurrency.models import make_model
 from repro.core.framework_manager import FrameworkManager
 from repro.core.manet_protocol import ManetProtocol
 from repro.core.reconfig import ReconfigurationManager
@@ -69,6 +69,10 @@ class ManetKit(ComponentFramework):
     ) -> None:
         super().__init__(f"manetkit@{node.node_id}")
         self.node = node
+        #: Observability context shared with the simulation substrate (the
+        #: node carries it); ``None`` for bare nodes — every consumer
+        #: treats that as "not instrumented".
+        self.obs = getattr(node, "obs", None)
         self.ontology = ontology if ontology is not None else default_ontology
         self.register_integrity_rule(_deployment_integrity)
         # Per-node jitter RNG so co-located nodes do not fire in lockstep.

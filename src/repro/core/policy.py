@@ -17,8 +17,8 @@ on it — mirroring the architecture boundary of [13] (Grace et al., ARM
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manetkit import ManetKit

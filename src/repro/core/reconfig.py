@@ -19,7 +19,7 @@ implements exactly that.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.manet_protocol import ManetProtocol
 from repro.core.unit import CFSUnit
@@ -32,12 +32,32 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.manetkit import ManetKit
 
 
+class _NullSpan:
+    """Context manager used when tracing is off; cost: one ``with``."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class ReconfigurationManager:
     """Enactment engine for one deployment."""
 
     def __init__(self, deployment: "ManetKit") -> None:
         self.deployment = deployment
         self.enactments = 0
+
+    def _span(self, name: str, **attrs: Any):
+        """A trace span for one enactment (no-op without tracing)."""
+        obs = getattr(self.deployment, "obs", None)
+        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            return obs.tracer.span(name, **attrs)
+        return _NULL_SPAN
 
     # -- method 1: declarative tuple rewiring ---------------------------------
 
@@ -54,7 +74,8 @@ class ReconfigurationManager:
             required if required is not None else current.required,
             provided if provided is not None else current.provided,
         )
-        unit.set_event_tuple(new_tuple)
+        with self._span("reconfig.update_event_tuple", unit=unit_name):
+            unit.set_event_tuple(new_tuple)
         self.enactments += 1
         return new_tuple
 
@@ -73,8 +94,11 @@ class ReconfigurationManager:
         protocol's critical section guarantees a stable state for the swap.
         """
         protocol = self._protocol(protocol_name)
-        self.deployment.drain()
-        old = protocol.replace_component(child_name, replacement, transfer_state)
+        with self._span(
+            "reconfig.replace_component", protocol=protocol_name, child=child_name
+        ):
+            self.deployment.drain()
+            old = protocol.replace_component(child_name, replacement, transfer_state)
         self.enactments += 1
         return old
 
@@ -101,8 +125,11 @@ class ReconfigurationManager:
 
     def remove_component(self, protocol_name: str, child_name: str) -> Component:
         protocol = self._protocol(protocol_name)
-        self.deployment.drain()
-        old = protocol.remove_component(child_name)
+        with self._span(
+            "reconfig.remove_component", protocol=protocol_name, child=child_name
+        ):
+            self.deployment.drain()
+            old = protocol.remove_component(child_name)
         self.enactments += 1
         return old
 
@@ -120,12 +147,15 @@ class ReconfigurationManager:
         processed while neither (or both) protocol is live.
         """
         old = self._protocol(old_name)
-        self.deployment.drain()
-        with QuiescenceManager([old, new_protocol]):
-            if carry_state and old.state is not None and new_protocol.state is not None:
-                new_protocol.state.set_state(old.state.get_state())
-            self.deployment.undeploy(old_name)
-            self.deployment.deploy(new_protocol)
+        with self._span(
+            "reconfig.switch_protocol", old=old_name, new=new_protocol.name
+        ):
+            self.deployment.drain()
+            with QuiescenceManager([old, new_protocol]):
+                if carry_state and old.state is not None and new_protocol.state is not None:
+                    new_protocol.state.set_state(old.state.get_state())
+                self.deployment.undeploy(old_name)
+                self.deployment.deploy(new_protocol)
         self.enactments += 1
         return new_protocol
 
@@ -137,9 +167,10 @@ class ReconfigurationManager:
         steps: Sequence[TransactionStep],
     ) -> None:
         """Apply a change set atomically across several quiesced units."""
-        self.deployment.drain()
-        with QuiescenceManager(list(units)) as quiescence:
-            quiescence.run_transaction(steps)
+        with self._span("reconfig.transaction", units=len(units)):
+            self.deployment.drain()
+            with QuiescenceManager(list(units)) as quiescence:
+                quiescence.run_transaction(steps)
         self.enactments += 1
 
     # -- helpers ---------------------------------------------------------------------------

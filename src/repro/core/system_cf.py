@@ -133,6 +133,16 @@ class SysForward(Component):
         self.messages_received = 0
         self.unknown_messages = 0
         self._packet_seqnum = 0
+        obs = getattr(self.node, "obs", None)
+        if obs is not None:
+            # Imported lazily: repro.protocols' package init registers the
+            # protocols with the core registry, so a module-level import
+            # here would be circular.
+            from repro.protocols.common import MessageMetrics
+
+            self._wire_metrics = MessageMetrics(obs.registry, node=self.node.node_id)
+        else:
+            self._wire_metrics = None
 
     def on_start(self) -> None:
         self.node.add_control_receiver(self._on_wire)
@@ -159,8 +169,11 @@ class SysForward(Component):
 
     def _on_wire(self, payload: bytes, sender: int) -> None:
         packet = decode(payload)
+        wire_metrics = self._wire_metrics
         for message in packet.messages:
             self.messages_received += 1
+            if wire_metrics is not None:
+                wire_metrics.note(message.msg_type, len(payload))
             in_event = self.system.in_event_for(message.msg_type)
             if in_event is None:
                 self.unknown_messages += 1

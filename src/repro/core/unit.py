@@ -18,7 +18,7 @@ instances stacked above it (paper section 4.2, Fig 2).  Each unit:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.events.event import Event
 from repro.events.registry import EventRegistry, EventTuple
@@ -100,8 +100,27 @@ class CFSUnit(ComponentFramework):
         return self.deployment.manager.route(self, event)
 
     def process_event(self, event: Event) -> None:
-        """Deliver one event to this unit's handlers (called under lock)."""
+        """Deliver one event to this unit's handlers (called under lock).
+
+        When the deployment's observability context has tracing enabled,
+        the dispatch is wrapped in a ``unit.process`` span and its
+        wall-clock duration lands in the ``unit.process_seconds``
+        histogram labelled by unit and event type (the quantity behind
+        the paper's "time to process message" metric).
+        """
         self.events_processed += 1
+        deployment = self.deployment
+        obs = None if deployment is None else getattr(deployment, "obs", None)
+        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            # Imported lazily: repro.protocols pulls in the protocol
+            # registry, which imports this module at package-init time.
+            from repro.protocols.common import handler_timer
+
+            timer = handler_timer(obs, self.name, event.etype.name)
+            if timer is not None:
+                with timer:
+                    self.registry.dispatch(event)
+                return
         self.registry.dispatch(event)
 
     # -- direct calls --------------------------------------------------------------

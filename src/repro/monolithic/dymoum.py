@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.packetbb.message import Message, MsgType
 from repro.packetbb.packet import Packet, decode, encode
@@ -29,7 +29,6 @@ from repro.protocols.common import seq_newer
 from repro.protocols.dymo.messages import (
     RREP,
     RREQ,
-    ReInfo,
     build_re,
     build_rerr,
     extend_re,

@@ -11,7 +11,7 @@ which is exactly what Table 1 / Table 2 compare.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.packetbb.address import Address, AddressBlock
 from repro.packetbb.message import Message, MsgType

@@ -1,0 +1,86 @@
+"""``repro.obs`` — the cross-cutting observability subsystem.
+
+The paper's entire evaluation (Tables 1-3: message-processing time,
+route-establishment delay, footprint) is an observability exercise; this
+package is the structured substrate for it:
+
+* :mod:`repro.obs.metrics` — a metrics registry: counters, gauges and
+  histograms with percentile summaries, labelled per node / per protocol /
+  per message type;
+* :mod:`repro.obs.trace` — a low-overhead structured trace recorder: a
+  span/event API stamped with both simulated time and wall-clock time,
+  hooked into the event scheduler, the wireless medium, the kernel-table
+  hook points, protocol message dispatch and the reconfiguration machinery;
+* :mod:`repro.obs.export` — exporters: JSONL trace dump and a human
+  pretty-printer (wired into ``repro.tools.scenario --trace``);
+* :mod:`repro.obs.bench` — the ``BENCH_<name>.json`` emitter that turns
+  benchmark runs into machine-readable results (median/p95/p99, bytes,
+  frames) which ``tools/bench_check.py`` gates in CI.
+
+Tracing is **off by default** and costs a single attribute check on the
+hot paths when disabled; enable it per simulation with
+:meth:`repro.sim.Simulation.enable_tracing`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+
+class Observability:
+    """One deployment's observability context: a registry plus a tracer.
+
+    The tracer is ``None`` until :meth:`enable_tracing` is called, so
+    instrumented hot paths pay only an attribute load and a ``None`` check
+    when tracing is disabled.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[TraceRecorder] = None
+
+    # -- tracing lifecycle --------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 200_000) -> TraceRecorder:
+        """Install (or re-enable) the trace recorder and return it."""
+        if self.tracer is None:
+            self.tracer = TraceRecorder(self.clock, capacity=capacity)
+        self.tracer.enabled = True
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Stop recording; already-captured events are kept."""
+        if self.tracer is not None:
+            self.tracer.enabled = False
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable view of every metric plus trace bookkeeping."""
+        out = {"metrics": self.registry.snapshot()}
+        if self.tracer is not None:
+            out["trace"] = {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+                "enabled": self.tracer.enabled,
+            }
+        return out
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TraceRecorder",
+    "TraceEvent",
+]

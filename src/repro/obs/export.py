@@ -1,0 +1,173 @@
+"""Exporters: JSONL traces, metrics JSON and the human pretty-printer.
+
+Formats
+-------
+
+**Trace JSONL** — one JSON object per line, one line per
+:class:`~repro.obs.trace.TraceEvent`::
+
+    {"seq": 0, "kind": "begin", "name": "reconfig.switch_protocol",
+     "t_sim": 12.5, "t_wall": 0.0301, "span": 1, "parent": 0,
+     "attrs": {"old": "olsr", "new": "dymo"}, "dt_sim": 0.0, "dt_wall": 0.0}
+
+**Metrics JSON** — the output of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` with every ``nan``
+replaced by ``null`` so the file is strictly valid JSON.
+
+Round-trip guarantee: ``load_trace_jsonl(dump_trace_jsonl(...))`` yields
+events whose :func:`trace_summary` equals that of the originals.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _nan_to_null(value: Any) -> Any:
+    """Recursively replace NaN/inf floats so the output is strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _nan_to_null(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_nan_to_null(v) for v in value]
+    return value
+
+
+# -- trace JSONL -------------------------------------------------------------
+
+def trace_event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    return {
+        "seq": event.seq,
+        "kind": event.kind,
+        "name": event.name,
+        "t_sim": event.t_sim,
+        "t_wall": event.t_wall,
+        "span": event.span,
+        "parent": event.parent,
+        "attrs": _nan_to_null(event.attrs),
+        "dt_sim": event.dt_sim,
+        "dt_wall": event.dt_wall,
+    }
+
+
+def trace_event_from_dict(data: Dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        seq=int(data["seq"]),
+        kind=str(data["kind"]),
+        name=str(data["name"]),
+        t_sim=float(data["t_sim"]),
+        t_wall=float(data["t_wall"]),
+        span=int(data["span"]),
+        parent=int(data["parent"]),
+        attrs=dict(data.get("attrs") or {}),
+        dt_sim=float(data.get("dt_sim", 0.0)),
+        dt_wall=float(data.get("dt_wall", 0.0)),
+    )
+
+
+def dump_trace_jsonl(
+    events: Union[TraceRecorder, Iterable[TraceEvent]], path: PathLike
+) -> pathlib.Path:
+    """Write one JSON object per trace event; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(trace_event_to_dict(event), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_trace_jsonl(path: PathLike) -> List[TraceEvent]:
+    events = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(trace_event_from_dict(json.loads(line)))
+    return events
+
+
+def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Order-independent digest used to compare traces across a round-trip."""
+    counts: Dict[str, int] = {}
+    kinds: Dict[str, int] = {}
+    t_max = 0.0
+    spans = 0
+    for event in events:
+        counts[event.name] = counts.get(event.name, 0) + 1
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        t_max = max(t_max, event.t_sim)
+        if event.kind == "begin":
+            spans += 1
+    return {
+        "events_by_name": dict(sorted(counts.items())),
+        "events_by_kind": dict(sorted(kinds.items())),
+        "span_count": spans,
+        "t_sim_max": round(t_max, 9),
+    }
+
+
+# -- metrics JSON ------------------------------------------------------------
+
+def dump_metrics_json(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(_nan_to_null(registry.snapshot()), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+# -- pretty printer ----------------------------------------------------------
+
+def format_timeline(
+    events: Union[TraceRecorder, Iterable[TraceEvent]], limit: int = 50
+) -> str:
+    """Human-readable tail of a trace, indented by span depth."""
+    if isinstance(events, TraceRecorder):
+        dropped = events.dropped
+        items = events.events
+    else:
+        dropped = 0
+        items = list(events)
+    depth: Dict[int, int] = {0: 0}
+    lines: List[str] = []
+    for event in items:
+        level = depth.get(event.parent, 0)
+        if event.kind == "begin":
+            depth[event.span] = level + 1
+        indent = "  " * level
+        attrs = " ".join(f"{k}={v}" for k, v in event.attrs.items())
+        marker = {"begin": "+", "end": "-", "event": "."}[event.kind]
+        extra = f" ({event.dt_wall * 1000:.3f} ms)" if event.kind == "end" else ""
+        lines.append(
+            f"{event.t_sim:10.6f}s {marker} {indent}{event.name}"
+            + (f" [{attrs}]" if attrs else "")
+            + extra
+        )
+    if limit and len(lines) > limit:
+        lines = [f"... ({len(lines) - limit} earlier records elided)"] + lines[-limit:]
+    if dropped:
+        lines.append(f"... ({dropped} records dropped at capacity)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "dump_trace_jsonl",
+    "load_trace_jsonl",
+    "trace_summary",
+    "dump_metrics_json",
+    "format_timeline",
+    "trace_event_to_dict",
+    "trace_event_from_dict",
+]

@@ -1,0 +1,216 @@
+"""Metrics: counters, gauges and histograms behind one labelled registry.
+
+The registry memoises metric instances by ``(name, labels)`` so hot paths
+can fetch a metric once and keep the object — incrementing a
+:class:`Counter` is then a single integer add.  Histograms keep raw
+samples (simulation runs are short-lived) and compute interpolated
+percentiles compatible with :func:`statistics.quantiles`
+(``method="inclusive"``).
+
+Everything here is nan-safe: summaries of empty histograms report
+``float("nan")`` rather than raising, so zero-delivery scenarios still
+produce a well-formed report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_key(name: str, labels: Dict[str, object]) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(key: LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Raw-sample histogram with interpolated percentile summaries."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return self.total / len(self.samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Linearly interpolated quantile (inclusive method).
+
+        Matches ``statistics.quantiles(samples, n=N, method="inclusive")``
+        at the corresponding cut points; returns ``nan`` when empty.
+        """
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (len(ordered) - 1) * fraction
+        lower = int(math.floor(position))
+        upper = min(lower + 1, len(ordered) - 1)
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def summary(self) -> Dict[str, float]:
+        empty = not self.samples
+        return {
+            "count": float(len(self.samples)),
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": min(self.samples) if not empty else float("nan"),
+            "max": max(self.samples) if not empty else float("nan"),
+            "median": self.percentile(0.5),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Labelled metric store plus pull-style collectors.
+
+    ``counter("wire.messages_in", node=3, msg_type="TC")`` returns the same
+    :class:`Counter` on every call with identical labels, so callers may
+    cache the instance for hot paths.  Collectors let existing ad-hoc
+    counter owners (e.g. :class:`~repro.sim.stats.NetworkStats`, the
+    wireless medium) publish their quantities into :meth:`snapshot`
+    without paying any recording overhead.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, Counter] = {}
+        self._gauges: Dict[LabelKey, Gauge] = {}
+        self._histograms: Dict[LabelKey, Histogram] = {}
+        self._collectors: List[Callable[[], Dict[str, float]]] = []
+
+    # -- metric accessors ---------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _label_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _label_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = _label_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, collector: Callable[[], Dict[str, float]]) -> None:
+        """Register a zero-cost pull source merged into :meth:`snapshot`."""
+        self._collectors.append(collector)
+
+    # -- views --------------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None) -> Dict[str, int]:
+        return {
+            _render_key(key): metric.value
+            for key, metric in sorted(self._counters.items())
+            if name is None or key[0] == name
+        }
+
+    def counter_values(self, name: str, label: str) -> Dict[str, int]:
+        """``label`` value -> counter value, for one counter family."""
+        out: Dict[str, int] = {}
+        for (metric_name, labels), metric in self._counters.items():
+            if metric_name != name:
+                continue
+            for key, value in labels:
+                if key == label:
+                    out[value] = metric.value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministically ordered, JSON-serializable registry dump."""
+        collected: Dict[str, float] = {}
+        for collector in self._collectors:
+            collected.update(collector())
+        return {
+            "counters": self.counters(),
+            "gauges": {
+                _render_key(key): metric.value
+                for key, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(key): metric.summary()
+                for key, metric in sorted(self._histograms.items())
+            },
+            "collected": dict(sorted(collected.items())),
+        }
+
+
+def merge_labels(base: Dict[str, object], extra: Dict[str, object]) -> Dict[str, object]:
+    merged = dict(base)
+    merged.update(extra)
+    return merged
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_labels",
+]

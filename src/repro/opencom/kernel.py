@@ -16,7 +16,7 @@ and only live instances remain, which the footprint benchmark exercises.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import (
     BindingError,

@@ -9,7 +9,7 @@ going to transmit anyway).
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ParseError, SerializationError
 from repro.packetbb.message import Message

@@ -18,7 +18,6 @@ from repro.packetbb.message import Message
 from repro.protocols.common import seq_newer_or_equal
 from repro.protocols.dymo.messages import (
     RREP,
-    RREQ,
     ReInfo,
     build_re,
     build_rerr,

@@ -18,10 +18,9 @@ accumulated paths: two paths are alternatives only if they share no edge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from repro.core.manet_protocol import ManetProtocol
 from repro.events.event import Event
 from repro.packetbb.message import Message
 from repro.protocols.common import seq_newer

@@ -16,7 +16,7 @@ discoveries.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.manet_protocol import EventSourceComponent, ManetProtocol
 from repro.events.event import Event

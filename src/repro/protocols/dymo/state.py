@@ -10,7 +10,7 @@ learned routes across.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.manet_protocol import StateComponent

@@ -25,7 +25,7 @@ Differences from full ZRP [14] (documented simplifications):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.protocols.olsr.fisheye import FishEyeComponent
 

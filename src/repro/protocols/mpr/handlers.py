@@ -10,7 +10,7 @@ expressed in PacketBB.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import List, Optional, Set, TYPE_CHECKING
 
 from repro.core.manet_protocol import EventHandlerComponent, EventSourceComponent
 from repro.events.event import Event

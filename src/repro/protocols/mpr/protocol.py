@@ -10,7 +10,7 @@ deployment automatically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.manet_protocol import EventHandlerComponent, ManetProtocol
 from repro.events.event import Event

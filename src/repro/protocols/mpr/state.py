@@ -9,7 +9,7 @@ select, the selector set that selects *us*, and the flooding duplicate set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.manet_protocol import StateComponent

@@ -11,7 +11,7 @@ steps the paper walks through.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.manet_protocol import ManetProtocol
 from repro.events.registry import EventTuple

@@ -12,7 +12,7 @@ resulting routes are written to the kernel table through the System CF's
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+from typing import Dict, Set, Tuple, TYPE_CHECKING
 
 from repro.opencom.component import Component
 from repro.sim.kernel_table import KernelRoute

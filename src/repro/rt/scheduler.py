@@ -13,7 +13,9 @@ import itertools
 import threading
 import time
 import traceback
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List
+
+from repro.obs.trace import callback_name
 
 
 class _RtCall:
@@ -44,6 +46,9 @@ class RealTimeScheduler:
         self._wake = threading.Condition(self._lock)
         self._running = True
         self.errors: List[str] = []
+        #: Optional :class:`repro.obs.trace.TraceRecorder`.  For a
+        #: wall-clock deployment both trace timestamps are wall time.
+        self.tracer = None
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
 
@@ -91,8 +96,15 @@ class RealTimeScheduler:
                     self._wake.wait(min(delay, 0.1))
                 else:
                     return
+            tracer = self.tracer
             try:
-                call.callback(*call.args)
+                if tracer is not None and tracer.enabled:
+                    with tracer.span(
+                        "rt.dispatch", callback=callback_name(call.callback)
+                    ):
+                        call.callback(*call.args)
+                else:
+                    call.callback(*call.args)
             except Exception:
                 # A broken callback must not kill every timer on the node.
                 self.errors.append(traceback.format_exc())

@@ -74,10 +74,20 @@ class KernelRoutingTable:
     as absent (and reaped lazily).
     """
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    def __init__(self, clock: Callable[[], float], obs=None) -> None:
         self._routes: Dict[int, KernelRoute] = {}
         self._clock = clock
         self.version = 0  # bumped on every mutation; cheap change detection
+        #: Observability context; mutations are traced when tracing is on.
+        self.obs = obs
+
+    def _tracer(self):
+        obs = self.obs
+        if obs is not None:
+            tracer = obs.tracer
+            if tracer is not None and tracer.enabled:
+                return tracer
+        return None
 
     # -- manipulation (ISysState surface) ----------------------------------
 
@@ -93,12 +103,21 @@ class KernelRoutingTable:
         route = KernelRoute(destination, next_hop, metric, expiry, proto)
         self._routes[destination] = route
         self.version += 1
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "kernel.route_add", destination=destination, next_hop=next_hop,
+                metric=metric, proto=proto,
+            )
         return route
 
     def del_route(self, destination: int) -> bool:
         if destination in self._routes:
             del self._routes[destination]
             self.version += 1
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.event("kernel.route_del", destination=destination)
             return True
         return False
 
@@ -141,6 +160,11 @@ class KernelRoutingTable:
                 kept[route.destination] = route
             self._routes = kept
         self.version += 1
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "kernel.replace_all", proto=proto or "*", routes=len(routes)
+            )
 
     # -- lookup ----------------------------------------------------------------
 
@@ -151,6 +175,9 @@ class KernelRoutingTable:
         if route.is_expired(self._clock()):
             del self._routes[destination]
             self.version += 1
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.event("kernel.route_expired", destination=destination)
             return None
         return route
 

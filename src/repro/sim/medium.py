@@ -57,10 +57,17 @@ class LinkProperties:
 
 
 class WirelessMedium:
-    """Connectivity + delivery engine."""
+    """Connectivity + delivery engine.
 
-    def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
+    ``obs`` (a :class:`repro.obs.Observability`) makes every transmit,
+    loss and delivery visible to the trace recorder once tracing is
+    enabled; when tracing is off the cost is one attribute check per
+    frame.
+    """
+
+    def __init__(self, scheduler: Scheduler, seed: int = 0, obs=None) -> None:
         self.scheduler = scheduler
+        self.obs = obs
         self.rng = random.Random(seed)
         self._links: Dict[Tuple[int, int], LinkProperties] = {}
         self._receivers: Dict[int, Callable[[Frame], None]] = {}
@@ -154,10 +161,24 @@ class WirelessMedium:
 
     # -- delivery -------------------------------------------------------------
 
+    def _tracer(self):
+        obs = self.obs
+        if obs is not None:
+            tracer = obs.tracer
+            if tracer is not None and tracer.enabled:
+                return tracer
+        return None
+
     def broadcast(self, frame: Frame) -> int:
         """Transmit to every neighbour; returns how many deliveries were scheduled."""
         self._check_node(frame.sender)
         self.frames_sent += 1
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "medium.broadcast", sender=frame.sender, kind=frame.kind,
+                size=frame.size,
+            )
         scheduled = 0
         for neighbor in self.neighbors(frame.sender):
             if self._attempt(frame, neighbor):
@@ -174,8 +195,18 @@ class WirelessMedium:
         """
         self._check_node(frame.sender)
         self.frames_sent += 1
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "medium.unicast", sender=frame.sender, dst=frame.link_dst,
+                kind=frame.kind, size=frame.size,
+            )
         if (frame.sender, frame.link_dst) not in self._links:
             self.frames_lost += 1
+            if tracer is not None:
+                tracer.event(
+                    "medium.no_link", sender=frame.sender, dst=frame.link_dst
+                )
             return False
         return self._attempt(frame, frame.link_dst)
 
@@ -183,6 +214,12 @@ class WirelessMedium:
         props = self._links[(frame.sender, receiver_id)]
         if props.loss > 0 and self.rng.random() < props.loss:
             self.frames_lost += 1
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.event(
+                    "medium.loss", sender=frame.sender, dst=receiver_id,
+                    kind=frame.kind,
+                )
             return False
         self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
         return True
@@ -194,4 +231,10 @@ class WirelessMedium:
             self.frames_lost += 1
             return
         self.frames_delivered += 1
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "medium.deliver", sender=frame.sender, dst=receiver_id,
+                kind=frame.kind, size=frame.size,
+            )
         receiver(frame)

@@ -13,6 +13,8 @@ import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import UnknownNode
+from repro.obs import Observability
+from repro.obs.trace import TraceRecorder
 from repro.sim.medium import WirelessMedium
 from repro.sim.node import BatteryModel, SimNode
 from repro.sim.stats import NetworkStats
@@ -66,8 +68,10 @@ class Simulation:
         loss: float = 0.0,
     ) -> None:
         self.scheduler = Scheduler()
-        self.medium = WirelessMedium(self.scheduler, seed=seed)
-        self.stats = NetworkStats()
+        self.obs = Observability(clock=lambda: self.scheduler.now)
+        self.medium = WirelessMedium(self.scheduler, seed=seed, obs=self.obs)
+        self.stats = NetworkStats(registry=self.obs.registry)
+        self.obs.registry.register_collector(self._collect_medium_metrics)
         self.timers = TimerService(self.scheduler, seed=seed)
         self.topology = TopologyController(self.medium, latency=latency, loss=loss)
         self._nodes: Dict[int, SimNode] = {}
@@ -96,6 +100,7 @@ class Simulation:
             stats=self.stats,
             position=position,
             battery=battery,
+            obs=self.obs,
         )
         self._nodes[node_id] = node
         return node
@@ -119,6 +124,30 @@ class Simulation:
 
     def node_ids(self) -> List[int]:
         return sorted(self._nodes)
+
+    # -- observability -------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 200_000) -> TraceRecorder:
+        """Turn on structured tracing for this simulation.
+
+        Installs the recorder on the scheduler (every dispatched event
+        becomes a span) and arms the medium / node / kernel-table hooks
+        that share this simulation's :class:`Observability`.
+        """
+        tracer = self.obs.enable_tracing(capacity=capacity)
+        self.scheduler.tracer = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        self.obs.disable_tracing()
+
+    def _collect_medium_metrics(self) -> Dict[str, float]:
+        return {
+            "medium.frames_sent": float(self.medium.frames_sent),
+            "medium.frames_delivered": float(self.medium.frames_delivered),
+            "medium.frames_lost": float(self.medium.frames_lost),
+            "sched.events_executed": float(self.scheduler.executed_count),
+        }
 
     # -- drain hooks (determinism under threaded concurrency models) ----------
 

@@ -66,18 +66,22 @@ class SimNode:
         stats: Optional["NetworkStats"] = None,
         position: Tuple[float, float] = (0.0, 0.0),
         battery: Optional[BatteryModel] = None,
+        obs=None,
     ) -> None:
         self.node_id = node_id
         self.medium = medium
         self.scheduler = scheduler
         self.stats = stats
+        #: Observability context shared with the simulation (may be None
+        #: for bare nodes); deployments pick it up from here.
+        self.obs = obs
         self.position = position
         self.battery = battery or BatteryModel(lambda: scheduler.now)
         # Routing environment flags that SysControl initialises
         # ("IP forwarding, ICMP redirects", paper section 4.3).
         self.ip_forward = False
         self.icmp_redirects = True
-        self.kernel_table = KernelRoutingTable(lambda: scheduler.now)
+        self.kernel_table = KernelRoutingTable(lambda: scheduler.now, obs=obs)
         self.hooks: Optional[NetfilterHooks] = None
         #: Control-plane receivers: called with (payload bytes, sender id).
         self._control_receivers: List[Callable[[bytes, int], None]] = []
@@ -89,6 +93,10 @@ class SimNode:
         self.control_rx = 0
         self.control_tx = 0
         self.data_forwarded = 0
+        # Per-node packet-id sequence: ids of originated packets must be
+        # reproducible run-to-run (the trace determinism contract), which
+        # the module-global DataPacket counter is not.
+        self._packet_seq = 0
         medium.register_node(node_id, self.receive_frame)
 
     # -- attachment ---------------------------------------------------------
@@ -171,9 +179,13 @@ class SimNode:
 
     def send_data(self, dst: int, payload: bytes = b"", ttl: int = 32) -> bool:
         """Originate an application datagram toward ``dst``."""
+        self._packet_seq += 1
         packet = DataPacket(
             src=self.node_id, dst=dst, payload=payload, ttl=ttl,
             created_at=self.scheduler.now,
+            # Unique within a run and deterministic across runs; fits the
+            # 4-byte packet_id field of the UDP backend's data header.
+            packet_id=(self.node_id << 20) | self._packet_seq,
         )
         if self.stats is not None:
             self.stats.note_data_sent(self.node_id)
@@ -205,7 +217,22 @@ class SimNode:
             return self._handle_no_route(packet, originated)
         return True
 
+    def _tracer(self):
+        obs = self.obs
+        if obs is not None:
+            tracer = obs.tracer
+            if tracer is not None and tracer.enabled:
+                return tracer
+        return None
+
     def _handle_no_route(self, packet: DataPacket, originated: bool) -> bool:
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "node.no_route", node=self.node_id, dst=packet.dst,
+                originated=originated,
+                hook="netfilter" if self.hooks is not None else "drop",
+            )
         if self.hooks is not None:
             if originated and self.hooks.no_route is not None:
                 self.hooks.no_route(packet)
@@ -220,6 +247,12 @@ class SimNode:
         if self.stats is not None:
             self.stats.note_data_delivered(
                 packet, self.scheduler.now - packet.created_at
+            )
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "node.data_delivered", node=self.node_id, src=packet.src,
+                packet_id=packet.packet_id,
             )
         for receiver in self._app_receivers:
             receiver(packet)
@@ -248,6 +281,11 @@ class SimNode:
         self._route_and_send(packet, originated=False)
 
     def _notify_link_failure(self, next_hop: int) -> None:
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event(
+                "node.link_failure", node=self.node_id, next_hop=next_hop
+            )
         for observer in list(self._link_failure_observers):
             observer(next_hop)
 

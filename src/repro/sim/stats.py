@@ -3,29 +3,48 @@
 The counters the evaluation needs: control overhead (frames and bytes, per
 node and total), data delivery ratio, end-to-end latency distribution, and
 drop accounting.  All quantities are observed in simulated time.
+
+Since the ``repro.obs`` subsystem landed, :class:`NetworkStats` is a thin
+facade over an observability :class:`~repro.obs.metrics.MetricsRegistry`:
+the latency distribution lives in a registry histogram (so percentile
+summaries come from one implementation) and the per-node counters are
+published into registry snapshots through a zero-overhead pull collector.
+The legacy attribute surface (``control_tx_frames`` et al.) is unchanged.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel_table import DataPacket
 
 
 def percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1]).
+
+    Returns ``nan`` for an empty sample set so that zero-delivery
+    scenarios can still report latency columns without crashing.
+    """
     if not samples:
-        raise ValueError("no samples")
+        return float("nan")
     ordered = sorted(samples)
     rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
     return ordered[rank]
 
 
 class NetworkStats:
-    """Mutable counters; one instance per simulation."""
+    """Mutable counters; one instance per simulation.
 
-    def __init__(self) -> None:
+    ``registry`` ties the stats into a deployment-wide metrics registry;
+    when omitted a private registry is created so standalone use keeps
+    working.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.control_tx_frames: Dict[int, int] = defaultdict(int)
         self.control_tx_bytes: Dict[int, int] = defaultdict(int)
         self.control_rx_frames: Dict[int, int] = defaultdict(int)
@@ -33,7 +52,8 @@ class NetworkStats:
         self.data_sent: Dict[int, int] = defaultdict(int)
         self.data_delivered_count = 0
         self.data_dropped: Dict[int, int] = defaultdict(int)
-        self.latencies: List[float] = []
+        self._latency_hist = self.registry.histogram("data.latency_seconds")
+        self.registry.register_collector(self._collect)
 
     # -- recording ----------------------------------------------------------
 
@@ -50,12 +70,17 @@ class NetworkStats:
 
     def note_data_delivered(self, packet: DataPacket, latency: float) -> None:
         self.data_delivered_count += 1
-        self.latencies.append(latency)
+        self._latency_hist.observe(latency)
 
     def note_data_dropped(self, node_id: int) -> None:
         self.data_dropped[node_id] += 1
 
     # -- derived metrics --------------------------------------------------------
+
+    @property
+    def latencies(self) -> List[float]:
+        """Raw end-to-end latency samples (backed by the registry histogram)."""
+        return self._latency_hist.samples
 
     @property
     def total_control_frames(self) -> int:
@@ -87,7 +112,21 @@ class NetworkStats:
     def latency_percentile(self, fraction: float) -> float:
         return percentile(self.latencies, fraction)
 
+    def _collect(self) -> Dict[str, float]:
+        """Pull collector merged into registry snapshots."""
+        return {
+            "net.control_frames": float(self.total_control_frames),
+            "net.control_bytes": float(self.total_control_bytes),
+            "net.control_rx_frames": float(sum(self.control_rx_frames.values())),
+            "net.data_sent": float(self.total_data_sent),
+            "net.data_delivered": float(self.data_delivered_count),
+            "net.data_dropped": float(self.total_data_dropped),
+            "net.delivery_ratio": self.delivery_ratio(),
+        }
+
     def summary(self) -> Dict[str, float]:
+        mean = self.mean_latency() if self.latencies else 0.0
+        p95 = self.latency_percentile(0.95)
         return {
             "control_frames": float(self.total_control_frames),
             "control_bytes": float(self.total_control_bytes),
@@ -95,5 +134,6 @@ class NetworkStats:
             "data_delivered": float(self.data_delivered_count),
             "data_dropped": float(self.total_data_dropped),
             "delivery_ratio": self.delivery_ratio(),
-            "mean_latency": self.mean_latency() if self.latencies else 0.0,
+            "mean_latency": mean,
+            "p95_latency": p95 if not math.isnan(p95) else 0.0,
         }

@@ -14,7 +14,6 @@ tests emulate node joins, link breaks and partition events.
 from __future__ import annotations
 
 import math
-import random
 from typing import Iterable, List, Sequence, Tuple
 
 import networkx as nx

@@ -1,0 +1,102 @@
+"""Benchmark regression gate: compare emitted BENCH_*.json to a baseline.
+
+Usage (what CI runs)::
+
+    python tools/bench_check.py                     # compare, exit 1 on regression
+    python tools/bench_check.py --tolerance 0.25
+    python tools/bench_check.py --update            # bless current results
+
+Only metrics whose ``direction`` is ``lower`` or ``higher`` are gated;
+``info`` metrics (raw wall-clock timings) are reported but never fail the
+build.  A baseline metric that the current run no longer emits counts as
+a failure — a benchmark silently dropping a measurement is itself a
+regression of the observability contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import sys
+from typing import List, Optional
+
+from repro.obs.bench import compare_dirs, discover_bench_files, failures
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench_check",
+        description="Gate benchmark results against the checked-in baseline.",
+    )
+    parser.add_argument(
+        "--results", type=pathlib.Path, default=DEFAULT_RESULTS,
+        help="directory holding freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy the current results over the baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print failures only",
+    )
+    return parser
+
+
+def update_baseline(results: pathlib.Path, baseline: pathlib.Path) -> int:
+    files = discover_bench_files(results)
+    if not files:
+        print(f"bench_check: no BENCH_*.json under {results}", file=sys.stderr)
+        return 2
+    baseline.mkdir(parents=True, exist_ok=True)
+    for path in files:
+        shutil.copy(path, baseline / path.name)
+        print(f"bench_check: blessed {path.name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.update:
+        return update_baseline(args.results, args.baseline)
+    if not args.baseline.is_dir() or not discover_bench_files(args.baseline):
+        print(
+            f"bench_check: no baseline under {args.baseline}; "
+            "run with --update to create one",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        comparisons = compare_dirs(
+            args.baseline, args.results, tolerance=args.tolerance
+        )
+    except ValueError as exc:  # unreadable/ill-formed BENCH file
+        print(f"bench_check: {exc}", file=sys.stderr)
+        return 2
+    bad = failures(comparisons)
+    for comparison in comparisons:
+        if args.quiet and comparison not in bad:
+            continue
+        print(comparison.describe())
+    gated = [c for c in comparisons if c.direction != "info" and c.status != "new"]
+    print(
+        f"bench_check: {len(gated)} gated metric(s), {len(bad)} failure(s), "
+        f"tolerance {args.tolerance:.0%}"
+    )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

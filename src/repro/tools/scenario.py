@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.tables import render_table
 from repro.core import ManetKit
+from repro.obs.export import dump_metrics_json, format_timeline
 from repro.sim import Simulation, topology
 from repro.sim.mobility import RandomWaypoint
 
@@ -135,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hello-interval", type=float, default=0.5)
     parser.add_argument("--tc-interval", type=float, default=1.0)
     parser.add_argument("--zone-radius", type=int, default=2)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a structured trace and print its tail after the run",
+    )
+    parser.add_argument(
+        "--trace-limit", type=int, default=40,
+        help="how many trace records to print with --trace (default 40)",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="with --trace, also dump the full trace as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="dump the observability metrics snapshot as JSON to PATH",
+    )
     return parser
 
 
@@ -143,6 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
     sim.topology.latency = args.latency
     sim.topology.loss = args.loss
+    tracer = sim.enable_tracing() if args.trace else None
     try:
         ids = parse_topology(args.topology, sim)
     except ValueError as error:
@@ -213,6 +231,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(latency_line)
     print(f"overall delivery ratio: {stats.delivery_ratio():.0%}")
+
+    if tracer is not None:
+        print(f"\ntrace: {len(tracer.events)} records"
+              + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
+        print(format_timeline(tracer, limit=args.trace_limit))
+        if args.trace_jsonl:
+            from repro.obs.export import dump_trace_jsonl
+
+            path = dump_trace_jsonl(tracer, args.trace_jsonl)
+            print(f"trace written to {path}")
+    if args.metrics_json:
+        path = dump_metrics_json(sim.obs.registry, args.metrics_json)
+        print(f"metrics written to {path}")
     return 0
 
 

@@ -12,6 +12,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.trace import callback_name
 from repro.utils.clock import VirtualClock
 
 
@@ -59,6 +60,9 @@ class Scheduler:
         self._heap: List[ScheduledCall] = []
         self._seq = itertools.count()
         self._executed = 0
+        #: Optional :class:`repro.obs.trace.TraceRecorder`; when set (and
+        #: enabled) every dispatched callback is recorded as a trace event.
+        self.tracer = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -119,6 +123,11 @@ class Scheduler:
         call = heapq.heappop(self._heap)
         self.clock.set_time(call.when)
         self._executed += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("sched.dispatch", callback=callback_name(call.callback)):
+                call.callback(*call.args)
+            return True
         call.callback(*call.args)
         return True
 

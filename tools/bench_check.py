@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Repo-root entry point for the benchmark regression gate.
+
+Thin wrapper so CI (and humans) can run ``python tools/bench_check.py``
+without installing the package; the implementation lives in
+:mod:`repro.tools.bench_check`.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.tools.bench_check import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
