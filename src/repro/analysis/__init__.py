@@ -4,10 +4,23 @@
   with shared-object de-duplication (Table 2);
 * :mod:`repro.analysis.reuse` — per-component source-line accounting,
   generic vs protocol-specific (Table 3 and Fig 7);
-* :mod:`repro.analysis.tables` — paper-style table rendering.
+* :mod:`repro.analysis.tables` — paper-style table rendering;
+* :mod:`repro.analysis.oracle` — ground-truth convergence checking for
+  fault experiments (expected reachability/next hops from the live
+  connectivity graph, kernel-table walk verification, recovery-latency
+  tracking).
 """
 
 from repro.analysis.footprint import deep_sizeof, footprint_kb
+from repro.analysis.oracle import (
+    ConvergenceOracle,
+    ConvergenceReport,
+    RecoveryTracker,
+    expected_next_hops,
+    expected_reachability,
+    probe_delivery,
+    symmetric_graph,
+)
 from repro.analysis.reuse import (
     ComponentInventoryEntry,
     component_inventory,
@@ -19,6 +32,13 @@ from repro.analysis.tables import render_table
 __all__ = [
     "deep_sizeof",
     "footprint_kb",
+    "ConvergenceOracle",
+    "ConvergenceReport",
+    "RecoveryTracker",
+    "expected_next_hops",
+    "expected_reachability",
+    "probe_delivery",
+    "symmetric_graph",
     "ComponentInventoryEntry",
     "component_inventory",
     "reuse_report",

@@ -1,0 +1,338 @@
+"""Convergence oracle: ground-truth routing checks for fault experiments.
+
+The simulation always knows the true connectivity graph (the medium's link
+relation), so after any fault sequence we can compute what a *correctly
+converged* routing layer must look like — which destinations each node
+must be able to reach and through which next hops — and compare that with
+the kernel routing tables the protocols actually installed.  This is the
+pass/fail oracle behind the fault-injection battery and the
+recovery-latency metrics in ``BENCH_faults.json``.
+
+Two checking modes mirror the proactive/reactive split:
+
+* ``"full"`` — every reachable destination must have a *working* route
+  (a loop-free next-hop walk over live links reaching the destination),
+  and no route may point at an unreachable destination.  This is the
+  contract of a converged proactive protocol (OLSR).
+* ``"sound"`` — only *installed* routes are verified (they must walk to
+  their destination over live links); missing routes are fine because a
+  reactive protocol (DYMO/AODV) discovers on demand.  Required pairs can
+  be passed explicitly for flows that must currently work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+Pair = Tuple[int, int]
+
+
+def symmetric_graph(medium, node_ids: Optional[Iterable[int]] = None) -> nx.Graph:
+    """The live bidirectional connectivity graph.
+
+    Only node ids currently registered on the medium appear (a crashed
+    node is simply absent); an edge requires the link in *both* directions
+    since every deployed protocol routes over bidirectional links.
+    """
+    ids = set(medium.node_ids() if node_ids is None else node_ids)
+    graph = nx.Graph()
+    graph.add_nodes_from(sorted(ids))
+    for a, b in medium.edges():
+        if a < b and a in ids and b in ids and medium.has_link(b, a):
+            graph.add_edge(a, b)
+    return graph
+
+
+def expected_reachability(
+    medium, node_ids: Optional[Iterable[int]] = None
+) -> Dict[int, Set[int]]:
+    """node id -> set of destinations it must be able to reach."""
+    graph = symmetric_graph(medium, node_ids)
+    reach: Dict[int, Set[int]] = {}
+    for component in nx.connected_components(graph):
+        for node in component:
+            reach[node] = set(component) - {node}
+    return reach
+
+
+def expected_next_hops(medium, src: int, dst: int) -> Set[int]:
+    """Neighbours of ``src`` lying on *some* shortest path to ``dst``.
+
+    Empty when ``dst`` is unreachable.  Protocols are not required to pick
+    shortest paths (the oracle's walk check accepts any working route);
+    this is the stricter predicate used where optimality matters.
+    """
+    graph = symmetric_graph(medium)
+    if src not in graph or dst not in graph or not nx.has_path(graph, src, dst):
+        return set()
+    dist_to_dst = nx.single_source_shortest_path_length(graph, dst)
+    want = dist_to_dst[src] - 1
+    return {n for n in graph.neighbors(src) if dist_to_dst.get(n) == want}
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of one oracle check.
+
+    ``missing`` — (src, dst) pairs the oracle requires but no working
+    route exists for; ``wrong`` — installed routes whose next-hop walk
+    fails (dead link, loop, or never reaches the destination), as
+    (src, dst, reason); ``stale`` — routes toward destinations the graph
+    says are unreachable (only counted against convergence in full mode).
+    """
+
+    converged: bool
+    missing: List[Pair] = field(default_factory=list)
+    wrong: List[Tuple[int, int, str]] = field(default_factory=list)
+    stale: List[Pair] = field(default_factory=list)
+    checked_pairs: int = 0
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{status}: {self.checked_pairs} pairs checked, "
+            f"{len(self.missing)} missing, {len(self.wrong)} wrong, "
+            f"{len(self.stale)} stale"
+        )
+
+
+class ConvergenceOracle:
+    """Compares live kernel routing tables against the connectivity graph."""
+
+    def __init__(
+        self,
+        sim,
+        mode: str = "full",
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if mode not in ("full", "sound"):
+            raise ValueError(f"mode must be 'full' or 'sound', not {mode!r}")
+        self.sim = sim
+        self.mode = mode
+        self._node_ids = list(node_ids) if node_ids is not None else None
+
+    def live_nodes(self) -> List[int]:
+        """Nodes participating right now (powered-off nodes excluded)."""
+        registered = set(self.sim.medium.node_ids())
+        candidates = (
+            self._node_ids if self._node_ids is not None else self.sim.node_ids()
+        )
+        return [nid for nid in candidates if nid in registered]
+
+    def _walk(
+        self, graph: nx.Graph, src: int, dst: int
+    ) -> Tuple[bool, str]:
+        """Follow kernel next hops from ``src`` toward ``dst``."""
+        current = src
+        visited = {src}
+        for _ in range(max(len(graph), 1)):
+            route = self.sim.node(current).kernel_table.lookup(dst)
+            if route is None:
+                return False, f"no route at node {current}"
+            nxt = route.next_hop
+            if not graph.has_edge(current, nxt):
+                return False, f"dead link {current}->{nxt}"
+            if nxt == dst:
+                return True, "ok"
+            if nxt in visited:
+                return False, f"loop at node {nxt}"
+            visited.add(nxt)
+            current = nxt
+        return False, "hop limit exceeded"
+
+    def check(self, pairs: Optional[Iterable[Pair]] = None) -> ConvergenceReport:
+        """Run the oracle.
+
+        ``pairs`` — explicit (src, dst) requirements; defaults to every
+        reachable ordered pair in full mode and to nothing (soundness of
+        installed routes only) in sound mode.
+        """
+        live = self.live_nodes()
+        graph = symmetric_graph(self.sim.medium, live)
+        reach = expected_reachability(self.sim.medium, live)
+        report = ConvergenceReport(converged=True)
+
+        if pairs is None:
+            if self.mode == "full":
+                required: List[Pair] = [
+                    (src, dst)
+                    for src in live
+                    for dst in sorted(reach.get(src, ()))
+                ]
+            else:
+                required = []
+        else:
+            required = [
+                (src, dst) for src, dst in pairs
+                if src in graph and dst in reach.get(src, ())
+            ]
+
+        for src, dst in required:
+            report.checked_pairs += 1
+            ok, reason = self._walk(graph, src, dst)
+            if ok:
+                continue
+            if reason.startswith("no route"):
+                report.missing.append((src, dst))
+            else:
+                report.wrong.append((src, dst, reason))
+
+        # Soundness of whatever is installed: every kernel route must
+        # either walk to its destination or point somewhere reachable.
+        seen_required = set(required)
+        for src in live:
+            for route in self.sim.node(src).kernel_table.routes():
+                dst = route.destination
+                if dst == src:
+                    continue
+                if dst not in reach.get(src, ()):
+                    report.stale.append((src, dst))
+                    continue
+                if (src, dst) in seen_required:
+                    continue  # already walked above
+                report.checked_pairs += 1
+                ok, reason = self._walk(graph, src, dst)
+                if not ok and not reason.startswith("no route"):
+                    # A partial walk ending in "no route" downstream is a
+                    # liveness question, fatal only for proactive tables.
+                    report.wrong.append((src, dst, reason))
+                elif not ok and self.mode == "full":
+                    report.missing.append((src, dst))
+
+        report.converged = not report.missing and not report.wrong
+        if self.mode == "full" and report.stale:
+            report.converged = False
+        return report
+
+
+def probe_delivery(
+    sim,
+    pairs: Sequence[Pair],
+    timeout: float = 5.0,
+    gap: float = 0.1,
+    payload: bytes = b"oracle-probe",
+) -> Set[Pair]:
+    """Drive the data plane across ``pairs`` and report which delivered.
+
+    Reactive protocols only build routes under traffic, so the oracle's
+    sound mode is paired with an end-to-end probe: one datagram per pair
+    (staggered by ``gap``), then the simulation runs for ``timeout``
+    seconds.  Returns the set of pairs whose probe arrived.
+    """
+    delivered: Set[Pair] = set()
+
+    def watch(pair: Pair):
+        def on_rx(packet) -> None:
+            if packet.src == pair[0] and packet.payload == payload:
+                delivered.add(pair)
+        return on_rx
+
+    for pair in pairs:
+        sim.node(pair[1]).add_app_receiver(watch(pair))
+    for index, (src, dst) in enumerate(pairs):
+        sim.scheduler.call_later(
+            index * gap, sim.node(src).send_data, dst, payload
+        )
+    sim.run(timeout)
+    return delivered
+
+
+class RecoveryTracker:
+    """Measures per-fault recovery latency against the oracle.
+
+    Attach to a :class:`~repro.sim.faults.FaultInjector`; every disruptive
+    step (re)starts a measurement, and the tracker polls the oracle on the
+    simulation scheduler until convergence, recording the elapsed
+    simulated time in the ``faults.recovery_s`` histogram (labelled with
+    the protocol under test and the fault kind) of the simulation's
+    metrics registry — the series ``BENCH_faults.json`` reports.
+    """
+
+    def __init__(
+        self,
+        sim,
+        oracle: ConvergenceOracle,
+        protocol: str = "",
+        poll: float = 0.25,
+        timeout: float = 60.0,
+        pairs: Optional[Sequence[Pair]] = None,
+    ) -> None:
+        self.sim = sim
+        self.oracle = oracle
+        self.protocol = protocol
+        self.poll = poll
+        self.timeout = timeout
+        self.pairs = list(pairs) if pairs is not None else None
+        #: (fault kind, recovery seconds) per completed measurement.
+        self.recoveries: List[Tuple[str, float]] = []
+        self.timeouts: List[str] = []
+        self._started_at: Optional[float] = None
+        self._kind: str = ""
+        self._polling = False
+
+    def attach(self, injector) -> "RecoveryTracker":
+        injector.add_listener(self.on_fault)
+        return self
+
+    def on_fault(self, applied) -> None:
+        from repro.sim.faults import DISRUPTIVE_KINDS
+
+        if applied.kind not in DISRUPTIVE_KINDS:
+            return
+        # A new disruption during measurement restarts the clock: recovery
+        # is always measured from the *latest* perturbation.
+        self._started_at = self.sim.now
+        self._kind = applied.kind
+        if not self._polling:
+            self._polling = True
+            self.sim.scheduler.call_later(self.poll, self._check)
+
+    def _check(self) -> None:
+        if self._started_at is None:
+            self._polling = False
+            return
+        elapsed = self.sim.now - self._started_at
+        if self.oracle.check(self.pairs).converged:
+            self.recoveries.append((self._kind, elapsed))
+            self._record(elapsed)
+            self._started_at = None
+            self._polling = False
+            return
+        if elapsed >= self.timeout:
+            self.timeouts.append(self._kind)
+            registry = self._registry()
+            if registry is not None:
+                registry.counter(
+                    "faults.recovery_timeouts",
+                    protocol=self.protocol, fault=self._kind,
+                ).inc()
+            self._started_at = None
+            self._polling = False
+            return
+        self.sim.scheduler.call_later(self.poll, self._check)
+
+    def _registry(self):
+        obs = getattr(self.sim, "obs", None)
+        return obs.registry if obs is not None else None
+
+    def _record(self, elapsed: float) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.histogram(
+                "faults.recovery_s", protocol=self.protocol, fault=self._kind
+            ).observe(elapsed)
+
+
+__all__ = [
+    "Pair",
+    "symmetric_graph",
+    "expected_reachability",
+    "expected_next_hops",
+    "ConvergenceReport",
+    "ConvergenceOracle",
+    "probe_delivery",
+    "RecoveryTracker",
+]

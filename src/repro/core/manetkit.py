@@ -74,6 +74,14 @@ class ManetKit(ComponentFramework):
         #: treats that as "not instrumented".
         self.obs = getattr(node, "obs", None)
         self.ontology = ontology if ontology is not None else default_ontology
+        #: ``True`` once :meth:`crash` has run; a crashed kit is dead and
+        #: must be replaced by a fresh deployment on restart.
+        self.crashed = False
+        self._concurrency = concurrency
+        #: Deployment recipe — ``(protocol name, kwargs)`` in load order —
+        #: so a node restart can rebuild the same protocol stack from
+        #: scratch (fresh state, exactly like a daemon coming back up).
+        self._recipe: List[tuple] = []
         self.register_integrity_rule(_deployment_integrity)
         # Per-node jitter RNG so co-located nodes do not fire in lockstep.
         timer_seed = seed if seed is not None else node.node_id
@@ -125,7 +133,9 @@ class ManetKit(ComponentFramework):
                 f"no protocol {name!r} registered "
                 f"(available: {sorted(PROTOCOL_REGISTRY)})"
             ) from None
-        return self.deploy(builder(self.ontology, **kwargs))
+        protocol = self.deploy(builder(self.ontology, **kwargs))
+        self._recipe.append((name, dict(kwargs)))
+        return protocol
 
     def undeploy(self, name: str) -> ManetProtocol:
         """Stop and remove a deployed protocol."""
@@ -136,6 +146,10 @@ class ManetKit(ComponentFramework):
         self.manager.unregister_unit(unit)
         self.remove(name)
         unit.deployment = None
+        for entry in self._recipe:
+            if entry[0] == name:
+                self._recipe.remove(entry)
+                break
         self.system.emit("PROTOCOL_STOPPED", payload={"protocol": name})
         return unit
 
@@ -199,3 +213,48 @@ class ManetKit(ComponentFramework):
             self.undeploy(protocol.name)
         self.manager.shutdown()
         self.stop()
+
+    # -- crash / restart lifecycle (fault injection) ------------------------------------------
+
+    def deployment_recipe(self) -> List[tuple]:
+        """``(protocol name, kwargs)`` pairs needed to rebuild this stack."""
+        return [(name, dict(kwargs)) for name, kwargs in self._recipe]
+
+    def crash(self) -> None:
+        """Abrupt node failure.
+
+        Unlike :meth:`shutdown`, nothing is graceful: no ``on_uninstall``
+        hooks run, no goodbye control traffic is sent, and no
+        ``PROTOCOL_STOPPED`` events fire.  Every timer the deployment armed
+        is cancelled, concurrency resources are released, the node's radio
+        detaches and its kernel routing table is flushed — the state a real
+        device is in the instant it loses power.  The kit object is dead
+        afterwards; a restart builds a fresh deployment (see
+        :meth:`rebuild`).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        obs = self.obs
+        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            obs.tracer.event(
+                "kit.crash", node=self.node.node_id,
+                protocols=[p.name for p in self.protocols()],
+            )
+        self.timers.cancel_all()
+        self.manager.shutdown()
+        self.node.power_off()
+        self.stop()
+
+    def rebuild(self) -> "ManetKit":
+        """Fresh deployment for a restarted node (same stack, wiped state).
+
+        The node must have been powered back on (see
+        :meth:`repro.sim.node.SimNode.power_on`) before calling this.
+        """
+        kit = ManetKit(
+            self.node, ontology=self.ontology, concurrency=self._concurrency
+        )
+        for name, kwargs in self.deployment_recipe():
+            kit.load_protocol(name, **kwargs)
+        return kit

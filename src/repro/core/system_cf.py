@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.context import ContextSensorComponent
 from repro.core.unit import CFSUnit
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, ParseError
 from repro.events.event import Event
 from repro.events.registry import EventTuple, Requirement
 from repro.events.types import EventOntology
@@ -132,6 +132,7 @@ class SysForward(Component):
         self.messages_sent = 0
         self.messages_received = 0
         self.unknown_messages = 0
+        self.malformed_packets = 0
         self._packet_seqnum = 0
         obs = getattr(self.node, "obs", None)
         if obs is not None:
@@ -168,7 +169,24 @@ class SysForward(Component):
     # -- receive ---------------------------------------------------------------
 
     def _on_wire(self, payload: bytes, sender: int) -> None:
-        packet = decode(payload)
+        try:
+            packet = decode(payload)
+        except ParseError:
+            # A real daemon drops malformed control packets at the wire
+            # (corruption happens; the fault injector makes it routine).
+            self.malformed_packets += 1
+            obs = getattr(self.node, "obs", None)
+            if obs is not None:
+                obs.registry.counter(
+                    "wire.malformed_packets", node=self.node.node_id
+                ).inc()
+                tracer = obs.tracer
+                if tracer is not None and tracer.enabled:
+                    tracer.event(
+                        "wire.malformed", node=self.node.node_id, sender=sender,
+                        size=len(payload),
+                    )
+            return
         wire_metrics = self._wire_metrics
         for message in packet.messages:
             self.messages_received += 1

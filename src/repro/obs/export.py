@@ -44,18 +44,24 @@ def _nan_to_null(value: Any) -> Any:
 
 # -- trace JSONL -------------------------------------------------------------
 
-def trace_event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+def trace_event_to_dict(event: TraceEvent, deterministic: bool = False) -> Dict[str, Any]:
+    """Dict form of one event.
+
+    With ``deterministic=True`` the wall-clock fields are zeroed so two
+    runs of the same seeded scenario serialise byte-identically (the
+    fault-injection replay contract); all simulated-time fields survive.
+    """
     return {
         "seq": event.seq,
         "kind": event.kind,
         "name": event.name,
         "t_sim": event.t_sim,
-        "t_wall": event.t_wall,
+        "t_wall": 0.0 if deterministic else event.t_wall,
         "span": event.span,
         "parent": event.parent,
         "attrs": _nan_to_null(event.attrs),
         "dt_sim": event.dt_sim,
-        "dt_wall": event.dt_wall,
+        "dt_wall": 0.0 if deterministic else event.dt_wall,
     }
 
 
@@ -75,14 +81,22 @@ def trace_event_from_dict(data: Dict[str, Any]) -> TraceEvent:
 
 
 def dump_trace_jsonl(
-    events: Union[TraceRecorder, Iterable[TraceEvent]], path: PathLike
+    events: Union[TraceRecorder, Iterable[TraceEvent]],
+    path: PathLike,
+    deterministic: bool = False,
 ) -> pathlib.Path:
-    """Write one JSON object per trace event; returns the path written."""
+    """Write one JSON object per trace event; returns the path written.
+
+    ``deterministic=True`` drops wall-clock timings from the output so a
+    seeded run's trace file is byte-identical across executions.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
         for event in events:
-            handle.write(json.dumps(trace_event_to_dict(event), sort_keys=True))
+            handle.write(
+                json.dumps(trace_event_to_dict(event, deterministic), sort_keys=True)
+            )
             handle.write("\n")
     return path
 
@@ -119,11 +133,24 @@ def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, Any]:
 
 # -- metrics JSON ------------------------------------------------------------
 
-def dump_metrics_json(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+def dump_metrics_json(
+    registry: MetricsRegistry, path: PathLike, deterministic: bool = False
+) -> pathlib.Path:
+    """Write a metrics snapshot as strict JSON.
+
+    ``deterministic=True`` excludes wall-clock-measured metrics (see
+    :meth:`MetricsRegistry.snapshot`) so seeded replays produce
+    byte-identical files.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps(_nan_to_null(registry.snapshot()), indent=2, sort_keys=True) + "\n"
+        json.dumps(
+            _nan_to_null(registry.snapshot(deterministic=deterministic)),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
     )
     return path
 

@@ -19,6 +19,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
+#: Metric families measured against the host's wall clock rather than
+#: simulated time; excluded from ``snapshot(deterministic=True)``.
+WALL_CLOCK_METRICS = frozenset({"unit.process_seconds"})
+
 
 def _label_key(name: str, labels: Dict[str, object]) -> LabelKey:
     return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -182,8 +186,15 @@ class MetricsRegistry:
                     out[value] = metric.value
         return out
 
-    def snapshot(self) -> Dict[str, object]:
-        """Deterministically ordered, JSON-serializable registry dump."""
+    def snapshot(self, deterministic: bool = False) -> Dict[str, object]:
+        """Deterministically ordered, JSON-serializable registry dump.
+
+        ``deterministic=True`` drops metrics measured against the host's
+        wall clock (:data:`WALL_CLOCK_METRICS`), leaving only
+        simulated-time quantities — two runs of the same seeded scenario
+        then produce equal snapshots (the fault-replay contract; the
+        trace-side analogue is ``dump_trace_jsonl(deterministic=True)``).
+        """
         collected: Dict[str, float] = {}
         for collector in self._collectors:
             collected.update(collector())
@@ -196,6 +207,7 @@ class MetricsRegistry:
             "histograms": {
                 _render_key(key): metric.summary()
                 for key, metric in sorted(self._histograms.items())
+                if not (deterministic and key[0] in WALL_CLOCK_METRICS)
             },
             "collected": dict(sorted(collected.items())),
         }
@@ -212,5 +224,6 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "WALL_CLOCK_METRICS",
     "merge_labels",
 ]

@@ -93,17 +93,22 @@ class TcHandler(EventHandlerComponent):
         if originator == cf.local_address:
             return
         state = cf.olsr_state
+        now = event.timestamp
+        hold_until = now + cf.topology_hold_time()
         # Per-originator duplicate / reordering filter on message seqnums.
-        previous_seq = state.msg_seq_of.get(originator)
+        # Records age out after the hold time (RFC 3626 duplicate-set
+        # behaviour), so a corrupted seqnum far ahead of the genuine
+        # sequence only mutes an originator temporarily.
+        previous_seq = state.fresh_msg_seq(originator, now)
         if previous_seq is not None and not seq_newer(message.seqnum, previous_seq):
             self.stale_discarded += 1
             return
-        state.msg_seq_of[originator] = message.seqnum
+        state.note_msg_seq(originator, message.seqnum, hold_until)
         ansn_tlv = message.tlv_block.find(TlvType.ANSN)
         if ansn_tlv is None:
             return
         ansn = ansn_tlv.as_int()
-        if not state.fresher_ansn(originator, ansn):
+        if not state.fresher_ansn(originator, ansn, now):
             self.stale_discarded += 1
             return
         destinations = [a.node_id for a in message.all_addresses()]

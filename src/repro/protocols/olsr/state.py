@@ -27,10 +27,14 @@ class OlsrState(StateComponent):
         super().__init__("olsr-state")
         #: (last_hop, destination) -> TopologyEntry
         self.topology: Dict[Tuple[int, int], TopologyEntry] = {}
-        #: freshest ANSN seen per TC originator
-        self.ansn_of: Dict[int, int] = {}
-        #: freshest message seqnum per TC originator (duplicate filtering)
-        self.msg_seq_of: Dict[int, int] = {}
+        #: freshest ANSN seen per TC originator, as (ansn, expiry).  The
+        #: expiry mirrors RFC 3626's hold-time semantics: an expired record
+        #: imposes no freshness constraint, so one corrupted TC carrying a
+        #: wrapped-ahead ANSN cannot poison an originator forever.
+        self.ansn_of: Dict[int, Tuple[int, float]] = {}
+        #: freshest message seqnum per TC originator (duplicate filtering),
+        #: as (seqnum, expiry) — the duplicate set ages out the same way.
+        self.msg_seq_of: Dict[int, Tuple[int, float]] = {}
         #: our Advertised Neighbour Sequence Number
         self.ansn = 0
         #: the advertised (MPR selector) set as of the last TC we sent
@@ -45,10 +49,24 @@ class OlsrState(StateComponent):
         self.ansn = seq_increment(self.ansn)
         return self.ansn
 
-    def fresher_ansn(self, originator: int, ansn: int) -> bool:
+    def fresher_ansn(self, originator: int, ansn: int, now: float = 0.0) -> bool:
         """Whether ``ansn`` is at least as fresh as the recorded one."""
-        previous = self.ansn_of.get(originator)
-        return previous is None or not seq_newer(previous, ansn)
+        record = self.ansn_of.get(originator)
+        if record is None or record[1] <= now:
+            return True
+        return not seq_newer(record[0], ansn)
+
+    # -- duplicate set -----------------------------------------------------------
+
+    def fresh_msg_seq(self, originator: int, now: float) -> "int | None":
+        """The recorded message seqnum, or ``None`` if absent/expired."""
+        record = self.msg_seq_of.get(originator)
+        if record is None or record[1] <= now:
+            return None
+        return record[0]
+
+    def note_msg_seq(self, originator: int, seqnum: int, expiry: float) -> None:
+        self.msg_seq_of[originator] = (seqnum, expiry)
 
     # -- topology set -----------------------------------------------------------
 
@@ -56,7 +74,7 @@ class OlsrState(StateComponent):
         self, last_hop: int, destinations: List[int], ansn: int, expiry: float
     ) -> None:
         """Install the advertised set of one TC, superseding older ANSNs."""
-        self.ansn_of[last_hop] = ansn
+        self.ansn_of[last_hop] = (ansn, expiry)
         stale = [
             key
             for key, entry in self.topology.items()

@@ -20,6 +20,11 @@ simulation:
   connectivity changes;
 * :mod:`repro.sim.network` — the :class:`Simulation` facade wiring scheduler,
   medium, nodes, traffic generation and statistics together;
+* :mod:`repro.sim.faults` — deterministic, seed-driven fault injection:
+  declarative :class:`~repro.sim.faults.FaultPlan` schedules (link churn,
+  Gilbert-Elliott loss bursts, crash/restart, corruption/duplication/
+  reordering, partition/heal) replayed by a
+  :class:`~repro.sim.faults.FaultInjector`;
 * :mod:`repro.sim.stats` — delivery/overhead/latency accounting.
 """
 
@@ -27,6 +32,7 @@ from repro.sim.medium import BROADCAST, Frame, WirelessMedium
 from repro.sim.node import SimNode
 from repro.sim.kernel_table import DataPacket, KernelRoute, KernelRoutingTable
 from repro.sim.network import Simulation
+from repro.sim.faults import FaultInjector, FaultPlan, FaultStep
 from repro.sim.stats import NetworkStats
 from repro.sim import topology, mobility
 
@@ -39,6 +45,9 @@ __all__ = [
     "KernelRoute",
     "KernelRoutingTable",
     "Simulation",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStep",
     "NetworkStats",
     "topology",
     "mobility",

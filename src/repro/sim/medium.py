@@ -74,9 +74,19 @@ class WirelessMedium:
         # Observers notified on any connectivity change (mobility hooks,
         # context sensors watching link quality).
         self._topology_observers: List[Callable[[], None]] = []
+        #: Optional per-delivery tamper hook (fault injection).  Called as
+        #: ``tamper(frame, receiver_id, props)`` after the ordinary loss
+        #: roll passes; returning ``None`` keeps the default delivery,
+        #: ``[]`` drops the frame, and a list of ``(delay, frame)`` pairs
+        #: replaces the delivery schedule (corruption, duplication,
+        #: reordering).  Cost when unset: one attribute check per frame.
+        self.tamper: Optional[
+            Callable[[Frame, int, LinkProperties], Optional[List[Tuple[float, Frame]]]]
+        ] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        self.frames_tampered = 0
 
     # -- node registration ---------------------------------------------------
 
@@ -221,6 +231,23 @@ class WirelessMedium:
                     kind=frame.kind,
                 )
             return False
+        tamper = self.tamper
+        if tamper is not None:
+            deliveries = tamper(frame, receiver_id, props)
+            if deliveries is not None:
+                self.frames_tampered += 1
+                tracer = self._tracer()
+                if tracer is not None:
+                    tracer.event(
+                        "medium.tamper", sender=frame.sender, dst=receiver_id,
+                        kind=frame.kind, copies=len(deliveries),
+                    )
+                if not deliveries:
+                    self.frames_lost += 1
+                    return False
+                for delay, tampered in deliveries:
+                    self.scheduler.call_later(delay, self._deliver, tampered, receiver_id)
+                return True
         self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
         return True
 

@@ -10,7 +10,10 @@ simulated time advances — keeping runs deterministic under every model.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports medium)
+    from repro.sim.faults import FaultInjector, FaultPlan
 
 from repro.errors import UnknownNode
 from repro.obs import Observability
@@ -187,6 +190,24 @@ class Simulation:
             if self._drain_hooks:
                 self._drain()
         return executed
+
+    # -- fault injection ------------------------------------------------------------
+
+    def install_faults(
+        self,
+        plan: "FaultPlan",
+        kits: Optional[Dict[int, object]] = None,
+        rebuild: Optional[Callable[[int, object], object]] = None,
+    ) -> "FaultInjector":
+        """Install a :class:`~repro.sim.faults.FaultPlan` on this simulation.
+
+        Convenience wrapper constructing a seeded
+        :class:`~repro.sim.faults.FaultInjector`; see that class for the
+        ``kits`` / ``rebuild`` contract (needed for crash/restart steps).
+        """
+        from repro.sim.faults import FaultInjector
+
+        return FaultInjector(self, kits=kits, rebuild=rebuild).install(plan)
 
     # -- traffic --------------------------------------------------------------------
 

@@ -293,5 +293,39 @@ class SimNode:
         """Detach from the medium (node leaves the network)."""
         self.medium.unregister_node(self.node_id)
 
+    # -- crash / restart (fault injection) ------------------------------------
+
+    def power_off(self) -> None:
+        """Abrupt power loss.
+
+        The radio detaches (in-flight frames towards this node are lost),
+        the protocol stack's attachments are severed, the kernel routing
+        table is flushed and the routing environment reverts to its boot
+        state.  Application receivers survive — they model observers
+        outside the node, and tests rely on their delivery logs spanning a
+        restart.
+        """
+        self.medium.unregister_node(self.node_id)
+        self._control_receivers.clear()
+        self._link_failure_observers.clear()
+        self.hooks = None
+        self.ip_forward = False
+        self.icmp_redirects = True
+        self.kernel_table.flush()
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event("node.power_off", node=self.node_id)
+
+    def power_on(self) -> None:
+        """Re-attach the radio after :meth:`power_off`.
+
+        Links must be re-established separately (the medium dropped them on
+        detach); a fresh deployment re-initialises the routing environment.
+        """
+        self.medium.register_node(self.node_id, self.receive_frame)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.event("node.power_on", node=self.node_id)
+
     def __repr__(self) -> str:
         return f"<SimNode {self.node_id} @{self.position}>"

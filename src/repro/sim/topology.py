@@ -132,11 +132,43 @@ class TopologyController:
     def edges(self) -> List[Edge]:
         return list(self._edges)
 
-    def partition(self, group_a: Sequence[int], group_b: Sequence[int]) -> None:
-        """Cut every edge between the two groups."""
+    def partition(
+        self, group_a: Sequence[int], group_b: Sequence[int]
+    ) -> List[Edge]:
+        """Cut every edge between the two groups; returns the cut edges."""
         group_a_set, group_b_set = set(group_a), set(group_b)
+        cut: List[Edge] = []
         for a, b in list(self._edges):
             if (a in group_a_set and b in group_b_set) or (
                 a in group_b_set and b in group_a_set
             ):
                 self.break_edge(a, b)
+                cut.append((a, b))
+        return cut
+
+    def edges_adjacent(self, node_id: int) -> List[Edge]:
+        """Edges of the managed layout that touch ``node_id``."""
+        return [e for e in self._edges if node_id in e]
+
+    def restore_node(self, node_id: int) -> List[Edge]:
+        """Re-install a restarted node's radio links.
+
+        The medium drops every link touching a node when it detaches
+        (crash), but the managed layout still records the physical
+        adjacency; this pushes those edges back onto the medium.  Edges cut
+        explicitly (``break_edge``/``partition``) stay cut.  Returns the
+        restored edges.
+        """
+        restored: List[Edge] = []
+        registered = set(self.medium.node_ids())
+        if node_id not in registered:
+            return restored
+        for a, b in self.edges_adjacent(node_id):
+            other = b if a == node_id else a
+            if other not in registered:
+                continue  # the far end is itself powered off
+            self.medium.set_link(
+                a, b, up=True, latency=self.latency, loss=self.loss
+            )
+            restored.append((a, b))
+        return restored

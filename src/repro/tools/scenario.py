@@ -10,21 +10,28 @@ Examples::
         --traffic 1:12 --zone-radius 2
     python -m repro.tools.scenario --protocol dymo --topology random:15:0.45 \
         --mobility 10:4:1.0 --traffic 1:15 --duration 60
+    python -m repro.tools.scenario --protocol olsr --topology chain:5 \
+        --fault crash:5:3 --fault restart:12:3 --fault-seed 99
+    python -m repro.tools.scenario --protocol aodv --topology grid:3x3 \
+        --fault-plan plan.json --duration 45
 
 The runner prints per-flow delivery, network-wide control overhead and
 latency statistics — the quantities the paper's evaluation is built from.
+With faults installed it also reports each applied fault and the
+convergence-oracle recovery time per disruption (see
+``docs/fault-injection.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import render_table
 from repro.core import ManetKit
 from repro.obs.export import dump_metrics_json, format_timeline
-from repro.sim import Simulation, topology
+from repro.sim import FaultPlan, Simulation, topology
 from repro.sim.mobility import RandomWaypoint
 
 import repro.protocols  # noqa: F401
@@ -77,34 +84,112 @@ def parse_flow(spec: str) -> Tuple[int, int, float]:
     return int(parts[0]), int(parts[1]), interval
 
 
-def deploy(protocol: str, sim: Simulation, ids: List[int], args) -> None:
-    for node_id in ids:
-        kit = ManetKit(sim.node(node_id))
-        if protocol == "dymo":
-            kit.load_protocol("dymo")
-        elif protocol == "aodv":
-            kit.load_protocol("aodv")
-        elif protocol == "olsr":
-            kit.load_protocol("mpr", hello_interval=args.hello_interval)
-            kit.load_protocol("olsr", tc_interval=args.tc_interval)
-        elif protocol == "olsr+dymo":
-            from repro.protocols.dymo.flooding import apply_optimised_flooding
+def deploy_one(protocol: str, sim: Simulation, node_id: int, args) -> ManetKit:
+    kit = ManetKit(sim.node(node_id))
+    if protocol == "dymo":
+        kit.load_protocol("dymo")
+    elif protocol == "aodv":
+        kit.load_protocol("aodv")
+    elif protocol == "olsr":
+        kit.load_protocol("mpr", hello_interval=args.hello_interval)
+        kit.load_protocol("olsr", tc_interval=args.tc_interval)
+    elif protocol == "olsr+dymo":
+        from repro.protocols.dymo.flooding import apply_optimised_flooding
 
-            kit.load_protocol("mpr", hello_interval=args.hello_interval)
-            kit.load_protocol("olsr", tc_interval=args.tc_interval)
-            kit.load_protocol("dymo")
-            apply_optimised_flooding(kit)
-        elif protocol == "zrp":
-            from repro.protocols.hybrid import deploy_zrp
+        kit.load_protocol("mpr", hello_interval=args.hello_interval)
+        kit.load_protocol("olsr", tc_interval=args.tc_interval)
+        kit.load_protocol("dymo")
+        apply_optimised_flooding(kit)
+    elif protocol == "zrp":
+        from repro.protocols.hybrid import deploy_zrp
 
-            deploy_zrp(
-                kit,
-                zone_radius=args.zone_radius,
-                hello_interval=args.hello_interval,
-                tc_interval=args.tc_interval,
+        deploy_zrp(
+            kit,
+            zone_radius=args.zone_radius,
+            hello_interval=args.hello_interval,
+            tc_interval=args.tc_interval,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown protocol {protocol!r}")
+    return kit
+
+
+def deploy(protocol: str, sim: Simulation, ids: List[int], args) -> Dict[int, ManetKit]:
+    return {node_id: deploy_one(protocol, sim, node_id, args) for node_id in ids}
+
+
+# -- fault specs -------------------------------------------------------------
+
+def _parse_edge(text: str) -> Tuple[int, int]:
+    a, _, b = text.partition("-")
+    return int(a), int(b)
+
+
+def parse_fault(spec: str, plan: FaultPlan) -> None:
+    """Append one ``--fault`` step to ``plan``.
+
+    Grammar (``AT`` is seconds after fault install, edges are ``A-B``)::
+
+        break:AT:A-B          restore:AT:A-B        loss:AT:A-B:RATE
+        flap:AT:A-B[:FLAPS]   burst:AT:A-B[:DUR]    crash:AT:NODE
+        restart:AT:NODE       partition:AT:A,B/C,D  heal:AT
+        corrupt:AT:DUR[:RATE] duplicate:AT:DUR[:RATE]
+        reorder:AT:DUR[:RATE]
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        at = float(parts[1])
+        rest = parts[2:]
+        if kind == "break":
+            plan.break_link(at, *_parse_edge(rest[0]))
+        elif kind == "restore":
+            plan.restore_link(at, *_parse_edge(rest[0]))
+        elif kind == "loss":
+            plan.set_link_loss(at, *_parse_edge(rest[0]), loss=float(rest[1]))
+        elif kind == "flap":
+            flaps = int(rest[1]) if len(rest) > 1 else 3
+            plan.flap_link(at, *_parse_edge(rest[0]), flaps=flaps)
+        elif kind == "burst":
+            duration = float(rest[1]) if len(rest) > 1 else 5.0
+            plan.loss_burst(at, *_parse_edge(rest[0]), duration=duration)
+        elif kind == "crash":
+            plan.crash(at, int(rest[0]))
+        elif kind == "restart":
+            plan.restart(at, int(rest[0]))
+        elif kind == "partition":
+            group_a, _, group_b = rest[0].partition("/")
+            plan.partition(
+                at,
+                [int(n) for n in group_a.split(",") if n],
+                [int(n) for n in group_b.split(",") if n],
             )
-        else:  # pragma: no cover - argparse restricts choices
-            raise ValueError(f"unknown protocol {protocol!r}")
+        elif kind == "heal":
+            plan.heal(at)
+        elif kind in ("corrupt", "duplicate", "reorder"):
+            duration = float(rest[0])
+            rate = float(rest[1]) if len(rest) > 1 else 0.2
+            method = {"corrupt": plan.corruption, "duplicate": plan.duplication,
+                      "reorder": plan.reordering}[kind]
+            method(at, duration=duration, rate=rate)
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    except (IndexError, ValueError) as error:
+        raise ValueError(f"bad --fault {spec!r}: {error}") from error
+
+
+def build_fault_plan(args) -> Optional[FaultPlan]:
+    if args.fault_plan:
+        plan = FaultPlan.from_json(args.fault_plan)
+        if args.fault_seed is not None:
+            plan.seed = args.fault_seed
+    elif args.fault:
+        plan = FaultPlan(seed=args.fault_seed or 0)
+    else:
+        return None
+    for spec in args.fault:
+        parse_fault(spec, plan)
+    return plan
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hello-interval", type=float, default=0.5)
     parser.add_argument("--tc-interval", type=float, default=1.0)
     parser.add_argument("--zone-radius", type=int, default=2)
+    parser.add_argument(
+        "--fault", action="append", default=[], metavar="KIND:AT:ARGS",
+        help="inject a fault AT seconds after warm-up (repeatable), e.g. "
+             "crash:5:3, break:2:1-2, partition:10:1,2/3,4, corrupt:0:5:0.3",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="PATH", default=None,
+        help="load a JSON FaultPlan file (--fault steps append to it)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault engine's random draws (default 0, or the "
+             "plan file's own seed)",
+    )
     parser.add_argument(
         "--trace", action="store_true",
         help="record a structured trace and print its tail after the run",
@@ -180,8 +279,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         mobility.start()
 
-    deploy(args.protocol, sim, ids, args)
+    kits = deploy(args.protocol, sim, ids, args)
     sim.run(args.warmup)
+
+    injector = tracker = None
+    try:
+        plan = build_fault_plan(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if plan is not None:
+        from repro.analysis.oracle import ConvergenceOracle, RecoveryTracker
+
+        injector = sim.install_faults(
+            plan,
+            kits=kits,
+            rebuild=lambda node_id, _old: deploy_one(
+                args.protocol, sim, node_id, args
+            ),
+        )
+        mode = "full" if args.protocol in ("olsr", "olsr+dymo") else "sound"
+        tracker = RecoveryTracker(
+            sim,
+            ConvergenceOracle(sim, mode=mode),
+            protocol=args.protocol,
+            timeout=args.warmup + args.duration,
+        ).attach(injector)
 
     flow_specs = args.traffic or [f"{ids[0]}:{ids[-1]}"]
     deliveries = {}
@@ -231,6 +354,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(latency_line)
     print(f"overall delivery ratio: {stats.delivery_ratio():.0%}")
+
+    if injector is not None:
+        print(f"\nfaults applied ({len(injector.applied)}):")
+        for fault in injector.applied:
+            detail = " ".join(f"{k}={v}" for k, v in fault.params)
+            print(f"  {fault.time:8.3f}s {fault.kind}" + (f" {detail}" if detail else ""))
+        if tracker is not None:
+            for kind, elapsed in tracker.recoveries:
+                print(f"recovered from {kind} in {elapsed:.2f} s")
+            for kind in tracker.timeouts:
+                print(f"NO recovery from {kind} before the run ended")
+            if not tracker.recoveries and not tracker.timeouts:
+                print("no disruptive faults required recovery")
 
     if tracer is not None:
         print(f"\ntrace: {len(tracer.events)} records"

@@ -14,7 +14,7 @@ mandate jitter on periodic control traffic to avoid synchronised floods).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.utils.scheduler import ScheduledCall, Scheduler
 
@@ -53,6 +53,7 @@ class Timer:
         if self._call is not None:
             self._call.cancel()
             self._call = None
+        self._service._discard(self)
 
     def restart(self, interval: Optional[float] = None) -> None:
         """Re-arm from now, optionally with a new interval."""
@@ -62,6 +63,8 @@ class Timer:
         self._stopped = False
         if interval is not None:
             self.interval = interval
+        if self not in self._service._live:
+            self._service._live.append(self)
         self._schedule()
 
     @property
@@ -86,6 +89,8 @@ class Timer:
         self.callback()
         if self.periodic and not self._stopped:
             self._schedule()
+        elif not self.periodic:
+            self._service._discard(self)
 
 
 class TimerService:
@@ -99,13 +104,41 @@ class TimerService:
     def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
         self.scheduler = scheduler
         self.rng = random.Random(seed)
+        # Live timers, tracked so a node crash can disarm everything the
+        # deployment ever scheduled (fired one-shots prune themselves).
+        self._live: List[Timer] = []
 
     def now(self) -> float:
         return self.scheduler.now
 
+    def _discard(self, timer: Timer) -> None:
+        try:
+            self._live.remove(timer)
+        except ValueError:
+            pass
+
+    def active_count(self) -> int:
+        """How many tracked timers are currently armed."""
+        return sum(1 for timer in self._live if timer.active)
+
+    def cancel_all(self) -> int:
+        """Disarm every outstanding timer (crash semantics); returns count.
+
+        Cancelled timers cannot be restarted: this is the abrupt-failure
+        path, not a pause.
+        """
+        cancelled = 0
+        for timer in list(self._live):
+            if timer.active:
+                cancelled += 1
+            timer.stop()
+        self._live.clear()
+        return cancelled
+
     def one_shot(self, delay: float, callback: Callable[[], Any]) -> Timer:
         """Create and start a one-shot timer firing after ``delay``."""
         timer = Timer(self, delay, callback, periodic=False, jitter=0.0)
+        self._live.append(timer)
         return timer.start()
 
     def periodic(
@@ -125,6 +158,7 @@ class TimerService:
         if not 0 <= jitter < 1:
             raise ValueError(f"jitter must be in [0, 1): {jitter}")
         timer = Timer(self, interval, callback, periodic=True, jitter=jitter)
+        self._live.append(timer)
         if start:
             timer.start()
         return timer

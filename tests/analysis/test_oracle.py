@@ -1,0 +1,206 @@
+"""The convergence oracle against hand-built tables and live protocols."""
+
+import pytest
+
+from repro.analysis.oracle import (
+    ConvergenceOracle,
+    RecoveryTracker,
+    expected_next_hops,
+    expected_reachability,
+    probe_delivery,
+    symmetric_graph,
+)
+from repro.sim import FaultPlan, Simulation, topology
+
+
+def chain(n=4, seed=42):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(n)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    return sim, ids
+
+
+def install_chain_routes(sim, ids):
+    """Hand-install the correct chain routing tables on every node."""
+    for i, src in enumerate(ids):
+        table = sim.node(src).kernel_table
+        for j, dst in enumerate(ids):
+            if src == dst:
+                continue
+            next_hop = ids[i + 1] if j > i else ids[i - 1]
+            table.add_route(dst, next_hop, metric=abs(j - i))
+
+
+class TestGraphHelpers:
+    def test_symmetric_graph_requires_both_directions(self):
+        sim, ids = chain(3)
+        sim.medium.set_link(ids[0], ids[2], symmetric=False)
+        graph = symmetric_graph(sim.medium)
+        assert graph.has_edge(ids[0], ids[1])
+        assert not graph.has_edge(ids[0], ids[2])
+
+    def test_reachability_partitions_into_components(self):
+        sim, ids = chain(4)
+        sim.topology.break_edge(ids[1], ids[2])
+        reach = expected_reachability(sim.medium)
+        assert reach[ids[0]] == {ids[1]}
+        assert reach[ids[2]] == {ids[3]}
+
+    def test_expected_next_hops_on_chain(self):
+        sim, ids = chain(4)
+        assert expected_next_hops(sim.medium, ids[0], ids[3]) == {ids[1]}
+        assert expected_next_hops(sim.medium, ids[1], ids[0]) == {ids[0]}
+
+    def test_expected_next_hops_unreachable_is_empty(self):
+        sim, ids = chain(4)
+        sim.topology.break_edge(ids[0], ids[1])
+        assert expected_next_hops(sim.medium, ids[0], ids[3]) == set()
+
+
+class TestOracleFullMode:
+    def test_correct_tables_converge(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert report.converged
+        assert report.checked_pairs == 12
+
+    def test_missing_route_detected(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        sim.node(ids[0]).kernel_table.del_route(ids[3])
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert not report.converged
+        assert (ids[0], ids[3]) in report.missing
+
+    def test_routing_loop_detected(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        # ids[1] and ids[2] point at each other for ids[3]
+        sim.node(ids[2]).kernel_table.add_route(ids[3], ids[1])
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert not report.converged
+        assert any("loop" in reason for _, _, reason in report.wrong)
+
+    def test_dead_next_hop_detected(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        sim.node(ids[0]).kernel_table.add_route(ids[1], ids[3])  # not a neighbour
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert not report.converged
+        assert any("dead link" in reason for _, _, reason in report.wrong)
+
+    def test_stale_route_to_unreachable_destination(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        sim.topology.break_edge(ids[2], ids[3])
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert not report.converged
+        assert (ids[0], ids[3]) in report.stale
+
+    def test_crashed_node_excluded(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        for nid in ids[:3]:
+            sim.node(nid).kernel_table.del_route(ids[3])
+        sim.node(ids[3]).power_off()
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert report.converged, report.summary()
+        oracle = ConvergenceOracle(sim, mode="full")
+        assert ids[3] not in oracle.live_nodes()
+
+
+class TestOracleSoundMode:
+    def test_empty_tables_are_sound(self):
+        sim, ids = chain(4)
+        report = ConvergenceOracle(sim, mode="sound").check()
+        assert report.converged
+        assert report.checked_pairs == 0
+
+    def test_installed_route_must_walk(self):
+        sim, ids = chain(4)
+        sim.node(ids[0]).kernel_table.add_route(ids[2], ids[3])  # dead hop
+        report = ConvergenceOracle(sim, mode="sound").check()
+        assert not report.converged
+
+    def test_partial_route_chain_is_tolerated(self):
+        """A route whose downstream hop has no entry yet is not 'wrong'."""
+        sim, ids = chain(4)
+        sim.node(ids[0]).kernel_table.add_route(ids[3], ids[1])
+        report = ConvergenceOracle(sim, mode="sound").check()
+        assert report.converged
+
+    def test_explicit_pairs_checked(self):
+        sim, ids = chain(4)
+        report = ConvergenceOracle(sim, mode="sound").check(
+            pairs=[(ids[0], ids[3])]
+        )
+        assert not report.converged
+        assert (ids[0], ids[3]) in report.missing
+
+    def test_mode_validation(self):
+        sim, _ = chain(2)
+        with pytest.raises(ValueError):
+            ConvergenceOracle(sim, mode="vibes")
+
+
+class TestProbeDelivery:
+    def test_probe_reports_delivered_pairs(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        for nid in ids:
+            sim.node(nid).ip_forward = True
+        pairs = [(ids[0], ids[3]), (ids[3], ids[0])]
+        assert probe_delivery(sim, pairs, timeout=2.0) == set(pairs)
+
+    def test_probe_reports_missing_pairs(self):
+        sim, ids = chain(4)
+        pairs = [(ids[0], ids[3])]
+        assert probe_delivery(sim, pairs, timeout=2.0) == set()
+
+
+class TestRecoveryTracker:
+    def test_tracker_measures_recovery_after_fault(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        oracle = ConvergenceOracle(sim, mode="full")
+        plan = FaultPlan(seed=1)
+        plan.break_link(1.0, ids[2], ids[3])
+        injector = sim.install_faults(plan)
+        tracker = RecoveryTracker(
+            sim, oracle, protocol="static", poll=0.25, timeout=10.0
+        ).attach(injector)
+        # "Repair" by hand at t=3: drop every route touching the cut.
+        def repair():
+            for nid in ids[:3]:
+                sim.node(nid).kernel_table.del_route(ids[3])
+            sim.node(ids[3]).kernel_table.flush()
+        sim.scheduler.call_at(3.0, repair)
+        sim.run(8.0)
+        assert len(tracker.recoveries) == 1
+        kind, elapsed = tracker.recoveries[0]
+        assert kind == "break_link"
+        assert 1.9 <= elapsed <= 2.6  # repaired ~2 s after the fault
+        hists = sim.obs.registry.snapshot()["histograms"]
+        assert any(
+            key.startswith("faults.recovery_s") and "protocol=static" in key
+            for key in hists
+        )
+
+    def test_tracker_times_out_when_never_converging(self):
+        sim, ids = chain(4)
+        install_chain_routes(sim, ids)
+        oracle = ConvergenceOracle(sim, mode="full")
+        plan = FaultPlan(seed=2).break_link(1.0, ids[2], ids[3])
+        injector = sim.install_faults(plan)
+        tracker = RecoveryTracker(
+            sim, oracle, protocol="static", poll=0.25, timeout=3.0
+        ).attach(injector)
+        sim.run(10.0)  # nobody repairs the tables
+        assert tracker.recoveries == []
+        assert tracker.timeouts == ["break_link"]
+        counters = sim.obs.registry.snapshot()["counters"]
+        assert any(
+            key.startswith("faults.recovery_timeouts") for key in counters
+        )

@@ -1,0 +1,198 @@
+"""Property tests: fault replay determinism and post-quiescence recovery.
+
+Two families, per the fault-injection contract:
+
+* **replay** — identical seeds yield identical fault schedules, identical
+  applied-fault records and identical traces, for arbitrary plans drawn
+  by hypothesis;
+* **recovery** — after an arbitrary burst of link faults followed by
+  quiescence, every deployed protocol's routing state satisfies the
+  convergence oracle (full mode for proactive OLSR, soundness plus an
+  end-to-end probe for reactive DYMO/AODV).
+
+Protocol-stack examples are expensive (each drives a full discrete-event
+run), so ``max_examples`` is kept deliberately small; the cheap replay
+properties get wider sampling.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import ConvergenceOracle, probe_delivery
+from repro.core import ManetKit
+from repro.sim import FaultPlan, Simulation
+from repro.sim.medium import Frame
+
+import repro.protocols  # noqa: F401
+
+FAST_OLSR = {"mpr": {"hello_interval": 0.5}, "olsr": {"tc_interval": 1.0}}
+
+NODE_IDS = [1, 2, 3, 4]
+CHAIN_EDGES = list(zip(NODE_IDS, NODE_IDS[1:]))
+
+edges = st.sampled_from(CHAIN_EDGES)
+times = st.floats(0.0, 8.0, allow_nan=False, allow_infinity=False)
+rates = st.floats(0.05, 1.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def link_fault_steps(draw):
+    """One random link-level fault step on the 4-node chain."""
+    kind = draw(st.sampled_from(
+        ["flap", "break_restore", "burst", "tamper", "loss"]
+    ))
+    at = draw(times)
+    a, b = draw(edges)
+    if kind == "flap":
+        return ("flap", at, a, b, draw(st.integers(1, 3)))
+    if kind == "break_restore":
+        return ("break_restore", at, a, b, draw(st.floats(0.2, 3.0)))
+    if kind == "burst":
+        return ("burst", at, a, b, draw(st.floats(0.5, 3.0)))
+    if kind == "loss":
+        return ("loss", at, a, b, draw(st.floats(0.0, 0.6)))
+    window = draw(st.sampled_from(["corruption", "duplication", "reordering"]))
+    return ("tamper", at, window, draw(rates), draw(st.floats(0.5, 2.0)))
+
+
+def plan_from_steps(seed, steps):
+    plan = FaultPlan(seed=seed)
+    for step in steps:
+        kind, at = step[0], step[1]
+        if kind == "flap":
+            _, _, a, b, flaps = step
+            plan.flap_link(at, a, b, flaps=flaps, down=(0.1, 0.8), up=(0.2, 1.0))
+        elif kind == "break_restore":
+            _, _, a, b, down_for = step
+            plan.break_link(at, a, b)
+            plan.restore_link(at + down_for, a, b)
+        elif kind == "burst":
+            _, _, a, b, duration = step
+            plan.loss_burst(at, a, b, duration=duration)
+        elif kind == "loss":
+            _, _, a, b, loss = step
+            plan.set_link_loss(at, a, b, loss=loss)
+        else:
+            _, _, window, rate, duration = step
+            getattr(plan, window)(
+                at, duration=duration, rate=rate,
+                **({"max_delay": 0.05} if window == "reordering" else {}),
+            )
+    return plan
+
+
+def beacon_sim(seed):
+    """A chain with plain broadcast beacons — no protocol stack, so the
+    replay property samples widely without paying for full deployments."""
+    sim = Simulation(seed=seed)
+    for nid in NODE_IDS:
+        sim.add_node(node_id=nid)
+    sim.topology.apply(CHAIN_EDGES)
+
+    def beacon(nid):
+        return lambda: sim.medium.broadcast(
+            Frame("control", bytes([nid, 0x42]), sender=nid)
+        )
+
+    for nid in NODE_IDS:
+        sim.timers.periodic(0.25, beacon(nid))
+    return sim
+
+
+class TestReplayProperties:
+    @given(seed=st.integers(0, 2**32 - 1),
+           steps=st.lists(link_fault_steps(), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_identical_seeds_identical_schedules_and_traces(self, seed, steps):
+        def run():
+            sim = beacon_sim(seed=17)
+            sim.enable_tracing()
+            injector = sim.install_faults(plan_from_steps(seed, steps))
+            sim.run(12.0)
+            return (
+                injector.schedule(),
+                [(f.time, f.kind, f.params) for f in injector.applied],
+                sim.obs.tracer.signature(),
+            )
+
+        assert run() == run()
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           steps=st.lists(link_fault_steps(), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_plan_serialisation_roundtrips(self, seed, steps):
+        plan = plan_from_steps(seed, steps)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        # An injector replaying the deserialised plan produces the same
+        # expanded schedule.
+        sim_a, sim_b = beacon_sim(3), beacon_sim(3)
+        assert (
+            sim_a.install_faults(plan).schedule()
+            == sim_b.install_faults(clone).schedule()
+        )
+
+
+def deploy(sim, ids, protocol):
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        if protocol == "olsr":
+            kit.load_protocol("mpr", **FAST_OLSR["mpr"])
+            kit.load_protocol("olsr", **FAST_OLSR["olsr"])
+        else:
+            kit.load_protocol(protocol)
+        kits[nid] = kit
+    return kits
+
+
+class TestRecoveryProperties:
+    @given(seed=st.integers(0, 1000),
+           steps=st.lists(link_fault_steps(), min_size=1, max_size=3))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_olsr_matches_oracle_after_quiescence(self, seed, steps):
+        sim = Simulation(seed=5)
+        for nid in NODE_IDS:
+            sim.add_node(node_id=nid)
+        sim.topology.apply(CHAIN_EDGES)
+        kits = deploy(sim, NODE_IDS, "olsr")
+        sim.run(12.0)
+        plan = plan_from_steps(seed, steps)
+        injector = sim.install_faults(plan, kits=kits)
+        # Run through every scheduled effect plus hold times, restoring
+        # any lingering loss so quiescence is genuine.
+        sim.run(plan.horizon() + 1.0)
+        for a, b in CHAIN_EDGES:
+            for pair in ((a, b), (b, a)):
+                props = sim.medium.link_properties(*pair)
+                if props is not None:
+                    props.loss = 0.0
+        sim.run(20.0)
+        assert injector.applied  # the plan actually did something
+        report = ConvergenceOracle(sim, mode="full").check()
+        assert report.converged, report.summary()
+
+    @pytest.mark.parametrize("protocol", ["dymo", "aodv"])
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_reactive_sound_and_delivering_after_flap(self, protocol, seed):
+        sim = Simulation(seed=6)
+        for nid in NODE_IDS:
+            sim.add_node(node_id=nid)
+        sim.topology.apply(CHAIN_EDGES)
+        kits = deploy(sim, NODE_IDS, protocol)
+        sim.run(5.0)
+        plan = FaultPlan(seed=seed)
+        plan.flap_link(1.0, NODE_IDS[1], NODE_IDS[2], flaps=2,
+                       down=(0.2, 1.0), up=(0.5, 1.5))
+        sim.install_faults(plan, kits=kits)
+        sim.run(plan.horizon() + 12.0)  # flaps over + route holds expired
+        pairs = [(NODE_IDS[0], NODE_IDS[-1])]
+        assert probe_delivery(sim, pairs, timeout=8.0) == set(pairs)
+        report = ConvergenceOracle(sim, mode="sound").check()
+        assert report.converged, report.summary()

@@ -1,0 +1,334 @@
+"""The fault-injection engine: plans, determinism, every fault kind."""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.sim import FaultPlan, Simulation, topology
+from repro.sim.faults import DISRUPTIVE_KINDS, STEP_KINDS, FaultPlanError, FaultStep
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def chain(seed=42, n=4, loss=0.0):
+    sim = Simulation(seed=seed, loss=loss)
+    sim.add_nodes(n)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    return sim, ids
+
+
+class TestFaultPlan:
+    def test_builder_and_roundtrip(self, tmp_path):
+        plan = FaultPlan(seed=17)
+        plan.break_link(1.0, 1, 2)
+        plan.restore_link(2.0, 1, 2)
+        plan.flap_link(3.0, 2, 3, flaps=2, down=(0.1, 0.2), up=(0.3, 0.4))
+        plan.loss_burst(4.0, 1, 2, duration=2.0)
+        plan.crash(5.0, node=3)
+        plan.restart(6.0, node=3)
+        plan.partition(7.0, [1, 2], [3, 4])
+        plan.heal(8.0)
+        plan.corruption(9.0, duration=1.0, rate=0.5)
+        plan.duplication(10.0, duration=1.0, rate=0.5)
+        plan.reordering(11.0, duration=1.0, rate=0.5, max_delay=0.01)
+        plan.set_link_loss(12.0, 1, 2, loss=0.3)
+        assert len(plan) == 12
+        assert plan.horizon() == 12.0
+
+        path = plan.to_json(tmp_path / "plan.json")
+        loaded = FaultPlan.from_json(path)
+        assert loaded.seed == plan.seed
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_every_kind_has_a_builder_covered(self):
+        plan = FaultPlan()
+        plan.break_link(0, 1, 2)
+        plan.restore_link(0, 1, 2)
+        plan.set_link_loss(0, 1, 2, loss=0.1)
+        plan.flap_link(0, 1, 2)
+        plan.loss_burst(0, 1, 2, duration=1.0)
+        plan.crash(0, node=1)
+        plan.restart(0, node=1)
+        plan.partition(0, [1], [2])
+        plan.heal(0)
+        plan.corruption(0, duration=1.0, rate=0.1)
+        plan.duplication(0, duration=1.0, rate=0.1)
+        plan.reordering(0, duration=1.0, rate=0.1)
+        assert {s.kind for s in plan.steps} == set(STEP_KINDS)
+        assert DISRUPTIVE_KINDS <= set(STEP_KINDS)
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultStep(-1.0, "crash", {"node": 1})
+        with pytest.raises(FaultPlanError):
+            FaultStep(0.0, "warp_drive", {})
+        with pytest.raises(FaultPlanError):
+            FaultStep(0.0, "crash", {})  # missing node
+        with pytest.raises(FaultPlanError):
+            FaultPlan().set_link_loss(0.0, 1, 2, loss=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().flap_link(0.0, 1, 2, flaps=0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().loss_burst(0.0, 1, 2, duration=0.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"steps": [{"kind": "crash"}]})  # no 'at'
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict([])  # not a dict
+
+    def test_crash_plan_requires_kits(self):
+        sim, ids = chain()
+        plan = FaultPlan(seed=1).crash(1.0, node=ids[0])
+        with pytest.raises(FaultPlanError):
+            sim.install_faults(plan)
+
+    def test_double_install_rejected(self):
+        sim, ids = chain()
+        plan = FaultPlan(seed=1).break_link(1.0, ids[0], ids[1])
+        injector = sim.install_faults(plan)
+        with pytest.raises(FaultPlanError):
+            injector.install(plan)
+
+
+class TestDeterminism:
+    """Identical seeds must yield identical fault schedules and effects."""
+
+    @staticmethod
+    def _plan(ids, seed):
+        plan = FaultPlan(seed=seed)
+        plan.flap_link(1.0, ids[0], ids[1], flaps=4,
+                       down=(0.1, 0.9), up=(0.2, 1.1))
+        plan.flap_link(2.0, ids[1], ids[2], flaps=3)
+        plan.loss_burst(4.0, ids[2], ids[3], duration=2.0)
+        plan.duplication(6.0, duration=1.0, rate=0.4)
+        return plan
+
+    def _run(self, seed):
+        sim, ids = chain(seed=5)
+        injector = sim.install_faults(self._plan(ids, seed))
+        # Background broadcast beacons keep the medium busy so tamper
+        # windows and loss bursts actually roll the RNG.
+        from repro.sim.medium import Frame
+
+        def beacon(nid):
+            return lambda: sim.medium.broadcast(
+                Frame("control", b"\x00\x01", sender=nid)
+            )
+
+        for nid in ids:
+            sim.timers.periodic(0.2, beacon(nid))
+        sim.run(10.0)
+        return injector, sim
+
+    def test_same_seed_same_schedule_and_counters(self):
+        inj_a, sim_a = self._run(seed=33)
+        inj_b, sim_b = self._run(seed=33)
+        assert inj_a.schedule() == inj_b.schedule()
+        assert [
+            (round(f.time, 9), f.kind, f.params) for f in inj_a.applied
+        ] == [(round(f.time, 9), f.kind, f.params) for f in inj_b.applied]
+        assert sim_a.medium.frames_tampered == sim_b.medium.frames_tampered
+        assert sim_a.medium.frames_delivered == sim_b.medium.frames_delivered
+        assert sim_a.medium.frames_lost == sim_b.medium.frames_lost
+
+    def test_different_seed_different_schedule(self):
+        inj_a, _ = self._run(seed=33)
+        inj_b, _ = self._run(seed=34)
+        assert inj_a.schedule() != inj_b.schedule()
+
+    def test_flap_expansion_happens_at_install(self):
+        sim, ids = chain()
+        plan = FaultPlan(seed=8).flap_link(1.0, ids[0], ids[1], flaps=3)
+        injector = sim.install_faults(plan)
+        expanded = injector.schedule()
+        assert len(expanded) == 6  # 3 x (break + restore)
+        kinds = [kind for _, kind, _ in expanded]
+        assert kinds[::2] == ["break_link"] * 3
+        assert kinds[1::2] == ["restore_link"] * 3
+        times = [at for at, _, _ in expanded]
+        assert times == sorted(times)
+
+
+class TestLinkFaults:
+    def test_break_and_restore(self):
+        sim, ids = chain()
+        plan = FaultPlan(seed=1)
+        plan.break_link(1.0, ids[0], ids[1])
+        plan.restore_link(2.0, ids[0], ids[1])
+        sim.install_faults(plan)
+        sim.run(1.5)
+        assert not sim.medium.has_link(ids[0], ids[1])
+        assert (ids[0], ids[1]) not in [
+            tuple(e) for e in sim.topology.edges()
+        ]
+        sim.run(1.0)
+        assert sim.medium.has_link(ids[0], ids[1])
+        assert sim.medium.has_link(ids[1], ids[0])
+
+    def test_set_link_loss_applies_both_directions(self):
+        sim, ids = chain()
+        plan = FaultPlan(seed=1).set_link_loss(1.0, ids[0], ids[1], loss=0.25)
+        sim.install_faults(plan)
+        sim.run(2.0)
+        assert sim.medium.link_properties(ids[0], ids[1]).loss == 0.25
+        assert sim.medium.link_properties(ids[1], ids[0]).loss == 0.25
+
+    def test_loss_burst_degrades_then_restores(self):
+        sim, ids = chain(loss=0.05)
+        plan = FaultPlan(seed=2).loss_burst(
+            1.0, ids[0], ids[1], duration=3.0,
+            p_enter=1.0, p_exit=0.0, loss_bad=0.9, tick=0.5,
+        )
+        sim.install_faults(plan)
+        sim.run(2.0)  # inside the burst, p_enter=1 -> bad state
+        assert sim.medium.link_properties(ids[0], ids[1]).loss == 0.9
+        sim.run(3.0)  # after the burst the configured loss returns
+        assert sim.medium.link_properties(ids[0], ids[1]).loss == 0.05
+
+    def test_partition_and_heal(self):
+        sim, ids = chain(n=5)
+        plan = FaultPlan(seed=3)
+        plan.partition(1.0, ids[:2], ids[2:])
+        plan.heal(2.0)
+        sim.install_faults(plan)
+        sim.run(1.5)
+        assert not sim.medium.has_link(ids[1], ids[2])
+        sim.run(1.0)
+        assert sim.medium.has_link(ids[1], ids[2])
+
+    def test_heal_without_partition_is_noop(self):
+        sim, ids = chain()
+        before = sim.medium.edges()
+        sim.install_faults(FaultPlan(seed=4).heal(1.0))
+        sim.run(2.0)
+        assert sim.medium.edges() == before
+
+
+class TestTamperWindows:
+    @staticmethod
+    def _capture(sim, nid):
+        frames = []
+        # Re-registering swaps the receiver in place (links survive).
+        sim.medium.register_node(nid, frames.append)
+        return frames
+
+    def test_corruption_flips_control_bytes(self):
+        sim, ids = chain(n=2)
+        got = self._capture(sim, ids[1])
+        plan = FaultPlan(seed=6).corruption(0.0, duration=10.0, rate=1.0)
+        sim.install_faults(plan)
+        sim.run(0.1)  # let the window-opening step apply
+        from repro.sim.medium import Frame
+
+        payload = b"\x10\x20\x30\x40"
+        sim.medium.broadcast(Frame("control", payload, sender=ids[0]))
+        sim.run(1.0)
+        assert len(got) == 1
+        assert got[0].payload != payload
+        assert len(got[0].payload) == len(payload)
+        assert got[0].meta.get("corrupted") is True
+        assert sim.medium.frames_tampered == 1
+
+    def test_corruption_drops_data_frames(self):
+        sim, ids = chain(n=2)
+        sim.node(ids[0]).kernel_table.add_route(ids[1], ids[1])
+        got = []
+        sim.node(ids[1]).add_app_receiver(got.append)
+        sim.install_faults(FaultPlan(seed=6).corruption(0.0, 10.0, rate=1.0))
+        sim.run(0.1)
+        sim.node(ids[0]).send_data(ids[1], b"payload")
+        sim.run(1.0)
+        assert got == []  # CRC analogue: corrupted data never delivered
+        assert sim.medium.frames_lost >= 1
+
+    def test_duplication_delivers_twice_with_distinct_packets(self):
+        sim, ids = chain(n=2)
+        sim.node(ids[0]).kernel_table.add_route(ids[1], ids[1])
+        got = []
+        sim.node(ids[1]).add_app_receiver(got.append)
+        sim.install_faults(FaultPlan(seed=7).duplication(0.0, 10.0, rate=1.0))
+        sim.run(0.1)
+        sim.node(ids[0]).send_data(ids[1], b"dup-me")
+        sim.run(1.0)
+        assert len(got) == 2
+        assert got[0].packet_id == got[1].packet_id
+        assert got[0] is not got[1]  # twin owns its mutable ttl
+
+    def test_reordering_delays_within_bound(self):
+        sim, ids = chain(n=2)
+        arrivals = []
+        sim.medium.register_node(ids[1], lambda frame: arrivals.append(sim.now))
+        sim.install_faults(
+            FaultPlan(seed=8).reordering(0.0, 10.0, rate=1.0, max_delay=0.5)
+        )
+        sim.run(0.1)
+        from repro.sim.medium import Frame
+
+        t0 = sim.now
+        sim.medium.broadcast(Frame("control", b"x", sender=ids[0]))
+        sim.run(1.0)
+        assert len(arrivals) == 1
+        base = sim.topology.latency
+        assert t0 + base <= arrivals[0] <= t0 + base + 0.5
+
+    def test_window_expiry_uninstalls_tamper_hook(self):
+        sim, ids = chain(n=2)
+        sim.install_faults(FaultPlan(seed=9).corruption(0.0, 0.5, rate=1.0))
+        sim.run(1.0)
+        assert sim.medium.tamper is not None  # pruned lazily on next frame
+        from repro.sim.medium import Frame
+
+        sim.medium.broadcast(Frame("control", b"zz", sender=ids[0]))
+        sim.run(0.5)
+        assert sim.medium.tamper is None
+
+
+class TestRngHygiene:
+    """All fault/medium randomness must come from seeded instance RNGs.
+
+    Module-level ``random.<fn>()`` calls would silently break the replay
+    contract, so the audit walks every source file under ``src/repro`` and
+    rejects any use of the ``random`` module other than constructing a
+    ``random.Random(seed)`` instance.
+    """
+
+    def test_no_module_level_random_calls(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                value = node.value
+                if isinstance(value, ast.Name) and value.id == "random":
+                    if node.attr not in ("Random", "SystemRandom"):
+                        offenders.append(
+                            f"{path.relative_to(SRC_ROOT)}:{node.lineno} "
+                            f"random.{node.attr}"
+                        )
+        assert offenders == [], (
+            "module-level random usage breaks seeded replay:\n"
+            + "\n".join(offenders)
+        )
+
+    def test_injector_rng_is_isolated_from_medium_rng(self):
+        """Fault sampling must not perturb the medium's loss stream."""
+        def run(with_faults):
+            sim, ids = chain(seed=11, n=2, loss=0.3)
+            if with_faults:
+                # Tamper window with rate 0: rolls injector RNG per frame
+                # but never alters delivery.
+                sim.install_faults(
+                    FaultPlan(seed=12).duplication(0.0, 50.0, rate=0.0)
+                )
+            from repro.sim.medium import Frame
+
+            def beacon():
+                sim.medium.broadcast(Frame("control", b"b", sender=ids[0]))
+
+            sim.timers.periodic(0.1, beacon)
+            sim.run(20.0)
+            return sim.medium.frames_delivered, sim.medium.frames_lost
+
+        assert run(False) == run(True)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.tools.scenario import build_parser, main, parse_flow
+from repro.sim import FaultPlan
+from repro.tools.scenario import build_parser, main, parse_fault, parse_flow
 
 
 class TestParsing:
@@ -30,6 +31,31 @@ class TestParsing:
 
     def test_bad_mobility_is_an_error(self, capsys):
         code = main(["--topology", "chain:3", "--mobility", "fast"])
+        assert code == 2
+
+    def test_parse_fault_covers_every_kind(self):
+        plan = FaultPlan(seed=3)
+        for spec in (
+            "break:1:1-2", "restore:2:1-2", "loss:3:2-3:0.4",
+            "flap:4:1-2:2", "burst:5:2-3:4", "crash:6:2", "restart:9:2",
+            "partition:10:1,2/3,4", "heal:12", "corrupt:13:2:0.3",
+            "duplicate:14:2", "reorder:15:2:0.1",
+        ):
+            parse_fault(spec, plan)
+        assert [s.kind for s in plan.steps] == [
+            "break_link", "restore_link", "set_link_loss", "flap_link",
+            "loss_burst", "crash", "restart", "partition", "heal",
+            "corruption", "duplication", "reordering",
+        ]
+
+    def test_bad_fault_is_an_error(self, capsys):
+        for spec in ("bogus:1:2", "crash:oops:2", "loss:1:1-2:nope"):
+            code = main(["--topology", "chain:3", "--fault", spec])
+            assert code == 2
+            assert "bad --fault" in capsys.readouterr().err
+
+    def test_missing_fault_plan_file_is_an_error(self, capsys):
+        code = main(["--topology", "chain:3", "--fault-plan", "/nonexistent.json"])
         assert code == 2
 
 
@@ -83,3 +109,28 @@ class TestScenarios:
              "--traffic", "1:4", "--duration", "5", "--warmup", "12"]
         )
         assert code == 0
+
+    def test_faults_reported_with_recovery(self, capsys):
+        code = main(
+            ["--protocol", "olsr", "--topology", "chain:4",
+             "--traffic", "1:4", "--duration", "15", "--warmup", "12",
+             "--fault", "crash:1:3", "--fault", "restart:6:3",
+             "--fault-seed", "99"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults applied (2)" in out
+        assert "crash" in out and "restart" in out
+        assert "recovered from crash" in out
+
+    def test_fault_plan_file_round_trip(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(seed=7).partition(1.0, [1, 2], [3, 4]).heal(5.0).to_json(plan_path)
+        code = main(
+            ["--protocol", "dymo", "--topology", "chain:4",
+             "--traffic", "1:4", "--duration", "12", "--warmup", "5",
+             "--fault-plan", str(plan_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition" in out and "heal" in out
