@@ -1,0 +1,141 @@
+"""Scale benchmark — the 200-node grid scenario behind the hot-path refactor.
+
+Selected with ``pytest benchmarks -k scale``; runs the two scenarios used
+to size the event-pipeline refactor (indexed dispatch, timer wheel,
+batched broadcast delivery):
+
+* **OLSR**: 200 nodes on a 20x10 grid, RFC-default HELLO/TC intervals,
+  60 simulated seconds of proactive churn.  This is the scheduler-bound
+  workload — every node floods HELLOs and TCs, so the run is dominated
+  by broadcast delivery and timer management.
+* **DYMO**: the same grid with 8 cross-grid CBR flows, exercising the
+  reactive path (route discovery + data forwarding) at scale.
+
+All gated metrics are **deterministic** quantities (event counts, frame
+counts, hit ratios for a fixed seed), so CI holds them to a tight band —
+``tools/bench_check.py --tolerance 0.10 --only scale`` — without flaking
+on runner speed.  Wall-clock is emitted ``info``-grade only.  The
+committed baseline under ``benchmarks/baseline/`` records the
+post-refactor costs; an accidental revert of batching or the dispatch
+index shows up here as a multiple, not a percentage.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record_bench
+from repro.core import ManetKit
+from repro.obs.bench import BenchMetric
+from repro.sim import Simulation
+from repro.tools.scenario import parse_topology
+
+import repro.protocols  # noqa: F401
+
+NODES = 200
+SEED = 7
+DURATION = 60.0
+FLOWS = 8
+
+
+def _grid_sim():
+    sim = Simulation(seed=SEED)
+    # Same entry point the scenario CLI uses for --nodes 200 --topology grid.
+    ids = parse_topology("grid", sim, nodes=NODES)
+    return sim, ids
+
+
+def _index_hit_ratio(sim):
+    """Dispatch-index effectiveness summed over every node's manager."""
+    collected = sim.obs.registry.snapshot()["collected"]
+    hits = sum(v for k, v in collected.items() if "index_hits{" in k)
+    misses = sum(v for k, v in collected.items() if "index_misses{" in k)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _wheel_share(snapshot):
+    wheel = snapshot["timerwheel.wheel_scheduled"]
+    heap = snapshot["timerwheel.heap_scheduled"]
+    total = wheel + heap
+    return wheel / total if total else 0.0
+
+
+def test_scale_bench_emit():
+    metrics = {}
+
+    # -- OLSR: proactive flooding on the full grid --------------------------
+    sim, ids = _grid_sim()
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        kit.load_protocol("mpr")
+        kit.load_protocol("olsr")
+    t0 = time.perf_counter()
+    executed = sim.run(DURATION)
+    olsr_wall = time.perf_counter() - t0
+    snapshot = sim.obs.registry.snapshot()["collected"]
+    corner_routes = len(sim.node(ids[0]).kernel_table)
+    metrics.update({
+        "scale.olsr.sched_events": BenchMetric(
+            value=executed, unit="events", direction="lower"
+        ),
+        "scale.olsr.control_frames": BenchMetric(
+            value=sim.stats.total_control_frames, unit="frames",
+            direction="lower",
+        ),
+        "scale.olsr.control_bytes": BenchMetric(
+            value=sim.stats.total_control_bytes, unit="B", direction="lower"
+        ),
+        "scale.olsr.index_hit_ratio": BenchMetric(
+            value=_index_hit_ratio(sim), unit="", direction="higher"
+        ),
+        "scale.olsr.wheel_share": BenchMetric(
+            value=_wheel_share(snapshot), unit="", direction="higher"
+        ),
+        "scale.olsr.corner_routes": BenchMetric(
+            value=corner_routes, unit="routes", direction="higher"
+        ),
+        "scale.olsr.wall_s": BenchMetric(
+            value=olsr_wall, unit="s", direction="info"
+        ),
+    })
+
+    # Convergence sanity: the corner node routes to (nearly) everyone.
+    assert corner_routes >= NODES - 5
+
+    # -- DYMO: reactive discovery + cross-grid CBR traffic ------------------
+    sim, ids = _grid_sim()
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        proto = kit.load_protocol("dymo")
+        # The default RREQ hop limit (NET_DIAMETER=10) cannot span a
+        # 20x10 grid's ~28-hop diagonal; raise it so discovery succeeds.
+        proto.configurator.update({"net_diameter": 32})
+    for i in range(FLOWS):
+        sim.start_cbr(
+            ids[i], ids[-1 - i], interval=1.0, start_delay=1.0 + 0.1 * i
+        )
+    t0 = time.perf_counter()
+    executed = sim.run(DURATION)
+    dymo_wall = time.perf_counter() - t0
+    metrics.update({
+        "scale.dymo.sched_events": BenchMetric(
+            value=executed, unit="events", direction="lower"
+        ),
+        "scale.dymo.delivery_ratio": BenchMetric(
+            value=sim.stats.delivery_ratio(), unit="", direction="higher"
+        ),
+        "scale.dymo.wall_s": BenchMetric(
+            value=dymo_wall, unit="s", direction="info"
+        ),
+    })
+    assert sim.stats.delivery_ratio() > 0.9
+
+    record_bench(
+        "scale",
+        metrics,
+        meta={
+            "nodes": NODES, "seed": SEED, "duration_s": DURATION,
+            "flows": FLOWS,
+        },
+    )

@@ -28,7 +28,7 @@ from repro.core.context import ContextConcentrator
 from repro.core.unit import CFSUnit
 from repro.errors import EventWiringError
 from repro.events.event import Event
-from repro.events.types import EventOntology
+from repro.events.types import EventOntology, EventType
 from repro.opencom.binding import Binding
 from repro.opencom.framework import ComponentFramework
 
@@ -49,6 +49,17 @@ class FrameworkManager(ComponentFramework):
         self._context_root = ontology.get("CONTEXT")
         self.rewires = 0
         self.events_routed = 0
+        #: Dispatch index: provider name -> {concrete event type -> resolved
+        #: target tuple}.  Exclusive-receive and loop avoidance are folded
+        #: in at resolution time, so the hot path is one dict hop.  Rebuilt
+        #: eagerly for declared provided types on every :meth:`rewire`;
+        #: other (polymorphically emitted) types fill in lazily.
+        self._route_index: Dict[str, Dict[EventType, Tuple[CFSUnit, ...]]] = {}
+        #: Index effectiveness counters, published as ``dispatch.index_hits``
+        #: / ``dispatch.index_misses`` through the deployment's metrics
+        #: registry (pull-style, see :class:`repro.core.manetkit.ManetKit`).
+        self.index_hits = 0
+        self.index_misses = 0
         #: observers called as (source_name, event, [consumer names]) on
         #: every routed event — the hook tracing/telemetry attaches to.
         self._route_observers: List = []
@@ -127,6 +138,7 @@ class FrameworkManager(ComponentFramework):
             binding.destroy()
         self._wiring.clear()
         self._subscriptions = {unit.name: [] for unit in self._units}
+        self._route_index = {unit.name: {} for unit in self._units}
 
         for provider in self._units:
             bound_consumers = set()
@@ -149,6 +161,52 @@ class FrameworkManager(ComponentFramework):
                                     Binding(recep, consumer.interface("IPush"))
                                 )
                                 bound_consumers.add(consumer.name)
+
+        # Pre-resolve the index for every declared provided type and reject
+        # ambiguous exclusive wiring while we are at it: two distinct units
+        # holding exclusive requirements over the same provided type is a
+        # configuration error (footnote 2 gives the event to "the"
+        # exclusive requirer — plural makes delivery order-dependent).
+        for provider in self._units:
+            index = self._route_index[provider.name]
+            for provided_name in provider.event_tuple.provided:
+                provided_type = self.ontology.get(provided_name)
+                targets, exclusive_count = self._resolve_targets(
+                    provider.name, provided_type
+                )
+                if exclusive_count > 1:
+                    raise EventWiringError(
+                        f"event type {provided_name!r} provided by "
+                        f"{provider.name!r} has {exclusive_count} exclusive "
+                        f"requirers ({', '.join(t.name for t in targets)}); "
+                        "at most one unit may hold an exclusive requirement "
+                        "for the same provided type"
+                    )
+                index[provided_type] = targets
+
+    def _resolve_targets(
+        self, source_name: str, etype: EventType
+    ) -> Tuple[Tuple[CFSUnit, ...], int]:
+        """Resolve delivery targets for one (provider, event type) pair.
+
+        Replicates the routing semantics exactly: polymorphic match,
+        dedup by consumer (first matching requirement classifies it),
+        exclusive requirers preempting all normal ones.  Returns the
+        target tuple and the number of exclusive requirers found.
+        """
+        normal: List[CFSUnit] = []
+        exclusive: List[CFSUnit] = []
+        seen = set()
+        for consumer, required_type, is_exclusive in self._subscriptions[source_name]:
+            if not etype.is_a(required_type):
+                continue
+            if consumer.name in seen:
+                continue
+            seen.add(consumer.name)
+            (exclusive if is_exclusive else normal).append(consumer)
+        if exclusive:
+            return tuple(exclusive), len(exclusive)
+        return tuple(normal), 0
 
     def add_route_observer(self, observer) -> None:
         self._route_observers.append(observer)
@@ -186,22 +244,22 @@ class FrameworkManager(ComponentFramework):
           events in the same order.
         """
         self.events_routed += 1
-        subscriptions = self._subscriptions.get(source.name)
-        if subscriptions is None:
+        index = self._route_index.get(source.name)
+        if index is None:
             raise EventWiringError(
                 f"unit {source.name!r} is not registered with the framework manager"
             )
-        normal: List[CFSUnit] = []
-        exclusive: List[CFSUnit] = []
-        seen = set()
-        for consumer, required_type, is_exclusive in subscriptions:
-            if not event.etype.is_a(required_type):
-                continue
-            if consumer.name in seen:
-                continue
-            seen.add(consumer.name)
-            (exclusive if is_exclusive else normal).append(consumer)
-        targets = exclusive if exclusive else normal
+        targets = index.get(event.etype)
+        if targets is None:
+            # A type outside the provider's declared set (e.g. a subtype
+            # emitted polymorphically) — resolve once, then it is indexed.
+            self.index_misses += 1
+            targets, _exclusive_count = self._resolve_targets(
+                source.name, event.etype
+            )
+            index[event.etype] = targets
+        else:
+            self.index_hits += 1
         if self._route_observers:
             names = [consumer.name for consumer in targets]
             for observer in self._route_observers:

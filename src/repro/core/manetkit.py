@@ -88,6 +88,10 @@ class ManetKit(ComponentFramework):
         self.timers = TimerService(node.scheduler, seed=timer_seed)
         self.kernel = OpenComKernel()
         self.manager = FrameworkManager(self.ontology)
+        if self.obs is not None:
+            # Pull-style publication of the dispatch-index counters — the
+            # hot path pays nothing, snapshots see the current values.
+            self.obs.registry.register_collector(self._collect_dispatch_metrics)
         self.insert(self.manager)
         self.system = SystemCF(node, self.timers, self.ontology)
         self.system.deployment = self
@@ -103,6 +107,15 @@ class ManetKit(ComponentFramework):
     @property
     def now(self) -> float:
         return self.node.scheduler.now
+
+    # -- metrics -----------------------------------------------------------
+
+    def _collect_dispatch_metrics(self) -> Dict[str, float]:
+        node_id = self.node.node_id
+        return {
+            f"dispatch.index_hits{{node={node_id}}}": float(self.manager.index_hits),
+            f"dispatch.index_misses{{node={node_id}}}": float(self.manager.index_misses),
+        }
 
     # -- protocol deployment ----------------------------------------------------
 

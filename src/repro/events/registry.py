@@ -91,6 +91,11 @@ class EventRegistry:
         self.ontology = ontology
         self._handlers: List[Tuple[EventType, str, Handler]] = []
         self._sources: Dict[str, Any] = {}
+        # Concrete event type -> resolved handler list, rebuilt lazily so
+        # steady-state dispatch is one dict hop instead of a table scan.
+        # Any registration change drops the whole cache: reconfiguration
+        # is rare, dispatch is not.
+        self._dispatch_cache: Dict[EventType, List[Handler]] = {}
 
     # -- handlers ----------------------------------------------------------
 
@@ -99,6 +104,7 @@ class EventRegistry:
     ) -> None:
         etype = self.ontology.get(etype_name)
         self._handlers.append((etype, label or getattr(handler, "__name__", "?"), handler))
+        self._dispatch_cache.clear()
 
     def unregister_handler(self, handler: Handler) -> int:
         """Remove every registration of ``handler``; returns count removed.
@@ -110,10 +116,17 @@ class EventRegistry:
         """
         before = len(self._handlers)
         self._handlers = [entry for entry in self._handlers if entry[2] != handler]
+        self._dispatch_cache.clear()
         return before - len(self._handlers)
 
     def handlers_for(self, event: Event) -> List[Handler]:
-        return [h for etype, _label, h in self._handlers if event.matches(etype)]
+        # Callers must treat the returned list as read-only: it is the
+        # cache entry itself, shared across dispatches of this type.
+        cached = self._dispatch_cache.get(event.etype)
+        if cached is None:
+            cached = [h for etype, _label, h in self._handlers if event.matches(etype)]
+            self._dispatch_cache[event.etype] = cached
+        return cached
 
     def dispatch(self, event: Event) -> int:
         """Deliver ``event`` to every matching handler; returns the count."""

@@ -127,7 +127,10 @@ class MprHelloHandler(EventHandlerComponent):
         if we_are_listed:
             # The sender hears us and we hear it: the link is symmetric.
             link.sym_until = now + validity
-        state.two_hop[sender] = sym_of_sender - {cf.local_address}
+        two_hop = sym_of_sender - {cf.local_address}
+        if state.two_hop.get(sender) != two_hop:
+            state.two_hop[sender] = two_hop
+            state.nhood_version += 1
         if is_new_link or newly_symmetric:
             # Answer promptly so the new link becomes symmetric fast.
             cf.maybe_trigger_hello()

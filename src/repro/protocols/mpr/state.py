@@ -59,6 +59,11 @@ class MprState(StateComponent):
         #: flooding duplicate set: (originator, seqnum) -> expiry
         self.duplicates: Dict[Tuple[int, int], float] = {}
         self.own_willingness: int = int(Willingness.DEFAULT)
+        #: bumped whenever link-set membership or 2-hop *content* changes —
+        #: HELLOs that merely refresh expiries keep the version, so
+        #: downstream computations (route tables) can be cached against it
+        #: together with the momentary symmetric-neighbour set.
+        self.nhood_version = 0
         self.provide_interface("IMPRState", "IMPRState")
 
     # -- link queries -------------------------------------------------------
@@ -96,6 +101,8 @@ class MprState(StateComponent):
             self.two_hop.pop(neighbour, None)
             self.willingness_of.pop(neighbour, None)
             self.mpr_set.discard(neighbour)
+        if lost:
+            self.nhood_version += 1
         return lost
 
     # -- 2-hop queries --------------------------------------------------------
@@ -179,3 +186,4 @@ class MprState(StateComponent):
                 ) else getattr(self, attr).update(value)
         if "own_willingness" in state:
             self.own_willingness = state["own_willingness"]  # type: ignore[assignment]
+        self.nhood_version += 1

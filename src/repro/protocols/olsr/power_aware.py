@@ -202,6 +202,11 @@ class PowerAwareRouteCalculator(RouteCalculator):
         super().__init__(cf)
         self._power_store: Optional[ResidualPowerComponent] = None
 
+    def _cache_token(self) -> None:
+        # Residual power changes without any neighbourhood/topology
+        # version bump, so cached routes could go stale: never cache.
+        return None
+
     def _residual(self, node: int) -> float:
         if self._power_store is None:
             # The store is a sibling plug-in of this very CF, so search

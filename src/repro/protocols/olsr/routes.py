@@ -12,7 +12,7 @@ resulting routes are written to the kernel table through the System CF's
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Set, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.opencom.component import Component
 from repro.sim.kernel_table import KernelRoute
@@ -27,9 +27,33 @@ class RouteCalculator(Component):
     def __init__(self, cf: "OlsrCF") -> None:
         super().__init__("route-calculator")
         self.cf = cf
+        #: BFS runs actually performed (cache hits are not computations).
         self.computations = 0
         self.last_route_count = 0
+        self.cache_hits = 0
+        self._cache_key: Optional[tuple] = None
+        self._cached_routes: Optional[Dict[int, Tuple[int, int]]] = None
         self.provide_interface("IRouteCalc", "IRouteCalc")
+
+    def _cache_token(self) -> Optional[tuple]:
+        """Fingerprint of every input ``compute`` reads, or ``None``.
+
+        The momentary symmetric-neighbour set captures link/hysteresis
+        timing; the two version counters capture 2-hop content and the
+        learned topology edge set.  Subclasses whose ``compute`` reads
+        inputs outside this fingerprint (residual power) return ``None``
+        to disable caching.
+        """
+        cf = self.cf
+        try:
+            mpr_state = cf.mpr().mpr_state
+        except LookupError:
+            return None
+        return (
+            tuple(cf.symmetric_neighbours()),
+            mpr_state.nhood_version,
+            cf.olsr_state.topology_version,
+        )
 
     def build_graph(self) -> Dict[int, Set[int]]:
         """Adjacency sets from neighbourhood + 2-hop + topology info."""
@@ -79,7 +103,16 @@ class RouteCalculator(Component):
         cf = self.cf
         now = cf.deployment.now
         cf.olsr_state.purge_topology(now)
-        routes = self.compute()
+        token = self._cache_token()
+        if token is not None and token == self._cache_key:
+            self.cache_hits += 1
+            # Copy: ``set_state`` merges into the mirror in place, so the
+            # cached dict must never be aliased to ``olsr_state.routes``.
+            routes = dict(self._cached_routes)
+        else:
+            routes = self.compute()
+            self._cache_key = token
+            self._cached_routes = dict(routes) if token is not None else None
         kernel_routes = [
             KernelRoute(destination, next_hop, metric=hops)
             for destination, (next_hop, hops) in sorted(routes.items())

@@ -41,6 +41,17 @@ class OlsrState(StateComponent):
         self.last_advertised: Set[int] = set()
         #: mirror of the routes we last installed: dest -> (next_hop, hops)
         self.routes: Dict[int, Tuple[int, int]] = {}
+        #: per-originator destination index over ``topology``, kept in lock
+        #: step with it — record/drop touch only one originator's edges
+        #: instead of scanning the whole set.
+        self._by_origin: Dict[int, Set[int]] = {}
+        #: earliest expiry across the topology set; ``purge_topology`` is a
+        #: no-op until the clock passes it.
+        self._min_expiry: float = float("inf")
+        #: bumped whenever the topology *edge set* changes.  Refreshes that
+        #: only extend expiries keep the version, so route computations
+        #: (which depend on edges alone) can be cached against it.
+        self.topology_version = 0
         self.provide_interface("IOLSRState", "IOLSRState")
 
     # -- ANSN --------------------------------------------------------------
@@ -75,27 +86,55 @@ class OlsrState(StateComponent):
     ) -> None:
         """Install the advertised set of one TC, superseding older ANSNs."""
         self.ansn_of[last_hop] = (ansn, expiry)
-        stale = [
-            key
-            for key, entry in self.topology.items()
-            if entry.last_hop == last_hop and seq_newer(ansn, entry.ansn)
-        ]
-        for key in stale:
-            del self.topology[key]
+        topology = self.topology
+        dests = self._by_origin.get(last_hop)
+        if dests is None:
+            dests = self._by_origin[last_hop] = set()
+        stale = {
+            d for d in dests if seq_newer(ansn, topology[(last_hop, d)].ansn)
+        }
+        advertised = set(destinations)
+        if (dests - stale) | advertised != dests:
+            self.topology_version += 1
+        for destination in stale:
+            del topology[(last_hop, destination)]
+        dests -= stale
         for destination in destinations:
-            self.topology[(last_hop, destination)] = TopologyEntry(
+            topology[(last_hop, destination)] = TopologyEntry(
                 last_hop, destination, ansn, expiry
             )
+            dests.add(destination)
+        if not dests:
+            del self._by_origin[last_hop]
+        elif expiry < self._min_expiry:
+            self._min_expiry = expiry
 
     def purge_topology(self, now: float) -> int:
+        if now < self._min_expiry:
+            return 0
         stale = [key for key, entry in self.topology.items() if entry.expiry <= now]
         for key in stale:
             del self.topology[key]
+            dests = self._by_origin.get(key[0])
+            if dests is not None:
+                dests.discard(key[1])
+                if not dests:
+                    del self._by_origin[key[0]]
+        if stale:
+            self.topology_version += 1
+        self._min_expiry = min(
+            (entry.expiry for entry in self.topology.values()),
+            default=float("inf"),
+        )
         return len(stale)
 
     def drop_originator(self, originator: int) -> None:
-        for key in [k for k in self.topology if k[0] == originator]:
-            del self.topology[key]
+        dests = self._by_origin.pop(originator, None)
+        if not dests:
+            return
+        for destination in dests:
+            del self.topology[(originator, destination)]
+        self.topology_version += 1
 
     def topology_edges(self) -> List[Tuple[int, int]]:
         return sorted(self.topology.keys())
@@ -121,6 +160,10 @@ class OlsrState(StateComponent):
                 self.topology[(last_hop, destination)] = TopologyEntry(
                     last_hop, destination, ansn, expiry
                 )
+                self._by_origin.setdefault(last_hop, set()).add(destination)
+                if expiry < self._min_expiry:
+                    self._min_expiry = expiry
+            self.topology_version += 1
         for attr in ("ansn_of", "msg_seq_of", "routes"):
             value = state.get(attr)
             if isinstance(value, dict):

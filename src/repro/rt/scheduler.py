@@ -19,7 +19,7 @@ from repro.obs.trace import callback_name
 
 
 class _RtCall:
-    __slots__ = ("when", "seq", "callback", "args", "cancelled")
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "_owner")
 
     def __init__(self, when, seq, callback, args):
         self.when = when
@@ -27,9 +27,15 @@ class _RtCall:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None:
+            owner._note_cancelled()
 
     def __lt__(self, other: "_RtCall") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -45,6 +51,8 @@ class RealTimeScheduler:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._running = True
+        self._cancelled = 0
+        self.heap_compactions = 0
         self.errors: List[str] = []
         #: Optional :class:`repro.obs.trace.TraceRecorder`.  For a
         #: wall-clock deployment both trace timestamps are wall time.
@@ -63,12 +71,31 @@ class RealTimeScheduler:
 
     def call_at(self, when: float, callback: Callable[..., Any], *args: Any):
         call = _RtCall(when, next(self._seq), callback, args)
+        call._owner = self
         with self._wake:
             if not self._running:
                 raise RuntimeError("scheduler is shut down")
             heapq.heappush(self._heap, call)
             self._wake.notify()
         return call
+
+    def _note_cancelled(self) -> None:
+        """Compact the heap when cancelled entries outnumber live ones.
+
+        Without this, a cancelled call stays queued until its deadline —
+        it wakes the loop spuriously and, under heavy timer churn
+        (rescheduled periodic timers), the heap grows without bound.
+        """
+        with self._wake:
+            self._cancelled += 1
+            if self._cancelled * 2 > len(self._heap):
+                live = [entry for entry in self._heap if not entry.cancelled]
+                if len(live) != len(self._heap):
+                    self._heap = live
+                    heapq.heapify(self._heap)
+                    self.heap_compactions += 1
+                self._cancelled = 0
+            self._wake.notify()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -86,6 +113,8 @@ class RealTimeScheduler:
                 while self._running:
                     while self._heap and self._heap[0].cancelled:
                         heapq.heappop(self._heap)
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
                     if not self._heap:
                         self._wake.wait(0.1)
                         continue

@@ -30,6 +30,18 @@ from typing import Callable, Dict, List, Optional
 
 _packet_ids = itertools.count(1)
 
+#: Width of the (IPv4-analogue) address space node ids live in.  A route
+#: with ``prefix_len == ADDR_BITS`` is a host route — the common case every
+#: MANET protocol here installs.
+ADDR_BITS = 32
+
+
+def _network(destination: int, prefix_len: int) -> int:
+    """Mask ``destination`` down to its ``prefix_len``-bit network."""
+    if prefix_len >= ADDR_BITS:
+        return destination
+    return destination & (((1 << prefix_len) - 1) << (ADDR_BITS - prefix_len))
+
 
 @dataclass
 class DataPacket:
@@ -61,21 +73,36 @@ class KernelRoute:
     metric: int = 1
     expiry: Optional[float] = None
     proto: str = ""
+    #: prefix length; anything below :data:`ADDR_BITS` is a covering
+    #: (aggregate/default) route consulted only when no host route matches.
+    prefix_len: int = ADDR_BITS
 
     def is_expired(self, now: float) -> bool:
         return self.expiry is not None and now >= self.expiry
+
+    def covers(self, destination: int) -> bool:
+        return _network(destination, self.prefix_len) == self.destination
 
 
 class KernelRoutingTable:
     """The forwarding table the data plane consults.
 
-    Protocols write it through the System CF's ``ISysState`` interface;
-    reading is a plain lookup on the hot path.  Expired entries are treated
-    as absent (and reaped lazily).
+    Protocols write it through the System CF's ``ISysState`` interface.
+    The forwarding path is a destination-keyed exact-match lookup (one
+    dict hop for the host routes every protocol here installs); covering
+    prefix routes live in a separate per-length index consulted only when
+    no host route matches, longest prefix first — so aggregate/default
+    routes keep their semantics without taxing the hot path.  Expired
+    entries are treated as absent (and reaped lazily).
     """
 
     def __init__(self, clock: Callable[[], float], obs=None) -> None:
+        #: host routes: destination -> route (the exact-match fast path)
         self._routes: Dict[int, KernelRoute] = {}
+        #: covering routes: (network, prefix_len) -> route
+        self._prefixes: Dict[tuple, KernelRoute] = {}
+        #: distinct prefix lengths present, longest first
+        self._plens: List[int] = []
         self._clock = clock
         self.version = 0  # bumped on every mutation; cheap change detection
         #: Observability context; mutations are traced when tracing is on.
@@ -98,22 +125,48 @@ class KernelRoutingTable:
         metric: int = 1,
         lifetime: Optional[float] = None,
         proto: str = "",
+        prefix_len: int = ADDR_BITS,
     ) -> KernelRoute:
         expiry = self._clock() + lifetime if lifetime is not None else None
-        route = KernelRoute(destination, next_hop, metric, expiry, proto)
-        self._routes[destination] = route
+        if prefix_len >= ADDR_BITS:
+            route = KernelRoute(destination, next_hop, metric, expiry, proto)
+            self._routes[destination] = route
+        else:
+            network = _network(destination, prefix_len)
+            route = KernelRoute(
+                network, next_hop, metric, expiry, proto, prefix_len
+            )
+            self._prefixes[(network, prefix_len)] = route
+            if prefix_len not in self._plens:
+                self._plens.append(prefix_len)
+                self._plens.sort(reverse=True)
         self.version += 1
         tracer = self._tracer()
         if tracer is not None:
-            tracer.event(
-                "kernel.route_add", destination=destination, next_hop=next_hop,
-                metric=metric, proto=proto,
-            )
+            if prefix_len >= ADDR_BITS:
+                tracer.event(
+                    "kernel.route_add", destination=destination,
+                    next_hop=next_hop, metric=metric, proto=proto,
+                )
+            else:
+                tracer.event(
+                    "kernel.route_add", destination=route.destination,
+                    next_hop=next_hop, metric=metric, proto=proto,
+                    prefix_len=prefix_len,
+                )
         return route
 
-    def del_route(self, destination: int) -> bool:
-        if destination in self._routes:
-            del self._routes[destination]
+    def del_route(self, destination: int, prefix_len: int = ADDR_BITS) -> bool:
+        if prefix_len >= ADDR_BITS:
+            removed = self._routes.pop(destination, None) is not None
+        else:
+            key = (_network(destination, prefix_len), prefix_len)
+            removed = self._prefixes.pop(key, None) is not None
+            if removed and not any(
+                plen == prefix_len for _net, plen in self._prefixes
+            ):
+                self._plens.remove(prefix_len)
+        if removed:
             self.version += 1
             tracer = self._tracer()
             if tracer is not None:
@@ -132,8 +185,10 @@ class KernelRoutingTable:
 
     def flush(self) -> int:
         """Remove every route; returns how many were removed."""
-        count = len(self._routes)
+        count = len(self._routes) + len(self._prefixes)
         self._routes.clear()
+        self._prefixes.clear()
+        self._plens.clear()
         if count:
             self.version += 1
         return count
@@ -147,18 +202,33 @@ class KernelRoutingTable:
         replaced; entries installed by other protocols survive unless the
         new table claims the same destination.
         """
+        host = [r for r in routes if r.prefix_len >= ADDR_BITS]
+        prefix = [r for r in routes if r.prefix_len < ADDR_BITS]
         if proto is None:
-            self._routes = {route.destination: route for route in routes}
+            self._routes = {route.destination: route for route in host}
+            self._prefixes = {
+                (route.destination, route.prefix_len): route for route in prefix
+            }
         else:
             kept = {
                 destination: route
                 for destination, route in self._routes.items()
                 if route.proto != proto
             }
-            for route in routes:
+            for route in host:
                 route.proto = proto
                 kept[route.destination] = route
             self._routes = kept
+            kept_prefixes = {
+                key: route
+                for key, route in self._prefixes.items()
+                if route.proto != proto
+            }
+            for route in prefix:
+                route.proto = proto
+                kept_prefixes[(route.destination, route.prefix_len)] = route
+            self._prefixes = kept_prefixes
+        self._plens = sorted({plen for _net, plen in self._prefixes}, reverse=True)
         self.version += 1
         tracer = self._tracer()
         if tracer is not None:
@@ -170,25 +240,39 @@ class KernelRoutingTable:
 
     def lookup(self, destination: int) -> Optional[KernelRoute]:
         route = self._routes.get(destination)
-        if route is None:
-            return None
-        if route.is_expired(self._clock()):
+        if route is not None:
+            if not route.is_expired(self._clock()):
+                return route
             del self._routes[destination]
             self.version += 1
             tracer = self._tracer()
             if tracer is not None:
                 tracer.event("kernel.route_expired", destination=destination)
+        if not self._plens:
             return None
-        return route
+        # No host route: fall back to the covering prefixes, longest first.
+        for plen in self._plens:
+            covering = self._prefixes.get((_network(destination, plen), plen))
+            if covering is None:
+                continue
+            if covering.is_expired(self._clock()):
+                del self._prefixes[(covering.destination, plen)]
+                self._plens = sorted(
+                    {p for _net, p in self._prefixes}, reverse=True
+                )
+                self.version += 1
+                continue
+            return covering
+        return None
 
     def routes(self) -> List[KernelRoute]:
         """Snapshot of unexpired routes, ordered by destination."""
         now = self._clock()
-        return [
-            self._routes[d]
-            for d in sorted(self._routes)
-            if not self._routes[d].is_expired(now)
-        ]
+        pool = list(self._routes.values()) + list(self._prefixes.values())
+        return sorted(
+            (route for route in pool if not route.is_expired(now)),
+            key=lambda route: (route.destination, -route.prefix_len),
+        )
 
     def routes_via(self, next_hop: int) -> List[KernelRoute]:
         return [r for r in self.routes() if r.next_hop == next_hop]

@@ -87,6 +87,11 @@ class WirelessMedium:
         self.frames_delivered = 0
         self.frames_lost = 0
         self.frames_tampered = 0
+        self.batches_scheduled = 0
+        # Per-node sorted neighbour lists, rebuilt lazily after any
+        # connectivity change — broadcast is the hottest medium path and
+        # must not rescan the link table per transmission.
+        self._neighbor_cache: Dict[int, List[int]] = {}
 
     # -- node registration ---------------------------------------------------
 
@@ -97,6 +102,7 @@ class WirelessMedium:
         self._receivers.pop(node_id, None)
         for key in [k for k in self._links if node_id in k]:
             del self._links[key]
+        self._neighbor_cache.clear()
 
     def node_ids(self) -> List[int]:
         return sorted(self._receivers)
@@ -124,10 +130,12 @@ class WirelessMedium:
                 self._links[pair] = LinkProperties(latency, loss, quality)
             else:
                 self._links.pop(pair, None)
+        self._neighbor_cache.clear()
         self._notify_topology_change()
 
     def clear_links(self) -> None:
         self._links.clear()
+        self._neighbor_cache.clear()
         self._notify_topology_change()
 
     def set_connectivity(
@@ -141,13 +149,20 @@ class WirelessMedium:
         for a, b in edges:
             self._links[(a, b)] = LinkProperties(latency, loss)
             self._links[(b, a)] = LinkProperties(latency, loss)
+        self._neighbor_cache.clear()
         self._notify_topology_change()
 
     def has_link(self, a: int, b: int) -> bool:
         return (a, b) in self._links
 
     def neighbors(self, node_id: int) -> List[int]:
-        return sorted(b for (a, b) in self._links if a == node_id)
+        """Sorted neighbour ids; the returned list is a shared cache
+        entry and must be treated as read-only."""
+        cached = self._neighbor_cache.get(node_id)
+        if cached is None:
+            cached = sorted(b for (a, b) in self._links if a == node_id)
+            self._neighbor_cache[node_id] = cached
+        return cached
 
     def link_properties(self, a: int, b: int) -> Optional[LinkProperties]:
         return self._links.get((a, b))
@@ -180,7 +195,18 @@ class WirelessMedium:
         return None
 
     def broadcast(self, frame: Frame) -> int:
-        """Transmit to every neighbour; returns how many deliveries were scheduled."""
+        """Transmit to every neighbour; returns how many deliveries were scheduled.
+
+        One transmission enqueues a *single* scheduler entry per distinct
+        link latency (usually exactly one), sharing the frame across the
+        whole broadcast domain, instead of one entry per receiver.  Loss
+        and tamper decisions are still rolled per receiver at transmit
+        time, in sorted-neighbour order, so the RNG stream and all traced
+        outcomes are identical to per-receiver scheduling.  Batches are
+        anchored at the scheduler position of their first member, and any
+        tampered delivery seals the open batches, which preserves the
+        exact same-instant execution order of the unbatched world.
+        """
         self._check_node(frame.sender)
         self.frames_sent += 1
         tracer = self._tracer()
@@ -190,9 +216,52 @@ class WirelessMedium:
                 size=frame.size,
             )
         scheduled = 0
-        for neighbor in self.neighbors(frame.sender):
-            if self._attempt(frame, neighbor):
-                scheduled += 1
+        sender = frame.sender
+        links = self._links
+        rng = self.rng
+        batches: Dict[float, List[int]] = {}
+        for neighbor in self.neighbors(sender):
+            props = links[(sender, neighbor)]
+            if props.loss > 0 and rng.random() < props.loss:
+                self.frames_lost += 1
+                if tracer is not None:
+                    tracer.event(
+                        "medium.loss", sender=sender, dst=neighbor,
+                        kind=frame.kind,
+                    )
+                continue
+            tamper = self.tamper
+            if tamper is not None:
+                deliveries = tamper(frame, neighbor, props)
+                if deliveries is not None:
+                    self.frames_tampered += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "medium.tamper", sender=sender, dst=neighbor,
+                            kind=frame.kind, copies=len(deliveries),
+                        )
+                    if not deliveries:
+                        self.frames_lost += 1
+                        continue
+                    for delay, tampered in deliveries:
+                        self.scheduler.call_later(
+                            delay, self._deliver, tampered, neighbor
+                        )
+                    # The tampered copies hold their own scheduler slots;
+                    # seal the open batches so a later receiver cannot be
+                    # delivered ahead of them at the same instant.
+                    batches = {}
+                    scheduled += 1
+                    continue
+            batch = batches.get(props.latency)
+            if batch is None:
+                batch = batches[props.latency] = []
+                self.batches_scheduled += 1
+                self.scheduler.call_later(
+                    props.latency, self._deliver_batch, frame, batch
+                )
+            batch.append(neighbor)
+            scheduled += 1
         return scheduled
 
     def unicast(self, frame: Frame) -> bool:
@@ -250,6 +319,11 @@ class WirelessMedium:
                 return True
         self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
         return True
+
+    def _deliver_batch(self, frame: Frame, receivers: List[int]) -> None:
+        """Deliver one shared frame to every receiver of a broadcast batch."""
+        for receiver_id in receivers:
+            self._deliver(frame, receiver_id)
 
     def _deliver(self, frame: Frame, receiver_id: int) -> None:
         receiver = self._receivers.get(receiver_id)

@@ -149,7 +149,12 @@ class Simulation:
             "medium.frames_sent": float(self.medium.frames_sent),
             "medium.frames_delivered": float(self.medium.frames_delivered),
             "medium.frames_lost": float(self.medium.frames_lost),
+            "medium.batches_scheduled": float(self.medium.batches_scheduled),
             "sched.events_executed": float(self.scheduler.executed_count),
+            "timerwheel.wheel_scheduled": float(self.scheduler.wheel_scheduled),
+            "timerwheel.heap_scheduled": float(self.scheduler.heap_scheduled),
+            "timerwheel.cancelled_purged": float(self.scheduler.cancelled_purged),
+            "timerwheel.heap_compactions": float(self.scheduler.heap_compactions),
         }
 
     # -- drain hooks (determinism under threaded concurrency models) ----------

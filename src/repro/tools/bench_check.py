@@ -46,6 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional regression before failing (default 0.25)",
     )
     parser.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="gate only benches with this name (repeatable) — lets CI hold "
+             "different benches to different tolerances",
+    )
+    parser.add_argument(
+        "--skip", action="append", default=[], metavar="NAME",
+        help="exclude benches with this name from this gate (repeatable)",
+    )
+    parser.add_argument(
         "--update", action="store_true",
         help="copy the current results over the baseline instead of comparing",
     )
@@ -85,6 +94,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:  # unreadable/ill-formed BENCH file
         print(f"bench_check: {exc}", file=sys.stderr)
         return 2
+    if args.only:
+        comparisons = [c for c in comparisons if c.bench in args.only]
+        if not comparisons:
+            print(
+                f"bench_check: --only {args.only} matched no baseline bench",
+                file=sys.stderr,
+            )
+            return 2
+    if args.skip:
+        comparisons = [c for c in comparisons if c.bench not in args.skip]
     bad = failures(comparisons)
     for comparison in comparisons:
         if args.quiet and comparison not in bad:

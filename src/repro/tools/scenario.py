@@ -39,8 +39,28 @@ import repro.protocols  # noqa: F401
 PROTOCOL_CHOICES = ("olsr", "dymo", "aodv", "zrp", "olsr+dymo")
 
 
-def parse_topology(spec: str, sim: Simulation) -> List[int]:
-    """Build the topology described by ``spec``; returns the node ids."""
+def _near_square(count: int) -> Tuple[int, int]:
+    """Factor ``count`` into the most square W x H grid possible."""
+    height = max(int(count ** 0.5), 1)
+    while count % height:
+        height -= 1
+    return count // height, height
+
+
+def parse_topology(spec: str, sim: Simulation, nodes: Optional[int] = None) -> List[int]:
+    """Build the topology described by ``spec``; returns the node ids.
+
+    ``nodes`` (the CLI's ``--nodes``) completes a bare-kind spec: ``chain``
+    becomes ``chain:N``, ``grid`` becomes the most square ``grid:WxH``
+    holding exactly N nodes, and so on — the scale benchmark drives the
+    same entry point as interactive runs.
+    """
+    if ":" not in spec and nodes is not None:
+        if spec == "grid":
+            width, height = _near_square(nodes)
+            spec = f"grid:{width}x{height}"
+        else:
+            spec = f"{spec}:{nodes}"
     kind, _, rest = spec.partition(":")
     if kind == "chain":
         count = int(rest)
@@ -200,7 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="dymo")
     parser.add_argument(
         "--topology", default="chain:5",
-        help="chain:N | ring:N | grid:WxH | random:N[:radius]",
+        help="chain:N | ring:N | grid:WxH | random:N[:radius] — or a bare "
+             "kind (e.g. just 'grid') combined with --nodes",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="node count for a bare --topology kind (grid picks the most "
+             "square WxH layout holding exactly N nodes)",
     )
     parser.add_argument(
         "--traffic", action="append", default=[], metavar="SRC:DST[:INTERVAL]",
@@ -261,7 +287,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sim.topology.loss = args.loss
     tracer = sim.enable_tracing() if args.trace else None
     try:
-        ids = parse_topology(args.topology, sim)
+        ids = parse_topology(args.topology, sim, nodes=args.nodes)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

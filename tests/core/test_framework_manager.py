@@ -170,6 +170,90 @@ class TestRouting:
         assert harness.manager.events_routed == 2
 
 
+class TestExclusiveEdgeCases:
+    """Exclusive-requirement conflicts and dispatch-index invalidation."""
+
+    def test_two_exclusive_requirers_rejected_at_rewire(self, harness):
+        harness.add(RecordingUnit("p", provided=["TC_OUT"]))
+        harness.add(
+            RecordingUnit("x1", required=[Requirement("TC_OUT", exclusive=True)])
+        )
+        with pytest.raises(EventWiringError):
+            harness.add(
+                RecordingUnit(
+                    "x2", required=[Requirement("TC_OUT", exclusive=True)]
+                )
+            )
+
+    def test_exclusive_conflict_via_tuple_change_rejected(self, harness):
+        harness.add(RecordingUnit("p", provided=["TC_OUT"]))
+        harness.add(
+            RecordingUnit("x1", required=[Requirement("TC_OUT", exclusive=True)])
+        )
+        late = harness.add(RecordingUnit("late", required=["TC_OUT"]))
+        with pytest.raises(EventWiringError):
+            late.set_event_tuple(
+                EventTuple([Requirement("TC_OUT", exclusive=True)], [])
+            )
+
+    def test_polymorphic_exclusive_conflict_rejected(self, harness):
+        """Exclusive requirements on an ancestor and the concrete type clash."""
+        harness.add(RecordingUnit("p", provided=["HELLO_IN"]))
+        harness.add(
+            RecordingUnit(
+                "x1", required=[Requirement("HELLO_IN", exclusive=True)]
+            )
+        )
+        with pytest.raises(EventWiringError):
+            harness.add(
+                RecordingUnit(
+                    "x2", required=[Requirement("MSG_IN", exclusive=True)]
+                )
+            )
+
+    def test_nonexclusive_requirers_resume_after_exclusive_removed(self, harness):
+        provider = harness.add(RecordingUnit("p", provided=["TC_OUT"]))
+        normal = harness.add(RecordingUnit("n", required=["TC_OUT"]))
+        exclusive = harness.add(
+            RecordingUnit("x", required=[Requirement("TC_OUT", exclusive=True)])
+        )
+        provider.emit("TC_OUT")
+        assert len(exclusive.received) == 1 and normal.received == []
+        harness.manager.unregister_unit(exclusive)
+        provider.emit("TC_OUT")
+        assert len(normal.received) == 1
+        assert len(exclusive.received) == 1
+
+    def test_index_invalidated_across_reconfig_transitions(self, harness):
+        provider = harness.add(RecordingUnit("p", provided=["TC_OUT"]))
+        first = harness.add(RecordingUnit("c1", required=["TC_OUT"]))
+        # Declared provided types are pre-resolved at rewire: first emit
+        # already hits the index.
+        provider.emit("TC_OUT")
+        assert harness.manager.index_hits == 1
+        # Registering a new consumer rebuilds the index.
+        second = harness.add(RecordingUnit("c2", required=["TC_OUT"]))
+        provider.emit("TC_OUT")
+        assert len(first.received) == 2 and len(second.received) == 1
+        # Dropping a requirement mid-run stops delivery immediately.
+        first.set_event_tuple(EventTuple([], []))
+        provider.emit("TC_OUT")
+        assert len(first.received) == 2 and len(second.received) == 2
+        # Unregistering a consumer is reflected too.
+        harness.manager.unregister_unit(second)
+        assert provider.emit("TC_OUT") == 0
+
+    def test_polymorphic_emission_fills_index_lazily(self, harness):
+        provider = harness.add(RecordingUnit("p", provided=["MSG_IN"]))
+        sink = harness.add(RecordingUnit("s", required=["MSG_IN"]))
+        misses = harness.manager.index_misses
+        provider.emit("HELLO_IN")  # subtype of the declared MSG_IN
+        assert harness.manager.index_misses == misses + 1
+        provider.emit("HELLO_IN")
+        assert harness.manager.index_misses == misses + 1  # now indexed
+        assert len(sink.received) == 2
+
+
 class TestDedicatedThreads:
     def test_dedicated_thread_delivery(self, harness):
         provider = harness.add(RecordingUnit("p", provided=["TC_OUT"]))

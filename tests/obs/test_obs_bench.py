@@ -151,3 +151,36 @@ class TestBenchCheckCli:
         )
         assert code == 2
         capsys.readouterr()
+
+    def _split_dirs(self, tmp_path):
+        """Two benches: 'smoke' passes, 'scale' regresses."""
+        results = tmp_path / "results"
+        baseline = tmp_path / "baseline"
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        write_bench("scale", {"events": BenchMetric(value=100)}, baseline)
+        write_bench("scale", {"events": BenchMetric(value=500)}, results)
+        return ["--results", str(results), "--baseline", str(baseline)]
+
+    def test_skip_excludes_regressed_bench(self, tmp_path, capsys):
+        from repro.tools.bench_check import main
+
+        argv = self._split_dirs(tmp_path)
+        assert main(argv) == 1
+        assert main(argv + ["--skip", "scale"]) == 0
+        capsys.readouterr()
+
+    def test_only_gates_named_bench(self, tmp_path, capsys):
+        from repro.tools.bench_check import main
+
+        argv = self._split_dirs(tmp_path)
+        assert main(argv + ["--only", "smoke"]) == 0
+        assert main(argv + ["--only", "scale"]) == 1
+        capsys.readouterr()
+
+    def test_only_matching_nothing_is_an_error(self, tmp_path, capsys):
+        from repro.tools.bench_check import main
+
+        argv = self._split_dirs(tmp_path)
+        assert main(argv + ["--only", "typo"]) == 2
+        assert "matched no baseline bench" in capsys.readouterr().err

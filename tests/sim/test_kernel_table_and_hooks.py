@@ -73,6 +73,72 @@ class TestKernelRoutingTable:
         assert [r.destination for r in table.routes_via(7)] == [1]
 
 
+class TestPrefixRoutes:
+    """Longest-prefix semantics on top of the exact-match fast path."""
+
+    def make(self):
+        state = {"now": 0.0}
+        return KernelRoutingTable(lambda: state["now"]), state
+
+    def test_host_route_beats_covering_prefix(self):
+        table, _ = self.make()
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8)
+        table.add_route(0x0A000005, next_hop=2)
+        assert table.lookup(0x0A000005).next_hop == 2
+        assert table.lookup(0x0A000006).next_hop == 9
+
+    def test_longest_prefix_wins(self):
+        table, _ = self.make()
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8)
+        table.add_route(0x0A010000, next_hop=7, prefix_len=16)
+        assert table.lookup(0x0A010055).next_hop == 7
+        assert table.lookup(0x0A020055).next_hop == 9
+        assert table.lookup(0x0B000001) is None
+
+    def test_default_route(self):
+        table, _ = self.make()
+        table.add_route(0, next_hop=4, prefix_len=0)
+        assert table.lookup(12345).next_hop == 4
+
+    def test_prefix_route_expiry(self):
+        table, state = self.make()
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8, lifetime=10.0)
+        assert table.lookup(0x0A000001) is not None
+        state["now"] = 10.0
+        assert table.lookup(0x0A000001) is None
+
+    def test_del_prefix_route(self):
+        table, _ = self.make()
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8)
+        assert table.del_route(0x0A000000, prefix_len=8) is True
+        assert table.lookup(0x0A000001) is None
+        assert table.del_route(0x0A000000, prefix_len=8) is False
+
+    def test_replace_all_scoped_by_proto_keeps_foreign_prefixes(self):
+        table, _ = self.make()
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8, proto="static")
+        table.replace_all([KernelRoute(5, 2)], proto="olsr")
+        assert table.lookup(0x0A000001).next_hop == 9
+        table.replace_all([], proto="static")
+        assert table.lookup(0x0A000001) is None
+
+    def test_flush_and_len_cover_prefixes(self):
+        table, _ = self.make()
+        table.add_route(5, next_hop=2)
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8)
+        assert len(table) == 2
+        assert table.flush() == 2
+        assert table.lookup(0x0A000001) is None
+
+    def test_routes_snapshot_includes_prefixes(self):
+        table, _ = self.make()
+        table.add_route(5, next_hop=2)
+        table.add_route(0x0A000000, next_hop=9, prefix_len=8)
+        snapshot = table.routes()
+        assert [r.destination for r in snapshot] == [5, 0x0A000000]
+        assert snapshot[1].prefix_len == 8
+
+
 class TestHooks:
     def make_node(self):
         sched = Scheduler()

@@ -2,8 +2,15 @@
 
 import pytest
 
-from repro.sim import FaultPlan
-from repro.tools.scenario import build_parser, main, parse_fault, parse_flow
+from repro.sim import FaultPlan, Simulation
+from repro.tools.scenario import (
+    _near_square,
+    build_parser,
+    main,
+    parse_fault,
+    parse_flow,
+    parse_topology,
+)
 
 
 class TestParsing:
@@ -11,6 +18,31 @@ class TestParsing:
         args = build_parser().parse_args([])
         assert args.protocol == "dymo"
         assert args.topology == "chain:5"
+        assert args.nodes is None
+
+    def test_near_square(self):
+        assert _near_square(200) == (20, 10)
+        assert _near_square(9) == (3, 3)
+        assert _near_square(7) == (7, 1)
+        assert _near_square(1) == (1, 1)
+
+    def test_nodes_completes_bare_grid(self):
+        sim = Simulation()
+        ids = parse_topology("grid", sim, nodes=12)
+        assert len(ids) == 12
+        # A 4x3 grid: corner node 1 has exactly two neighbours.
+        assert len(sim.medium.neighbors(ids[0])) == 2
+
+    def test_nodes_completes_bare_chain(self):
+        sim = Simulation()
+        ids = parse_topology("chain", sim, nodes=6)
+        assert len(ids) == 6
+        assert len(sim.medium.neighbors(ids[0])) == 1
+
+    def test_explicit_spec_ignores_nodes(self):
+        sim = Simulation()
+        ids = parse_topology("chain:4", sim, nodes=99)
+        assert len(ids) == 4
 
     def test_parse_flow(self):
         assert parse_flow("1:8") == (1, 8, 0.5)

@@ -1,0 +1,189 @@
+"""The split heap/wheel scheduler must be indistinguishable from one queue.
+
+A reference single-heap implementation executes the same randomly
+generated schedules (inserts across both delay bands, cancellations,
+reschedules from inside callbacks); the production scheduler must pop in
+the identical ``(when, seq)`` total order, every time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.scheduler import (
+    WHEEL_GRANULARITY,
+    WHEEL_SLOTS,
+    Scheduler,
+)
+
+
+class ReferenceScheduler:
+    """The pre-wheel semantics: one heap, lazy cancellation."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0.0
+
+    def call_later(self, delay, tag):
+        entry = [self.now + delay, self._seq, tag, False]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def run_all(self):
+        order = []
+        while self._heap:
+            when, seq, tag, cancelled = heapq.heappop(self._heap)
+            if cancelled:
+                continue
+            self.now = when
+            order.append((round(when, 9), tag))
+        return order
+
+
+# Delay bands: sub-granularity (heap), the wheel band, and past-horizon
+# (heap fallback) — plus zero delays.
+_delays = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0001, max_value=WHEEL_GRANULARITY * 0.9),
+    st.floats(min_value=WHEEL_GRANULARITY, max_value=WHEEL_GRANULARITY * (WHEEL_SLOTS - 2)),
+    st.floats(min_value=WHEEL_GRANULARITY * WHEEL_SLOTS, max_value=60.0),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(_delays, min_size=1, max_size=60),
+    cancel_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_pop_order_matches_reference(delays, cancel_seed):
+    rng = random.Random(cancel_seed)
+    cancel_picks = [rng.random() < 0.3 for _ in delays]
+
+    sched = Scheduler()
+    order = []
+    handles = []
+    for i, delay in enumerate(delays):
+        handles.append(
+            sched.call_later(delay, lambda tag=i: order.append((round(sched.now, 9), tag)))
+        )
+    for handle, cancel in zip(handles, cancel_picks):
+        if cancel:
+            handle.cancel()
+    sched.run_until_idle()
+
+    ref = ReferenceScheduler()
+    ref_handles = [ref.call_later(delay, i) for i, delay in enumerate(delays)]
+    for handle, cancel in zip(ref_handles, cancel_picks):
+        if cancel:
+            handle[3] = True
+    assert order == ref.run_all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(_delays, min_size=1, max_size=30),
+    chain_delays=st.lists(_delays, min_size=1, max_size=10),
+)
+def test_reschedule_from_callback_matches_reference(delays, chain_delays):
+    """Callbacks that schedule more work (periodic-timer shape)."""
+
+    def run(make_sched, call_later, run_all):
+        order = []
+        sched = make_sched()
+        remaining = list(chain_delays)
+
+        def chain(tag):
+            order.append((round(sched.now, 9), tag))
+            if remaining:
+                call_later(sched, remaining.pop(0), lambda: chain(tag + 1000))
+
+        for i, delay in enumerate(delays):
+            call_later(sched, delay, lambda tag=i: order.append((round(sched.now, 9), tag)))
+        call_later(sched, 0.01, lambda: chain(0))
+        run_all(sched)
+        return order
+
+    real = run(
+        Scheduler,
+        lambda s, d, fn: s.call_later(d, fn),
+        lambda s: s.run_until_idle(),
+    )
+
+    # Reference run: emulate with the reference heap, draining manually.
+    ref_order = []
+
+    class _Ref(ReferenceScheduler):
+        def run_callbacks(self):
+            while self._heap:
+                when, seq, fn, cancelled = heapq.heappop(self._heap)
+                if cancelled:
+                    continue
+                self.now = when
+                fn()
+
+    ref = _Ref()
+    remaining = list(chain_delays)
+
+    def ref_chain(tag):
+        ref_order.append((round(ref.now, 9), tag))
+        if remaining:
+            ref.call_later(remaining.pop(0), lambda: ref_chain(tag + 1000))
+
+    for i, delay in enumerate(delays):
+        ref.call_later(delay, lambda tag=i: ref_order.append((round(ref.now, 9), tag)))
+    ref.call_later(0.01, lambda: ref_chain(0))
+    ref.run_callbacks()
+
+    assert real == ref_order
+
+
+def test_wheel_routing_and_purge_counters():
+    sched = Scheduler()
+    short = sched.call_later(0.002, lambda: None)
+    timer = sched.call_later(1.0, lambda: None)
+    far = sched.call_later(WHEEL_GRANULARITY * WHEEL_SLOTS + 5.0, lambda: None)
+    assert not short._in_wheel
+    assert timer._in_wheel
+    assert not far._in_wheel
+    assert sched.wheel_scheduled == 1
+    assert sched.heap_scheduled == 2
+    assert sched.pending_count() == 3
+    timer.cancel()
+    assert sched.pending_count() == 2
+    # The cancelled wheel entry is reclaimed by a scan, not at its deadline.
+    before = sched.cancelled_purged
+    sched.run_until_idle()
+    assert sched.cancelled_purged >= before
+    assert sched.executed_count == 2
+
+
+def test_heap_compaction_reclaims_cancelled_entries():
+    sched = Scheduler()
+    keepers = [sched.call_later(0.001 * i, lambda: None) for i in range(1, 4)]
+    victims = [sched.call_later(0.002, lambda: None) for _ in range(50)]
+    for victim in victims:
+        victim.cancel()
+    # More than half the heap was cancelled -> it must have been compacted.
+    assert sched.heap_compactions >= 1
+    assert len(sched._heap) <= len(keepers) + len(victims) // 2
+    assert sched.pending_count() == len(keepers)
+    assert sched.run_until_idle() == len(keepers)
+
+
+def test_wheel_sweep_reclaims_mass_cancellation():
+    sched = Scheduler()
+    timers = [sched.call_later(1.0 + 0.01 * i, lambda: None) for i in range(100)]
+    keeper = sched.call_later(2.0, lambda: None)
+    for timer in timers:
+        timer.cancel()
+    # Mass cancellation (a crashing node's cancel_all) triggers the sweep.
+    assert sched.cancelled_purged >= 50
+    assert sched.pending_count() == 1
+    assert sched.run_until_idle() == 1
+    assert not keeper.cancelled
