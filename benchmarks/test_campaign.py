@@ -1,0 +1,154 @@
+"""Campaign-throughput benchmark: the multi-run workload gate.
+
+Selected with ``pytest benchmarks -k campaign``; drives the exact sweep
+the docs advertise —
+
+    python -m repro.tools.campaign --spec examples/campaign_smoke.toml --workers 8
+
+— as a library call, twice: serially (``workers=1``) and fanned out
+(``workers=8``), with one injected worker crash in the parallel pass and
+a resume pass afterwards.  Asserted here:
+
+* **correctness** — all 24 runs complete in both passes and the parallel
+  per-run results are *identical* to the serial ones (the shared-nothing
+  determinism contract);
+* **crash tolerance** — the injected worker death is retried and the
+  sweep still completes with zero failures;
+* **resume** — a re-invocation of the same campaign skips all 24 runs;
+* **throughput** — ≥3x wall-clock speedup at 8 workers, asserted when
+  the machine has the cores to show it (≥4; CI runners qualify).  On
+  smaller boxes the assertion degrades to a sanity bound — wall-clock
+  parallelism cannot exist on a single core.
+
+Gated metrics (``BENCH_campaign.json`` vs ``benchmarks/baseline/``) are
+the machine-independent sweep aggregates: run counts and the summed
+control overhead / mean delivery of the 24 deterministic runs.  The
+speedup and raw walls are emitted ``info``-grade because they depend on
+the runner's core count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import time
+
+from conftest import RESULTS_DIR, record_bench
+from repro.obs.bench import BenchMetric
+from repro.tools.campaign import CampaignRunner, expand_matrix, load_spec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SPEC_PATH = REPO_ROOT / "examples" / "campaign_smoke.toml"
+WORKERS = 8
+EXPECTED_RUNS = 24
+CAMPAIGN_DIR = RESULTS_DIR / "campaign"
+
+
+def _sweep_specs():
+    spec = load_spec(SPEC_PATH)
+    specs = expand_matrix(spec.get("base", {}), spec.get("matrix", {}))
+    assert len(specs) == EXPECTED_RUNS
+    return specs
+
+
+def _run(workers, out_dir, crash_once=(), resume=False):
+    runner = CampaignRunner(
+        out_dir, workers=workers, retries=1, resume=resume,
+        name="smoke", progress=False, crash_once=crash_once,
+    )
+    t0 = time.perf_counter()
+    result = runner.run(_sweep_specs())
+    return runner, result, time.perf_counter() - t0
+
+
+def test_campaign_bench_emit():
+    shutil.rmtree(CAMPAIGN_DIR, ignore_errors=True)
+    serial_dir = CAMPAIGN_DIR / "serial"
+    parallel_dir = CAMPAIGN_DIR  # the dir CI uploads runs.jsonl from
+
+    # -- serial reference ---------------------------------------------------
+    _, serial, serial_wall = _run(1, serial_dir)
+    assert len(serial.ok) == EXPECTED_RUNS and not serial.failed
+
+    # -- 8 workers, one injected worker crash -------------------------------
+    crash_id = serial.ok[0].run_id
+    runner, parallel, parallel_wall = _run(
+        WORKERS, parallel_dir, crash_once=[crash_id]
+    )
+    assert len(parallel.ok) == EXPECTED_RUNS and not parallel.failed
+    crashed = [r for r in parallel.ok if r.run_id == crash_id]
+    assert crashed[0].attempts == 2, "injected crash was not retried"
+    assert runner.registry.counter("campaign.worker_crashes").value == 1
+
+    # Shared-nothing determinism: parallel results == serial results.
+    assert ({r.run_id: r.result for r in parallel.records}
+            == {r.run_id: r.result for r in serial.records})
+
+    # -- resume: everything already done ------------------------------------
+    _, resumed, _ = _run(WORKERS, parallel_dir, resume=True)
+    assert resumed.skipped == EXPECTED_RUNS
+    assert not resumed.ok and not resumed.failed
+
+    # -- throughput ---------------------------------------------------------
+    speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedup >= 3.0, (
+            f"campaign fan-out too slow: {speedup:.2f}x at {WORKERS} workers "
+            f"on {cores} cores (serial {serial_wall:.1f}s, "
+            f"parallel {parallel_wall:.1f}s)"
+        )
+    else:
+        # A single/dual-core box cannot express wall-clock parallelism;
+        # just require that fan-out is not pathologically slower.
+        assert speedup >= 0.25
+
+    # -- deterministic aggregates for the CI gate ---------------------------
+    results = [r.result for r in parallel.records]
+    ratios = [r["delivery_ratio"] for r in results]
+    summary = json.loads((parallel_dir / "summary.json").read_text())
+    assert summary["campaign"]["runs_completed"] == EXPECTED_RUNS
+
+    record_bench(
+        "campaign",
+        {
+            "campaign.runs_ok": BenchMetric(
+                value=len(parallel.ok), unit="runs", direction="higher"
+            ),
+            "campaign.runs_failed": BenchMetric(
+                value=len(parallel.failed), unit="runs", direction="lower"
+            ),
+            "campaign.control_frames_total": BenchMetric(
+                value=sum(r["control_frames"] for r in results),
+                unit="frames", direction="lower",
+            ),
+            "campaign.control_bytes_total": BenchMetric(
+                value=sum(r["control_bytes"] for r in results),
+                unit="B", direction="lower",
+            ),
+            "campaign.delivery_ratio_mean": BenchMetric(
+                value=sum(ratios) / len(ratios), unit="", direction="higher"
+            ),
+            "campaign.events_total": BenchMetric(
+                value=sum(r["events_executed"] for r in results),
+                unit="events", direction="lower",
+            ),
+            "campaign.speedup_8w": BenchMetric(
+                value=speedup, unit="x", direction="info"
+            ),
+            "campaign.serial_wall_s": BenchMetric(
+                value=serial_wall, unit="s", direction="info"
+            ),
+            "campaign.parallel_wall_s": BenchMetric(
+                value=parallel_wall, unit="s", direction="info"
+            ),
+        },
+        meta={
+            "spec": str(SPEC_PATH.relative_to(REPO_ROOT)),
+            "runs": EXPECTED_RUNS,
+            "workers": WORKERS,
+            "cores": cores,
+        },
+    )

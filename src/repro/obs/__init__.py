@@ -15,7 +15,10 @@ package is the structured substrate for it:
   pretty-printer (wired into ``repro.tools.scenario --trace``);
 * :mod:`repro.obs.bench` — the ``BENCH_<name>.json`` emitter that turns
   benchmark runs into machine-readable results (median/p95/p99, bytes,
-  frames) which ``tools/bench_check.py`` gates in CI.
+  frames) which ``tools/bench_check.py`` gates in CI;
+* :mod:`repro.obs.summary` — cross-run merging: reduces many scenario
+  result dicts into one percentile summary (the campaign runner's merged
+  report).
 
 Tracing is **off by default** and costs a single attribute check on the
 hot paths when disabled; enable it per simulation with
@@ -27,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summary import summarize_runs
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 
@@ -83,4 +87,5 @@ __all__ = [
     "Histogram",
     "TraceRecorder",
     "TraceEvent",
+    "summarize_runs",
 ]

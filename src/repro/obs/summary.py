@@ -1,0 +1,100 @@
+"""Cross-run summary merging: many scenario results, one campaign report.
+
+A campaign (:mod:`repro.tools.campaign`) produces one result dict per run
+(the output of :func:`repro.tools.scenario.run_scenario`).  This module
+reduces a collection of those dicts into a single summary with percentile
+distributions per quantity, overall and grouped by an axis of the sweep
+(``protocol`` by default) — the shape the paper's evaluation tables have:
+*per protocol, over seeds × topologies, delivery/overhead/latency*.
+
+The reduction reuses :class:`repro.obs.metrics.Histogram` so percentiles
+come from the same single implementation the rest of the observability
+layer uses, and every value is passed through :func:`sanitize` (NaN/inf →
+``null``) so the summary is strict JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.export import _nan_to_null
+from repro.obs.metrics import Histogram
+
+#: Scalar fields of a scenario result worth distributing across runs.
+SUMMARY_FIELDS = (
+    "delivery_ratio",
+    "latency_mean_s",
+    "latency_p95_s",
+    "control_frames",
+    "control_bytes",
+    "events_executed",
+)
+
+
+def sanitize(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (strict JSON)."""
+    return _nan_to_null(value)
+
+
+def _distribution(samples: Sequence[float]) -> Dict[str, float]:
+    hist = Histogram()
+    for sample in samples:
+        hist.observe(float(sample))
+    return hist.summary()
+
+
+def _field_samples(
+    results: Iterable[Dict[str, Any]], fields: Sequence[str]
+) -> Dict[str, List[float]]:
+    samples: Dict[str, List[float]] = {f: [] for f in fields}
+    for result in results:
+        for f in fields:
+            value = result.get(f)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                samples[f].append(float(value))
+    return samples
+
+
+def summarize_runs(
+    results: Iterable[Dict[str, Any]],
+    group_by: Optional[str] = "protocol",
+    fields: Sequence[str] = SUMMARY_FIELDS,
+) -> Dict[str, Any]:
+    """Merge scenario result dicts into one percentile summary.
+
+    ``group_by`` names a key of each result's ``spec`` (``protocol``,
+    ``topology``, ``seed``, …); ``None`` disables grouping.  Runs missing
+    a field (e.g. ``latency_mean_s`` is ``null`` when nothing was
+    delivered) are simply excluded from that field's distribution — the
+    per-field ``count`` records how many runs contributed.
+    """
+    results = list(results)
+    overall = {
+        name: _distribution(values)
+        for name, values in _field_samples(results, fields).items()
+    }
+    summary: Dict[str, Any] = {
+        "runs": len(results),
+        "fields": list(fields),
+        "overall": overall,
+    }
+    if group_by is not None:
+        groups: Dict[str, List[Dict[str, Any]]] = {}
+        for result in results:
+            key = str(result.get("spec", {}).get(group_by, "?"))
+            groups.setdefault(key, []).append(result)
+        summary["group_by"] = group_by
+        summary["groups"] = {
+            key: {
+                "runs": len(members),
+                **{
+                    name: _distribution(values)
+                    for name, values in _field_samples(members, fields).items()
+                },
+            }
+            for key, members in sorted(groups.items())
+        }
+    return sanitize(summary)
+
+
+__all__ = ["SUMMARY_FIELDS", "sanitize", "summarize_runs"]

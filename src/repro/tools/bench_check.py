@@ -11,6 +11,18 @@ Only metrics whose ``direction`` is ``lower`` or ``higher`` are gated;
 build.  A baseline metric that the current run no longer emits counts as
 a failure — a benchmark silently dropping a measurement is itself a
 regression of the observability contract.
+
+Exit codes are **distinct per failure class** so CI logs can tell a
+broken setup from a real regression at a glance:
+
+* ``0`` (:data:`EXIT_OK`) — all gated metrics within tolerance;
+* ``1`` (:data:`EXIT_REGRESSION`) — at least one metric regressed (or a
+  baseline metric went missing from the fresh results);
+* ``2`` (:data:`EXIT_USAGE`) — bad invocation or unreadable/ill-formed
+  BENCH files (e.g. a ``--only`` name matching nothing);
+* ``3`` (:data:`EXIT_NO_BASELINE`) — no committed baseline to compare
+  against; run with ``--update`` to create one.  This is a setup
+  problem, **not** a regression, and is reported as such.
 """
 
 from __future__ import annotations
@@ -26,6 +38,11 @@ from repro.obs.bench import compare_dirs, discover_bench_files, failures
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline"
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_NO_BASELINE = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,12 +85,12 @@ def update_baseline(results: pathlib.Path, baseline: pathlib.Path) -> int:
     files = discover_bench_files(results)
     if not files:
         print(f"bench_check: no BENCH_*.json under {results}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     baseline.mkdir(parents=True, exist_ok=True)
     for path in files:
         shutil.copy(path, baseline / path.name)
         print(f"bench_check: blessed {path.name}")
-    return 0
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -82,18 +99,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return update_baseline(args.results, args.baseline)
     if not args.baseline.is_dir() or not discover_bench_files(args.baseline):
         print(
-            f"bench_check: no baseline under {args.baseline}; "
-            "run with --update to create one",
+            f"bench_check: BASELINE MISSING — no BENCH_*.json under "
+            f"{args.baseline}.  This is a setup problem, not a metric "
+            "regression; run with --update to bless the current results.",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_NO_BASELINE
     try:
         comparisons = compare_dirs(
             args.baseline, args.results, tolerance=args.tolerance
         )
     except ValueError as exc:  # unreadable/ill-formed BENCH file
         print(f"bench_check: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.only:
         comparisons = [c for c in comparisons if c.bench in args.only]
         if not comparisons:
@@ -101,7 +119,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"bench_check: --only {args.only} matched no baseline bench",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
     if args.skip:
         comparisons = [c for c in comparisons if c.bench not in args.skip]
     bad = failures(comparisons)
@@ -114,7 +132,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"bench_check: {len(gated)} gated metric(s), {len(bad)} failure(s), "
         f"tolerance {args.tolerance:.0%}"
     )
-    return 1 if bad else 0
+    if bad:
+        print(
+            f"bench_check: REGRESSION — {len(bad)} metric(s) moved past the "
+            f"{args.tolerance:.0%} tolerance (or went missing); see the "
+            "'regressed'/'missing' lines above",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

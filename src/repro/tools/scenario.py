@@ -1,4 +1,4 @@
-"""Scenario runner: one command, one simulated MANET experiment.
+"""Scenario runner: one command (or one call), one simulated MANET experiment.
 
 Examples::
 
@@ -20,23 +20,46 @@ latency statistics — the quantities the paper's evaluation is built from.
 With faults installed it also reports each applied fault and the
 convergence-oracle recovery time per disruption (see
 ``docs/fault-injection.md``).
+
+A scenario is also an **importable library function**: call
+:func:`run_scenario` with the same options the CLI takes (flag names with
+``-`` replaced by ``_``) and get back a JSON-safe, fully deterministic
+result dict — the foundation the campaign runner
+(:mod:`repro.tools.campaign`) builds its sweeps, resume hashing and
+cross-run summaries on::
+
+    from repro.tools.scenario import run_scenario
+
+    result = run_scenario(protocol="olsr", topology="grid:3x3",
+                          duration=5.0, warmup=10.0, seed=3)
+    result["delivery_ratio"]      # 1.0
+    result["control_frames"]      # deterministic for a given spec
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.tables import render_table
 from repro.core import ManetKit
-from repro.obs.export import dump_metrics_json, format_timeline
+from repro.obs.export import _nan_to_null, dump_metrics_json, format_timeline
 from repro.sim import FaultPlan, Simulation, topology
 from repro.sim.mobility import RandomWaypoint
 
 import repro.protocols  # noqa: F401
 
 PROTOCOL_CHOICES = ("olsr", "dymo", "aodv", "zrp", "olsr+dymo")
+
+#: Option keys that select *outputs* (trace/metrics files, verbosity) and
+#: therefore never influence the simulated behaviour.  The campaign
+#: runner's content hash excludes them so e.g. pointing a re-run at a
+#: different trace path still resumes.
+OUTPUT_OPTION_KEYS = frozenset(
+    {"trace", "trace_limit", "trace_jsonl", "metrics_json"}
+)
 
 
 def _near_square(count: int) -> Tuple[int, int]:
@@ -280,25 +303,95 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+# -- the scenario as a library -----------------------------------------------
+
+def resolve_options(
+    options: Optional[Dict[str, Any]] = None,
+    include_output: bool = False,
+    **overrides: Any,
+) -> Dict[str, Any]:
+    """Resolve a partial option mapping into the full canonical spec dict.
+
+    Starts from the CLI parser's defaults, then applies ``options`` and
+    ``overrides`` (keys may use ``-`` or ``_``).  Unknown keys raise
+    ``ValueError`` so a typo in a campaign spec fails loudly instead of
+    silently running the default scenario.  With ``include_output=False``
+    (the default) the output-only keys (:data:`OUTPUT_OPTION_KEYS`) are
+    dropped — the remainder is exactly the content the campaign runner
+    hashes for resume.
+    """
+    args = build_parser().parse_args([])
+    known = set(vars(args))
+    merged: Dict[str, Any] = {}
+    for source in (options or {}), overrides:
+        for key, value in source.items():
+            merged[str(key).replace("-", "_")] = value
+    for key, value in merged.items():
+        if key not in known:
+            raise ValueError(f"unknown scenario option {key!r}")
+        if key in ("traffic", "fault") and isinstance(value, str):
+            value = [value]
+        setattr(args, key, value)
+    if args.protocol not in PROTOCOL_CHOICES:
+        raise ValueError(
+            f"unknown protocol {args.protocol!r}; choose from {PROTOCOL_CHOICES}"
+        )
+    resolved = dict(sorted(vars(args).items()))
+    if not include_output:
+        for key in OUTPUT_OPTION_KEYS:
+            resolved.pop(key, None)
+    return resolved
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Everything a finished scenario leaves behind.
+
+    ``result`` is the JSON-safe deterministic report; the live objects
+    (``sim``, ``tracer``, ``injector``) are kept for callers — the CLI's
+    pretty-printer, tests poking at internals — that want more than the
+    report.
+    """
+
+    result: Dict[str, Any]
+    sim: Simulation
+    tracer: Any = None
+    injector: Any = None
+    tracker: Any = None
+    flows: List[Any] = field(default_factory=list)
+
+
+def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
+    """Run one fully-specified scenario; raises ``ValueError`` on bad specs.
+
+    The returned :attr:`ScenarioArtifacts.result` contains only
+    deterministic quantities (simulated-time stats, counts, the
+    ``deterministic=True`` metrics snapshot): two executions of the same
+    spec yield equal dicts, which is the contract campaign resume and the
+    regression tests rely on.
+    """
+    # Validate the cheap-to-check inputs before simulating anything.
+    flow_specs = list(args.traffic) if args.traffic else []
+    parsed_flows = [parse_flow(spec) for spec in flow_specs]
+    mobility_params = None
+    if args.mobility:
+        try:
+            mobility_params = tuple(float(x) for x in args.mobility.split(":"))
+            if len(mobility_params) != 3:
+                raise ValueError
+        except ValueError:
+            raise ValueError(f"bad --mobility {args.mobility!r}") from None
+    plan = build_fault_plan(args)
+
     sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
     sim.topology.latency = args.latency
     sim.topology.loss = args.loss
     tracer = sim.enable_tracing() if args.trace else None
-    try:
-        ids = parse_topology(args.topology, sim, nodes=args.nodes)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    ids = parse_topology(args.topology, sim, nodes=args.nodes)
 
     mobility = None
-    if args.mobility:
-        try:
-            area, radio_range, speed = (float(x) for x in args.mobility.split(":"))
-        except ValueError:
-            print(f"error: bad --mobility {args.mobility!r}", file=sys.stderr)
-            return 2
+    if mobility_params is not None:
+        area, radio_range, speed = mobility_params
         mobility = RandomWaypoint(
             sim.medium, sim.scheduler, ids, area=area, radio_range=radio_range,
             speed_min=speed / 2, speed_max=speed, seed=args.seed,
@@ -306,14 +399,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         mobility.start()
 
     kits = deploy(args.protocol, sim, ids, args)
-    sim.run(args.warmup)
+    executed = sim.run(args.warmup)
 
     injector = tracker = None
-    try:
-        plan = build_fault_plan(args)
-    except (OSError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     if plan is not None:
         from repro.analysis.oracle import ConvergenceOracle, RecoveryTracker
 
@@ -332,68 +420,138 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout=args.warmup + args.duration,
         ).attach(injector)
 
-    flow_specs = args.traffic or [f"{ids[0]}:{ids[-1]}"]
+    if not parsed_flows:
+        parsed_flows = [(ids[0], ids[-1], 0.5)]
     deliveries = {}
     flows = []
-    for spec in flow_specs:
-        try:
-            src, dst, interval = parse_flow(spec)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
+    for src, dst, interval in parsed_flows:
         received: List[object] = []
         sim.node(dst).add_app_receiver(received.append)
         deliveries[(src, dst)] = received
         flows.append(sim.start_cbr(src, dst, interval=interval))
 
-    sim.run(args.duration)
+    executed += sim.run(args.duration)
     for flow in flows:
         flow.stop()
-    sim.run(1.0)  # drain in-flight packets
+    executed += sim.run(1.0)  # drain in-flight packets
     if mobility is not None:
         mobility.stop()
 
     stats = sim.stats
+    result: Dict[str, Any] = {
+        "spec": resolve_options(vars(args)),
+        "nodes": len(ids),
+        "sim_time_s": sim.now,
+        "events_executed": executed,
+        "flows": [
+            {
+                "src": src, "dst": dst, "interval": interval,
+                "sent": flow.sent, "delivered": len(deliveries[(src, dst)]),
+                "ratio": len(deliveries[(src, dst)]) / max(flow.sent, 1),
+            }
+            for flow, (src, dst, interval) in zip(flows, parsed_flows)
+        ],
+        "delivery_ratio": stats.delivery_ratio(),
+        "control_frames": stats.total_control_frames,
+        "control_bytes": stats.total_control_bytes,
+        "latency_mean_s": stats.mean_latency() if stats.latencies else None,
+        "latency_p95_s": (
+            stats.latency_percentile(0.95) if stats.latencies else None
+        ),
+        "mobility": mobility is not None,
+        "faults": [
+            {"time": fault.time, "kind": fault.kind, "params": list(fault.params)}
+            for fault in injector.applied
+        ] if injector is not None else [],
+        "recoveries": [
+            {"fault": kind, "elapsed_s": elapsed}
+            for kind, elapsed in tracker.recoveries
+        ] if tracker is not None else [],
+        "recovery_timeouts": list(tracker.timeouts) if tracker is not None else [],
+        "metrics": sim.obs.registry.snapshot(deterministic=True),
+    }
+    result = _nan_to_null(result)
+    return ScenarioArtifacts(
+        result=result, sim=sim, tracer=tracer, injector=injector,
+        tracker=tracker, flows=flows,
+    )
+
+
+def run_scenario(
+    options: Optional[Dict[str, Any]] = None, **overrides: Any
+) -> Dict[str, Any]:
+    """Run one scenario from an option mapping; return the result dict.
+
+    This is the campaign runner's worker entry point and the recommended
+    programmatic interface.  Options mirror the CLI flags (``-`` → ``_``);
+    repeatable flags (``traffic``, ``fault``) take lists.  When
+    ``trace_jsonl`` / ``metrics_json`` paths are given, the exports are
+    written in **deterministic** mode (wall-clock fields excluded) so
+    re-running a spec reproduces the files byte-for-byte.
+    """
+    full = resolve_options(options, include_output=True, **overrides)
+    args = argparse.Namespace(**full)
+    if args.trace_jsonl and not args.trace:
+        args.trace = True
+    artifacts = execute_scenario(args)
+    if args.trace_jsonl and artifacts.tracer is not None:
+        from repro.obs.export import dump_trace_jsonl
+
+        dump_trace_jsonl(artifacts.tracer, args.trace_jsonl, deterministic=True)
+    if args.metrics_json:
+        dump_metrics_json(
+            artifacts.sim.obs.registry, args.metrics_json, deterministic=True
+        )
+    return artifacts.result
+
+
+# -- the CLI ------------------------------------------------------------------
+
+def _print_report(args: argparse.Namespace, artifacts: ScenarioArtifacts) -> None:
+    result = artifacts.result
     flow_rows = [
-        [f"{src} -> {dst}", flow.sent, len(deliveries[(src, dst)]),
-         f"{len(deliveries[(src, dst)]) / max(flow.sent, 1):.0%}"]
-        for flow, (src, dst) in zip(flows, deliveries)
+        [f"{flow['src']} -> {flow['dst']}", flow["sent"], flow["delivered"],
+         f"{flow['ratio']:.0%}"]
+        for flow in result["flows"]
     ]
     print(render_table(
         f"Scenario: {args.protocol} on {args.topology} "
         f"({args.duration:.0f}s, seed {args.seed}"
         + (f", loss {args.loss:.0%}" if args.loss else "")
-        + (", mobility on" if mobility else "") + ")",
+        + (", mobility on" if result["mobility"] else "") + ")",
         ["flow", "sent", "delivered", "ratio"],
         flow_rows,
     ))
-    latency_line = (
-        f"latency mean {stats.mean_latency() * 1000:.1f} ms, "
-        f"p95 {stats.latency_percentile(0.95) * 1000:.1f} ms"
-        if stats.latencies
-        else "latency: no packets delivered"
-    )
     print(
-        f"\ncontrol: {stats.total_control_frames} frames, "
-        f"{stats.total_control_bytes} bytes "
-        f"({stats.total_control_bytes / (args.warmup + args.duration + 1):.0f} B/s)"
+        f"\ncontrol: {result['control_frames']} frames, "
+        f"{result['control_bytes']} bytes "
+        f"({result['control_bytes'] / (args.warmup + args.duration + 1):.0f} B/s)"
     )
-    print(latency_line)
-    print(f"overall delivery ratio: {stats.delivery_ratio():.0%}")
+    if result["latency_mean_s"] is not None:
+        print(
+            f"latency mean {result['latency_mean_s'] * 1000:.1f} ms, "
+            f"p95 {result['latency_p95_s'] * 1000:.1f} ms"
+        )
+    else:
+        print("latency: no packets delivered")
+    print(f"overall delivery ratio: {result['delivery_ratio']:.0%}")
 
-    if injector is not None:
-        print(f"\nfaults applied ({len(injector.applied)}):")
-        for fault in injector.applied:
-            detail = " ".join(f"{k}={v}" for k, v in fault.params)
-            print(f"  {fault.time:8.3f}s {fault.kind}" + (f" {detail}" if detail else ""))
-        if tracker is not None:
-            for kind, elapsed in tracker.recoveries:
-                print(f"recovered from {kind} in {elapsed:.2f} s")
-            for kind in tracker.timeouts:
+    if artifacts.injector is not None:
+        print(f"\nfaults applied ({len(result['faults'])}):")
+        for fault in result["faults"]:
+            detail = " ".join(f"{k}={v}" for k, v in fault["params"])
+            print(f"  {fault['time']:8.3f}s {fault['kind']}"
+                  + (f" {detail}" if detail else ""))
+        if artifacts.tracker is not None:
+            for recovery in result["recoveries"]:
+                print(f"recovered from {recovery['fault']} "
+                      f"in {recovery['elapsed_s']:.2f} s")
+            for kind in result["recovery_timeouts"]:
                 print(f"NO recovery from {kind} before the run ended")
-            if not tracker.recoveries and not tracker.timeouts:
+            if not result["recoveries"] and not result["recovery_timeouts"]:
                 print("no disruptive faults required recovery")
 
+    tracer = artifacts.tracer
     if tracer is not None:
         print(f"\ntrace: {len(tracer.events)} records"
               + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
@@ -404,8 +562,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = dump_trace_jsonl(tracer, args.trace_jsonl)
             print(f"trace written to {path}")
     if args.metrics_json:
-        path = dump_metrics_json(sim.obs.registry, args.metrics_json)
+        path = dump_metrics_json(artifacts.sim.obs.registry, args.metrics_json)
         print(f"metrics written to {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        artifacts = execute_scenario(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_report(args, artifacts)
     return 0
 
 

@@ -142,15 +142,17 @@ class TestBenchCheckCli:
         capsys.readouterr()
 
     def test_missing_baseline_is_distinct_error(self, tmp_path, capsys):
-        from repro.tools.bench_check import main
+        from repro.tools.bench_check import EXIT_NO_BASELINE, main
 
         results = tmp_path / "results"
         write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
         code = main(
             ["--results", str(results), "--baseline", str(tmp_path / "nope")]
         )
-        assert code == 2
-        capsys.readouterr()
+        # Distinct from EXIT_REGRESSION (1): a missing baseline is a setup
+        # problem, not a metric regression.
+        assert code == EXIT_NO_BASELINE == 3
+        assert "BASELINE MISSING" in capsys.readouterr().err
 
     def _split_dirs(self, tmp_path):
         """Two benches: 'smoke' passes, 'scale' regresses."""

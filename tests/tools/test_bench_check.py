@@ -1,0 +1,99 @@
+"""Tests: the bench_check CLI's distinct exit paths.
+
+CI consumes these codes (and a human consumes the messages), so each
+failure class must be unmistakable in logs: a missing baseline is a setup
+problem (exit 3), a regressed metric is a real finding (exit 1), and a
+bad invocation or unreadable file is usage error (exit 2).
+"""
+
+import pytest
+
+from repro.obs.bench import BenchMetric, write_bench
+from repro.tools.bench_check import (
+    EXIT_NO_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_USAGE,
+    main,
+)
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baseline = tmp_path / "baseline"
+    return results, baseline
+
+
+def argv(results, baseline, *extra):
+    return ["--results", str(results), "--baseline", str(baseline), *extra]
+
+
+class TestExitCodes:
+    def test_codes_are_distinct(self):
+        assert len({EXIT_OK, EXIT_REGRESSION, EXIT_USAGE, EXIT_NO_BASELINE}) == 4
+
+    def test_ok_path(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline)) == EXIT_OK
+        capsys.readouterr()
+
+    def test_regression_path(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench("smoke", {"frames": BenchMetric(value=99)}, results)
+        assert main(argv(results, baseline)) == EXIT_REGRESSION
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "BASELINE MISSING" not in err
+
+    def test_missing_metric_is_a_regression(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench("smoke", {"other": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline)) == EXIT_REGRESSION
+        capsys.readouterr()
+
+    def test_no_baseline_dir(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline)) == EXIT_NO_BASELINE
+        err = capsys.readouterr().err
+        assert "BASELINE MISSING" in err
+        assert "--update" in err  # the message says how to fix the setup
+
+    def test_empty_baseline_dir(self, dirs, capsys):
+        results, baseline = dirs
+        baseline.mkdir(parents=True)
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline)) == EXIT_NO_BASELINE
+        capsys.readouterr()
+
+    def test_bad_only_is_usage(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline, "--only", "typo")) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_malformed_bench_file_is_usage(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        results.mkdir(parents=True)
+        (results / "BENCH_smoke.json").write_text("{not json")
+        assert main(argv(results, baseline)) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_update_with_no_results_is_usage(self, dirs, capsys):
+        results, baseline = dirs
+        assert main(argv(results, baseline, "--update")) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_update_then_ok(self, dirs, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, results)
+        assert main(argv(results, baseline, "--update")) == EXIT_OK
+        assert main(argv(results, baseline)) == EXIT_OK
+        capsys.readouterr()

@@ -1,0 +1,293 @@
+"""Tests: the campaign runner — expansion, hashing, resume, retry, summary.
+
+The slow end-to-end throughput claims live in ``benchmarks/test_campaign.py``;
+here every mechanism is exercised on second-scale scenarios.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.summary import summarize_runs
+from repro.tools.campaign import (
+    CRASH_HOOK_EXIT,
+    CampaignRunner,
+    content_hash,
+    emit_bench,
+    expand_matrix,
+    load_spec,
+    main,
+    parse_toml_minimal,
+)
+
+FAST_BASE = {
+    "warmup": 4.0, "duration": 3.0,
+    "hello_interval": 0.5, "tc_interval": 1.0,
+}
+
+
+def tiny_specs(seeds=(1, 2), protocols=("olsr", "dymo")):
+    return expand_matrix(FAST_BASE, {"protocol": list(protocols),
+                                     "seed": list(seeds),
+                                     "topology": ["chain:3"]})
+
+
+class TestSpecLoading:
+    TOML = """
+# comment
+[campaign]
+name = "demo"          # trailing comment
+retries = 2
+[base]
+warmup = 2.5
+traffic = ["1:3", "2:3"]
+[matrix]
+protocol = ["olsr", "dymo"]
+seed = [1, 2,
+        3]
+"""
+
+    def test_minimal_toml_parser(self):
+        data = parse_toml_minimal(self.TOML)
+        assert data["campaign"] == {"name": "demo", "retries": 2}
+        assert data["base"] == {"warmup": 2.5, "traffic": ["1:3", "2:3"]}
+        assert data["matrix"]["seed"] == [1, 2, 3]
+
+    def test_minimal_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert parse_toml_minimal(self.TOML) == tomllib.loads(self.TOML)
+
+    def test_shipped_example_spec_parses_both_ways(self):
+        import pathlib
+
+        path = pathlib.Path(__file__).parents[2] / "examples" / "campaign_smoke.toml"
+        spec = load_spec(path)
+        assert spec["campaign"]["name"] == "smoke"
+        assert len(expand_matrix(spec["base"], spec["matrix"])) == 24
+        tomllib = pytest.importorskip("tomllib")
+        assert parse_toml_minimal(path.read_text()) == tomllib.loads(path.read_text())
+
+    def test_json_spec(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"matrix": {"seed": [1]}}))
+        spec = load_spec(path)
+        assert spec["campaign"]["name"] == "c"
+        assert spec["matrix"] == {"seed": [1]}
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text("")
+        with pytest.raises(ValueError, match="toml or .json"):
+            load_spec(path)
+
+
+class TestExpansion:
+    def test_cartesian_product_deterministic_order(self):
+        specs = expand_matrix(FAST_BASE, {"protocol": ["olsr", "dymo"],
+                                          "seed": [1, 2, 3]})
+        assert len(specs) == 6
+        assert [s.index for s in specs] == list(range(6))
+        # Axes iterate sorted by name: protocol outermost, seed innermost.
+        cells = [(s.option_dict["protocol"], s.option_dict["seed"]) for s in specs]
+        assert cells == [("olsr", 1), ("olsr", 2), ("olsr", 3),
+                         ("dymo", 1), ("dymo", 2), ("dymo", 3)]
+
+    def test_expansion_is_stable_across_calls(self):
+        a = expand_matrix(FAST_BASE, {"seed": [1, 2]})
+        b = expand_matrix(FAST_BASE, {"seed": [1, 2]})
+        assert [s.run_id for s in a] == [s.run_id for s in b]
+
+    def test_run_id_is_content_hash_of_resolved_spec(self):
+        (spec,) = expand_matrix(FAST_BASE, {"seed": [7]})
+        assert spec.run_id == content_hash(spec.option_dict)
+        # Toggling any option changes the id; output-only keys cannot
+        # appear (resolve_options strips them before hashing).
+        (other,) = expand_matrix(FAST_BASE, {"seed": [8]})
+        assert other.run_id != spec.run_id
+        assert "trace" not in spec.option_dict
+
+    def test_unknown_option_fails_at_expansion(self):
+        with pytest.raises(ValueError, match="unknown scenario option"):
+            expand_matrix({"warmup": 1.0}, {"protcol": ["olsr"]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_matrix({}, {"seed": []})
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            expand_matrix({}, {"seed": [1, 1]})
+
+
+class TestRunnerEndToEnd:
+    def test_all_runs_complete_and_are_logged(self, tmp_path):
+        specs = tiny_specs()
+        runner = CampaignRunner(tmp_path / "out", workers=2, progress=False)
+        result = runner.run(specs)
+        assert len(result.ok) == 4 and not result.failed
+        lines = [json.loads(line)
+                 for line in runner.runs_path.read_text().splitlines()]
+        assert {line["run_id"] for line in lines} == {s.run_id for s in specs}
+        assert all(line["status"] == "ok" for line in lines)
+        summary = json.loads(runner.summary_path.read_text())
+        assert summary["campaign"]["runs_ok"] == 4
+        assert set(summary["summary"]["groups"]) == {"olsr", "dymo"}
+
+    def test_resume_skips_completed_runs(self, tmp_path):
+        specs = tiny_specs()
+        out = tmp_path / "out"
+        CampaignRunner(out, workers=2, progress=False).run(specs)
+        runner = CampaignRunner(out, workers=2, progress=False)
+        result = runner.run(specs)
+        assert result.skipped == 4
+        assert not result.ok and not result.failed
+        # Skipped runs still contribute their cached results to the summary.
+        assert result.summary["summary"]["runs"] == 4
+
+    def test_fresh_reruns_everything(self, tmp_path):
+        specs = tiny_specs(seeds=(1,), protocols=("dymo",))
+        out = tmp_path / "out"
+        CampaignRunner(out, progress=False).run(specs)
+        result = CampaignRunner(out, resume=False, progress=False).run(specs)
+        assert len(result.ok) == 1 and result.skipped == 0
+
+    def test_spec_change_invalidates_resume(self, tmp_path):
+        out = tmp_path / "out"
+        CampaignRunner(out, progress=False).run(tiny_specs(seeds=(1,)))
+        changed = expand_matrix({**FAST_BASE, "duration": 2.0},
+                                {"protocol": ["olsr", "dymo"], "seed": [1],
+                                 "topology": ["chain:3"]})
+        result = CampaignRunner(out, progress=False).run(changed)
+        assert result.skipped == 0 and len(result.ok) == 2
+
+    def test_worker_crash_is_retried(self, tmp_path):
+        specs = tiny_specs(seeds=(1,), protocols=("dymo",))
+        runner = CampaignRunner(
+            tmp_path / "out", workers=1, retries=1, progress=False,
+            crash_once=[specs[0].run_id],
+        )
+        result = runner.run(specs)
+        assert len(result.ok) == 1
+        assert result.ok[0].attempts == 2
+        assert runner.registry.counter("campaign.worker_crashes").value == 1
+        assert runner.registry.counter("campaign.retries").value == 1
+
+    def test_crash_beyond_retries_fails_without_sinking(self, tmp_path):
+        specs = tiny_specs(seeds=(1,), protocols=("olsr", "dymo"))
+        # Both crash once but retries=0: both fail, campaign still finishes.
+        runner = CampaignRunner(
+            tmp_path / "out", workers=2, retries=0, progress=False,
+            crash_once=[s.run_id for s in specs],
+        )
+        result = runner.run(specs)
+        assert len(result.failed) == 2
+        assert all(str(CRASH_HOOK_EXIT) in r.error for r in result.failed)
+
+    def test_timeout_kills_and_records_failure(self, tmp_path):
+        specs = expand_matrix({"warmup": 5.0, "duration": 3600.0},
+                              {"protocol": ["olsr"], "seed": [1]})
+        runner = CampaignRunner(tmp_path / "out", retries=0, timeout=1.0,
+                                progress=False)
+        result = runner.run(specs)
+        assert len(result.failed) == 1
+        assert "timeout" in result.failed[0].error
+        assert runner.registry.counter("campaign.timeouts").value == 1
+
+    def test_clean_scenario_error_not_retried(self, tmp_path):
+        specs = expand_matrix({}, {"topology": ["torus:9"]})
+        runner = CampaignRunner(tmp_path / "out", retries=3, progress=False)
+        result = runner.run(specs)
+        assert len(result.failed) == 1
+        assert result.failed[0].attempts == 1  # deterministic error: no retry
+        assert "unknown topology" in result.failed[0].error
+
+    def test_parallel_equals_serial_results(self, tmp_path):
+        specs = tiny_specs()
+        serial = CampaignRunner(tmp_path / "s", workers=1, progress=False).run(specs)
+        parallel = CampaignRunner(tmp_path / "p", workers=4, progress=False).run(specs)
+        assert ({r.run_id: r.result for r in serial.records}
+                == {r.run_id: r.result for r in parallel.records})
+
+
+class TestSummaryAndBench:
+    def test_summarize_runs_percentiles(self):
+        results = [
+            {"spec": {"protocol": "olsr"}, "delivery_ratio": 1.0,
+             "control_frames": 100, "control_bytes": 1000,
+             "latency_mean_s": 0.01, "latency_p95_s": 0.02,
+             "events_executed": 500},
+            {"spec": {"protocol": "olsr"}, "delivery_ratio": 0.5,
+             "control_frames": 200, "control_bytes": 2000,
+             "latency_mean_s": None, "latency_p95_s": None,
+             "events_executed": 700},
+        ]
+        summary = summarize_runs(results)
+        assert summary["runs"] == 2
+        assert summary["overall"]["delivery_ratio"]["mean"] == 0.75
+        # null latencies are excluded, not treated as zero
+        assert summary["overall"]["latency_mean_s"]["count"] == 1.0
+        assert summary["groups"]["olsr"]["control_frames"]["max"] == 200.0
+
+    def test_emit_bench_round_trips_through_bench_check(self, tmp_path):
+        from repro.tools.bench_check import EXIT_OK
+        from repro.tools.bench_check import main as bench_main
+
+        specs = tiny_specs(seeds=(1,))
+        result = CampaignRunner(tmp_path / "out", workers=2,
+                                progress=False).run(specs)
+        results_dir = tmp_path / "results"
+        emit_bench(result, results_dir / "BENCH_campaign.json")
+        baseline_dir = tmp_path / "baseline"
+        args = ["--results", str(results_dir), "--baseline", str(baseline_dir)]
+        assert bench_main(args + ["--update"]) == EXIT_OK
+        assert bench_main(args) == EXIT_OK
+
+    def test_emit_bench_rejects_bad_name(self, tmp_path):
+        result = CampaignRunner(tmp_path / "out", progress=False).run([])
+        with pytest.raises(ValueError, match="BENCH_"):
+            emit_bench(result, tmp_path / "campaign.json")
+
+
+class TestCli:
+    def test_cli_end_to_end_with_spec(self, tmp_path, capsys):
+        spec = tmp_path / "c.json"
+        spec.write_text(json.dumps({
+            "campaign": {"name": "clitest"},
+            "base": FAST_BASE,
+            "matrix": {"protocol": ["dymo"], "seed": [1, 2],
+                       "topology": ["chain:3"]},
+        }))
+        out = tmp_path / "out"
+        code = main(["--spec", str(spec), "--workers", "2",
+                     "--output", str(out), "--no-progress",
+                     "--emit-bench", str(out / "BENCH_clitest.json")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 ok, 0 failed" in captured.out
+        assert (out / "runs.jsonl").exists()
+        assert (out / "summary.json").exists()
+        assert (out / "BENCH_clitest.json").exists()
+
+    def test_cli_matrix_from_flags(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        code = main(["--protocol", "dymo", "--seed", "1", "--seed", "2",
+                     "--topology", "chain:3", "--duration", "3",
+                     "--set", "warmup=3", "--workers", "2",
+                     "--output", str(out), "--no-progress"])
+        assert code == 0
+        assert "2 ok" in capsys.readouterr().out
+
+    def test_cli_empty_matrix_is_an_error(self, tmp_path, capsys):
+        assert main(["--output", str(tmp_path)]) == 2
+        assert "empty matrix" in capsys.readouterr().err
+
+    def test_cli_failed_run_exits_nonzero(self, tmp_path, capsys):
+        code = main(["--topology", "torus:9", "--seed", "1",
+                     "--output", str(tmp_path / "out"), "--no-progress"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed" in captured.err
+
+    def test_cli_missing_spec_file_is_an_error(self, tmp_path, capsys):
+        assert main(["--spec", str(tmp_path / "nope.toml")]) == 2
+        capsys.readouterr()
