@@ -131,6 +131,41 @@ def test_smoke_tracing_disabled_overhead():
     assert median < 0.005, f"message path suspiciously slow: {median * 1e3:.3f} ms"
 
 
+def test_smoke_tracing_disabled_allocates_nothing():
+    """Pin the disabled-path cost: ZERO allocations in the tracing layer.
+
+    The "disabled tracing costs one attribute check" contract means the
+    instrumented hot paths (medium, node, kernel table, unit dispatch)
+    must not build attrs dicts, provenance ids or trace records when no
+    recorder is installed.  tracemalloc filtered to the tracing modules
+    makes that a hard assertion rather than a timing heuristic.
+    """
+    import tracemalloc
+
+    import repro.obs.causal as causal_mod
+    import repro.obs.trace as trace_mod
+
+    sim, ids, _kits = build_mkit_dymo_chain(seed=2)
+    sim.run(5.0)  # warm up: caches, lazy imports, steady-state timers
+    sim.node(ids[0]).send_data(ids[-1], b"probe")
+
+    trace_filter = [
+        tracemalloc.Filter(True, trace_mod.__file__),
+        tracemalloc.Filter(True, causal_mod.__file__),
+    ]
+    tracemalloc.start(1)
+    try:
+        sim.run(10.0)  # discovery + steady state, tracing disabled
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = snapshot.filter_traces(trace_filter).statistics("filename")
+    allocated = sum(stat.size for stat in stats)
+    assert allocated == 0, (
+        f"tracing layer allocated {allocated} B while disabled: {stats}"
+    )
+
+
 def test_smoke_tracing_enabled_records_structure():
     """Tracing on: one OLSR run yields spans for scheduler + protocol."""
     sim, ids, _kits = build_mkit_olsr_chain(node_count=3, seed=1)

@@ -32,7 +32,7 @@ from repro.events.registry import EventTuple, Requirement
 from repro.events.types import EventOntology
 from repro.opencom.component import Component
 from repro.opencom.framework import ComponentFramework, Mutation
-from repro.packetbb.message import Message
+from repro.packetbb.message import Message, MsgType
 from repro.packetbb.packet import Packet, decode, encode
 from repro.sim.kernel_table import DataPacket, NetfilterHooks
 from repro.sim.medium import BROADCAST
@@ -164,7 +164,18 @@ class SysForward(Component):
         self._packet_seqnum = (self._packet_seqnum + 1) & 0xFFFF
         packet = Packet(messages, seqnum=self._packet_seqnum)
         self.messages_sent += len(messages)
-        return self.node.send_control(encode(packet), link_dst)
+        msg_label = None
+        obs = getattr(self.node, "obs", None)
+        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            # Human-readable message label for the transmit trace record
+            # (trace-only work; the disabled path stops at the obs check).
+            try:
+                msg_label = MsgType(message.msg_type).name
+            except ValueError:
+                msg_label = str(message.msg_type)
+            if len(messages) > 1:
+                msg_label = f"{msg_label}+{len(messages) - 1}"
+        return self.node.send_control(encode(packet), link_dst, msg=msg_label)
 
     # -- receive ---------------------------------------------------------------
 

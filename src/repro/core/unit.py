@@ -116,7 +116,11 @@ class CFSUnit(ComponentFramework):
             # registry, which imports this module at package-init time.
             from repro.protocols.common import handler_timer
 
-            timer = handler_timer(obs, self.name, event.etype.name)
+            node = getattr(deployment, "node", None)
+            timer = handler_timer(
+                obs, self.name, event.etype.name,
+                node=node.node_id if node is not None else -1,
+            )
             if timer is not None:
                 with timer:
                     self.registry.dispatch(event)

@@ -13,6 +13,11 @@ package is the structured substrate for it:
   hook points, protocol message dispatch and the reconfiguration machinery;
 * :mod:`repro.obs.export` — exporters: JSONL trace dump and a human
   pretty-printer (wired into ``repro.tools.scenario --trace``);
+* :mod:`repro.obs.causal` — offline causal analysis: rebuilds the
+  provenance DAG from a recorded trace (every transmission carries a
+  ``prov`` id, every reaction a ``cause`` link), extracts critical paths
+  for route establishment, answers why/why-not route queries and exports
+  Chrome trace-event JSON (see ``repro.tools.traceview``);
 * :mod:`repro.obs.bench` — the ``BENCH_<name>.json`` emitter that turns
   benchmark runs into machine-readable results (median/p95/p99, bytes,
   frames) which ``tools/bench_check.py`` gates in CI;

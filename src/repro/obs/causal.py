@@ -1,0 +1,545 @@
+"""Offline causal analysis of provenance-linked traces.
+
+The instrumented simulator assigns every transmission a **provenance id**
+(``prov`` attribute on its transmit/deliver records) and stamps every
+record produced while a delivery is being processed with a ``cause``
+attribute naming that provenance id (see :mod:`repro.obs.trace`).  This
+module rebuilds the resulting cross-node causal DAG from a recorded
+trace — a list of :class:`~repro.obs.trace.TraceEvent`, typically loaded
+with :func:`repro.obs.export.load_trace_jsonl` — and answers the
+questions the paper's evaluation cares about:
+
+* :meth:`CausalGraph.chain` / :meth:`CausalGraph.critical_path` — the
+  exact chain of transmissions that produced a given record (e.g. a
+  kernel route install), with a per-edge breakdown of where the time
+  went: ``propagation`` (in-flight on a link), ``timer_wait`` (sitting
+  in a queue / behind a modelled processing delay) and ``processing``
+  (inside a handler dispatch).  The edges partition the interval from
+  the chain's root to the target record exactly, so their sum equals
+  the end-to-end delay by construction.
+* :meth:`CausalGraph.explain_route` — why / why-not route queries
+  ("does node A have a route to B at t=X, which event gave/took it?")
+  replayed from the kernel-table mutation records.
+* :func:`to_chrome_trace` — Chrome trace-event JSON (one track per
+  node, flow arrows following each transmission from transmit to every
+  delivery) viewable in Perfetto or ``chrome://tracing``.
+
+Everything here is pure offline post-processing: nothing in this module
+runs during a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent
+
+#: Record names that mint a provenance id (carry ``prov`` describing
+#: themselves rather than a frame they react to).
+MINT_NAMES = ("medium.broadcast", "medium.unicast", "node.data_send")
+
+
+class Transmission:
+    """One provenance id: a transmission (or data-send origination)."""
+
+    __slots__ = ("prov", "mint", "deliveries", "losses", "effects", "children")
+
+    def __init__(self, prov: int) -> None:
+        self.prov = prov
+        #: The record that minted this id (transmit / data-send), if seen.
+        self.mint: Optional[TraceEvent] = None
+        #: ``medium.deliver`` records carrying this id.
+        self.deliveries: List[TraceEvent] = []
+        #: ``medium.loss`` / ``medium.tamper`` records carrying this id.
+        self.losses: List[TraceEvent] = []
+        #: Every record whose ``cause`` is this id.
+        self.effects: List[TraceEvent] = []
+        #: Provenance ids minted while processing this transmission.
+        self.children: List[int] = []
+
+    @property
+    def cause(self) -> int:
+        """Provenance id this transmission was minted under (0 = root)."""
+        if self.mint is None:
+            return 0
+        return int(self.mint.attrs.get("cause", 0) or 0)
+
+    @property
+    def origin_node(self) -> Optional[int]:
+        if self.mint is None:
+            return None
+        attrs = self.mint.attrs
+        node = attrs.get("sender", attrs.get("node"))
+        return None if node is None else int(node)
+
+    @property
+    def label(self) -> str:
+        """Human label: message type when known, else the mint name."""
+        if self.mint is None:
+            return f"prov {self.prov}"
+        msg = self.mint.attrs.get("msg")
+        if msg:
+            return str(msg)
+        if self.mint.name == "node.data_send":
+            return "DATA"
+        return str(self.mint.attrs.get("kind", self.mint.name))
+
+
+class Edge:
+    """One critical-path edge: a contiguous slice of simulated time."""
+
+    __slots__ = ("kind", "from_node", "to_node", "t0", "t1", "label")
+
+    def __init__(
+        self,
+        kind: str,
+        from_node: Optional[int],
+        to_node: Optional[int],
+        t0: float,
+        t1: float,
+        label: str = "",
+    ) -> None:
+        self.kind = kind          # "propagation" | "timer_wait" | "processing"
+        self.from_node = from_node
+        self.to_node = to_node
+        self.t0 = t0
+        self.t1 = t1
+        self.label = label
+
+    @property
+    def dt(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "from_node": self.from_node,
+            "to_node": self.to_node,
+            "t0": self.t0,
+            "t1": self.t1,
+            "dt": self.dt,
+            "label": self.label,
+        }
+
+
+class CriticalPath:
+    """The causal chain behind one target record, as exact time edges.
+
+    ``edges`` partition ``[root.t_sim, target.t_sim]`` with no gaps or
+    overlaps, so ``sum(e.dt for e in edges) == total`` exactly (up to
+    float association error).
+    """
+
+    def __init__(
+        self,
+        target: TraceEvent,
+        chain: List[Transmission],
+        edges: List[Edge],
+    ) -> None:
+        self.target = target
+        self.chain = chain
+        self.edges = edges
+
+    @property
+    def root(self) -> Optional[TraceEvent]:
+        return self.chain[0].mint if self.chain else None
+
+    @property
+    def total(self) -> float:
+        root = self.root
+        if root is None:
+            return 0.0
+        return self.target.t_sim - root.t_sim
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total simulated time per edge kind."""
+        out = {"propagation": 0.0, "timer_wait": 0.0, "processing": 0.0}
+        for edge in self.edges:
+            out[edge.kind] = out.get(edge.kind, 0.0) + edge.dt
+        return out
+
+    def nodes(self) -> List[int]:
+        """Distinct nodes on the chain, in traversal order."""
+        seen: List[int] = []
+        for tx in self.chain:
+            node = tx.origin_node
+            if node is not None and node not in seen:
+                seen.append(node)
+        target_node = self.target.attrs.get("node")
+        if target_node is not None and int(target_node) not in seen:
+            seen.append(int(target_node))
+        return seen
+
+
+class CausalGraph:
+    """Provenance DAG + kernel-table timeline rebuilt from one trace."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self.events = list(events)
+        self.transmissions: Dict[int, Transmission] = {}
+        #: (event, node, destination, next_hop) per installed/updated route.
+        self._installs: List[Tuple[TraceEvent, int, int, int]] = []
+        #: (event, node, destination, action) per route removal.
+        self._removals: List[Tuple[TraceEvent, int, int, str]] = []
+        #: node -> completed unit.process end-records, in trace order.
+        self._unit_ends: Dict[int, List[TraceEvent]] = {}
+        #: (node, dst) -> node.no_route records.
+        self._no_route: Dict[Tuple[int, int], List[TraceEvent]] = {}
+        self._index()
+
+    # -- construction -------------------------------------------------------
+
+    def _tx(self, prov: int) -> Transmission:
+        tx = self.transmissions.get(prov)
+        if tx is None:
+            tx = self.transmissions[prov] = Transmission(prov)
+        return tx
+
+    def _index(self) -> None:
+        for event in self.events:
+            attrs = event.attrs
+            prov = attrs.get("prov")
+            name = event.name
+            if prov:
+                prov = int(prov)
+                if name in MINT_NAMES:
+                    self._tx(prov).mint = event
+                elif name == "medium.deliver":
+                    self._tx(prov).deliveries.append(event)
+                elif name in ("medium.loss", "medium.tamper", "medium.no_link"):
+                    self._tx(prov).losses.append(event)
+            cause = attrs.get("cause")
+            if cause:
+                cause = int(cause)
+                tx = self._tx(cause)
+                tx.effects.append(event)
+                if prov and name in MINT_NAMES:
+                    tx.children.append(int(prov))
+            if name == "kernel.route_add":
+                self._installs.append((
+                    event, int(attrs.get("node", -1)),
+                    int(attrs["destination"]), int(attrs["next_hop"]),
+                ))
+            elif name == "kernel.replace_all":
+                node = int(attrs.get("node", -1))
+                for dest, next_hop in attrs.get("added") or ():
+                    self._installs.append(
+                        (event, node, int(dest), int(next_hop))
+                    )
+                for dest in attrs.get("removed") or ():
+                    self._removals.append((event, node, int(dest), "replaced"))
+            elif name == "kernel.route_del":
+                self._removals.append((
+                    event, int(attrs.get("node", -1)),
+                    int(attrs["destination"]), "deleted",
+                ))
+            elif name == "kernel.route_expired":
+                self._removals.append((
+                    event, int(attrs.get("node", -1)),
+                    int(attrs["destination"]), "expired",
+                ))
+            elif name == "unit.process" and event.kind == "end":
+                node = attrs.get("node")
+                if node is not None:
+                    self._unit_ends.setdefault(int(node), []).append(event)
+            elif name == "node.no_route":
+                key = (int(attrs["node"]), int(attrs["dst"]))
+                self._no_route.setdefault(key, []).append(event)
+
+    # -- route installs ------------------------------------------------------
+
+    def route_installs(
+        self, node: Optional[int] = None, destination: Optional[int] = None
+    ) -> List[Tuple[TraceEvent, int, int, int]]:
+        """Route-install records, optionally filtered by node/destination."""
+        return [
+            item for item in self._installs
+            if (node is None or item[1] == node)
+            and (destination is None or item[2] == destination)
+        ]
+
+    def first_route_install(
+        self, node: int, destination: int
+    ) -> Optional[TraceEvent]:
+        installs = self.route_installs(node, destination)
+        return installs[0][0] if installs else None
+
+    # -- causal chains -------------------------------------------------------
+
+    def chain(self, event: TraceEvent) -> List[Transmission]:
+        """Transmissions behind ``event``, root first.
+
+        Follows ``event.cause`` through each mint's own ``cause`` until a
+        root (a timer-driven transmission or an application data send).
+        """
+        chain: List[Transmission] = []
+        cause = int(event.attrs.get("cause", 0) or 0)
+        seen = set()
+        while cause and cause not in seen:
+            seen.add(cause)
+            tx = self.transmissions.get(cause)
+            if tx is None:
+                break
+            chain.append(tx)
+            cause = tx.cause
+        chain.reverse()
+        return chain
+
+    def _delivery_to(
+        self, tx: Transmission, node: int, before: float
+    ) -> Optional[TraceEvent]:
+        """The delivery of ``tx`` at ``node`` that the chain continued from."""
+        best = None
+        for deliver in tx.deliveries:
+            if int(deliver.attrs.get("dst", -1)) != node:
+                continue
+            if deliver.t_sim <= before + 1e-12 and (
+                best is None or deliver.t_sim > best.t_sim
+            ):
+                best = deliver
+        return best
+
+    def _split_gap(
+        self, node: int, t0: float, t1: float, cause: int, edges: List[Edge]
+    ) -> None:
+        """Partition the on-node gap [t0, t1] into timer_wait + processing.
+
+        Completed ``unit.process`` spans at ``node`` attributed to
+        ``cause`` within the window count as processing; whatever remains
+        (queueing, modelled per-message processing delay, any other
+        scheduled wait) is timer_wait.  Zero-length parts are elided.
+        """
+        gap = t1 - t0
+        if gap <= 0:
+            return
+        processing = 0.0
+        for end in self._unit_ends.get(node, ()):
+            if int(end.attrs.get("cause", 0) or 0) != cause:
+                continue
+            if t0 - 1e-12 <= end.t_sim <= t1 + 1e-12:
+                processing += end.dt_sim
+        processing = min(processing, gap)
+        wait = gap - processing
+        if wait > 1e-12:
+            edges.append(Edge("timer_wait", node, node, t0, t0 + wait))
+        if processing > 1e-12 or not edges or edges[-1].t1 < t1:
+            edges.append(Edge("processing", node, node, t0 + wait, t1))
+
+    def critical_path(self, target: TraceEvent) -> CriticalPath:
+        """Exact-partition delay breakdown from chain root to ``target``."""
+        chain = self.chain(target)
+        edges: List[Edge] = []
+        if not chain:
+            return CriticalPath(target, chain, edges)
+        target_node = target.attrs.get("node")
+        target_node = None if target_node is None else int(target_node)
+        for i, tx in enumerate(chain):
+            mint = tx.mint
+            if mint is None:
+                continue
+            if i + 1 < len(chain):
+                nxt = chain[i + 1]
+                next_node = nxt.origin_node
+                next_t = nxt.mint.t_sim if nxt.mint is not None else mint.t_sim
+            else:
+                next_node = target_node
+                next_t = target.t_sim
+            if next_node is None:
+                continue
+            deliver = (
+                None if next_node == tx.origin_node
+                else self._delivery_to(tx, next_node, next_t)
+            )
+            if deliver is not None:
+                edges.append(Edge(
+                    "propagation", tx.origin_node, next_node,
+                    mint.t_sim, deliver.t_sim, label=tx.label,
+                ))
+                self._split_gap(
+                    next_node, deliver.t_sim, next_t, tx.prov, edges
+                )
+            else:
+                # Same-node causation (e.g. data send -> RREQ mint): the
+                # whole stretch is on-node time.
+                self._split_gap(next_node, mint.t_sim, next_t, tx.prov, edges)
+        return CriticalPath(target, chain, edges)
+
+    # -- why / why-not route queries ----------------------------------------
+
+    def explain_route(
+        self, node: int, destination: int, at: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Replay kernel-table records: node's route to ``destination`` at ``at``.
+
+        Returns a dict with the current state (``installed``,
+        ``next_hop``, ``since``), the record that produced it
+        (``last_event``), the full mutation ``history`` up to ``at``, and
+        the count of data packets the node dropped (or buffered) for lack
+        of this route (``no_route_events``).
+        """
+        history: List[Dict[str, Any]] = []
+        for event, ev_node, dest, next_hop in self._installs:
+            if ev_node == node and dest == destination:
+                history.append({
+                    "t": event.t_sim, "action": "install",
+                    "next_hop": next_hop,
+                    "proto": event.attrs.get("proto", ""),
+                    "seq": event.seq,
+                    "cause": int(event.attrs.get("cause", 0) or 0),
+                })
+        for event, ev_node, dest, action in self._removals:
+            if ev_node == node and dest == destination:
+                history.append({
+                    "t": event.t_sim, "action": action, "seq": event.seq,
+                    "cause": int(event.attrs.get("cause", 0) or 0),
+                })
+        history.sort(key=lambda item: (item["t"], item["seq"]))
+        if at is not None:
+            history = [item for item in history if item["t"] <= at]
+        last = history[-1] if history else None
+        installed = last is not None and last["action"] == "install"
+        no_route = [
+            {"t": event.t_sim, "seq": event.seq,
+             "originated": bool(event.attrs.get("originated"))}
+            for event in self._no_route.get((node, destination), ())
+            if at is None or event.t_sim <= at
+        ]
+        return {
+            "node": node,
+            "destination": destination,
+            "at": at,
+            "installed": installed,
+            "next_hop": last["next_hop"] if installed else None,
+            "proto": last.get("proto", "") if installed else None,
+            "since": last["t"] if installed else None,
+            "last_event": last,
+            "history": history,
+            "no_route_events": no_route,
+        }
+
+    # -- summaries -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        minted = [tx for tx in self.transmissions.values() if tx.mint is not None]
+        linked = sum(1 for tx in minted if tx.cause)
+        return {
+            "transmissions": len(minted),
+            "caused_transmissions": linked,
+            "root_transmissions": len(minted) - linked,
+            "deliveries": sum(len(tx.deliveries) for tx in minted),
+            "losses": sum(len(tx.losses) for tx in minted),
+            "route_installs": len(self._installs),
+            "route_removals": len(self._removals),
+        }
+
+
+# -- Chrome trace-event export ----------------------------------------------
+
+#: Thread ids within each node's track.
+_TID_MEDIUM = 0
+_TID_UNITS = 1
+_TID_KERNEL = 2
+_TID_NAMES = {_TID_MEDIUM: "medium", _TID_UNITS: "units", _TID_KERNEL: "kernel"}
+
+#: pid used for records not attributable to a node (scheduler, reconfig).
+_SIM_PID = 0
+
+
+def _event_pid_tid(event: TraceEvent) -> Tuple[int, int]:
+    attrs = event.attrs
+    name = event.name
+    if name.startswith("medium."):
+        if name == "medium.deliver":
+            return int(attrs.get("dst", _SIM_PID)), _TID_MEDIUM
+        return int(attrs.get("sender", _SIM_PID)), _TID_MEDIUM
+    if name.startswith("kernel."):
+        return int(attrs.get("node", _SIM_PID)), _TID_KERNEL
+    node = attrs.get("node")
+    if node is not None:
+        return int(node), _TID_UNITS
+    return _SIM_PID, _TID_UNITS
+
+
+def _json_safe_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: repr(value) if isinstance(value, (bytes, set)) else value
+            for key, value in attrs.items()}
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Chrome trace-event JSON (dict form) for Perfetto / chrome://tracing.
+
+    One process (track) per node — pid 0 is the simulator itself —
+    with per-category threads, complete ("X") slices for spans, instants
+    for point events, and flow arrows ("s"/"f") following every
+    provenance id from its transmit record to each of its deliveries.
+    Timestamps are simulated time in microseconds.
+    """
+    events = list(events)
+    trace: List[Dict[str, Any]] = []
+    pids = {_SIM_PID}
+    mints: Dict[int, Dict[str, Any]] = {}
+
+    for event in events:
+        pid, tid = _event_pid_tid(event)
+        pids.add(pid)
+        ts = event.t_sim * 1e6
+        name = event.name
+        msg = event.attrs.get("msg")
+        display = f"{name} {msg}" if msg else name
+        args = _json_safe_attrs(event.attrs)
+        if event.kind == "end":
+            trace.append({
+                "name": display, "cat": name.split(".", 1)[0], "ph": "X",
+                "pid": pid, "tid": tid,
+                "ts": ts - event.dt_sim * 1e6, "dur": event.dt_sim * 1e6,
+                "args": args,
+            })
+        elif event.kind == "event":
+            trace.append({
+                "name": display, "cat": name.split(".", 1)[0], "ph": "i",
+                "pid": pid, "tid": tid, "ts": ts, "s": "t", "args": args,
+            })
+            prov = event.attrs.get("prov")
+            if prov:
+                prov = int(prov)
+                if name in MINT_NAMES:
+                    mints[prov] = {"pid": pid, "tid": tid, "ts": ts,
+                                   "name": display}
+                elif name == "medium.deliver" and prov in mints:
+                    start = mints[prov]
+                    flow_id = f"{prov}:{event.seq}"
+                    trace.append({
+                        "name": start["name"], "cat": "prov", "ph": "s",
+                        "id": flow_id, "pid": start["pid"],
+                        "tid": start["tid"], "ts": start["ts"],
+                    })
+                    trace.append({
+                        "name": start["name"], "cat": "prov", "ph": "f",
+                        "bp": "e", "id": flow_id, "pid": pid, "tid": tid,
+                        "ts": ts,
+                    })
+        # "begin" records are folded into the "X" slice of their "end".
+
+    for pid in sorted(pids):
+        label = "simulator" if pid == _SIM_PID else f"node {pid}"
+        trace.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        for tid, tname in _TID_NAMES.items():
+            trace.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+__all__ = [
+    "CausalGraph",
+    "CriticalPath",
+    "Edge",
+    "Transmission",
+    "to_chrome_trace",
+    "MINT_NAMES",
+]

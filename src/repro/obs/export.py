@@ -23,6 +23,8 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import sys
+import warnings
 from typing import Any, Dict, Iterable, List, Union
 
 from repro.obs.metrics import MetricsRegistry
@@ -89,7 +91,20 @@ def dump_trace_jsonl(
 
     ``deterministic=True`` drops wall-clock timings from the output so a
     seeded run's trace file is byte-identical across executions.
+
+    Exporting a recorder that hit its capacity warns loudly: analysis of
+    a truncated trace (causal chains especially) is silently incomplete
+    otherwise.  Raise the recorder capacity (``--trace-limit`` in the
+    scenario CLI) to capture the full run.
     """
+    if isinstance(events, TraceRecorder) and events.dropped:
+        message = (
+            f"trace truncated: {events.dropped} records dropped at "
+            f"capacity {events.capacity}; exported trace is incomplete "
+            f"(raise the recorder capacity, e.g. --trace-limit)"
+        )
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        print(f"WARNING: {message}", file=sys.stderr)
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:

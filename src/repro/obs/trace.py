@@ -11,6 +11,23 @@ The recorder is deliberately cheap: when ``enabled`` is ``False`` both
 :meth:`event` and :meth:`span` return immediately, and instrumented code
 in the scheduler/medium/data plane only reaches the recorder behind a
 ``tracer is not None`` check.
+
+Causal provenance
+-----------------
+
+Every packet put on the air while tracing is enabled is assigned a
+**provenance id** (:meth:`TraceRecorder.new_provenance`), recorded as a
+``prov`` attribute on its transmit/deliver records.  While a delivered
+frame (or an originated data packet) is being processed, the recorder's
+:attr:`TraceRecorder.cause` holds that provenance id, and every record
+appended inside the context automatically gains a ``cause`` attribute —
+so a forwarded TC, a rebroadcast RREQ, a kernel route install or a
+buffered-packet re-injection all carry a link back to the exact
+transmission that provoked them.  The full cross-node chain is then
+reconstructible offline as a DAG (:mod:`repro.obs.causal`).  Provenance
+ids come from a per-recorder counter driven solely by the deterministic
+event order, so identically seeded runs mint identical ids; with tracing
+disabled no id is ever minted and the hot paths never touch the counter.
 """
 
 from __future__ import annotations
@@ -92,6 +109,12 @@ class TraceRecorder:
         self._next_seq = 0
         self._next_span = 0
         self._stack: List[int] = []
+        #: Causal context: the provenance id of the transmission currently
+        #: being processed (0 = none).  Instrumented delivery paths set and
+        #: restore it; every record appended while it is non-zero gains a
+        #: ``cause`` attribute.
+        self.cause = 0
+        self._next_prov = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -105,12 +128,24 @@ class TraceRecorder:
         """Open a (possibly nested) span; use as a context manager."""
         return _SpanContext(self, name, attrs)
 
+    def new_provenance(self) -> int:
+        """Mint the next provenance id (deterministic: pure counter)."""
+        self._next_prov += 1
+        return self._next_prov
+
+    @property
+    def provenance_count(self) -> int:
+        """How many provenance ids have been minted so far."""
+        return self._next_prov
+
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
         self._next_seq = 0
         self._next_span = 0
         self._stack.clear()
+        self.cause = 0
+        self._next_prov = 0
 
     # -- span internals -----------------------------------------------------
 
@@ -142,6 +177,8 @@ class TraceRecorder:
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return None
+        if self.cause and "cause" not in attrs:
+            attrs["cause"] = self.cause
         parent = self._stack[-1] if self._stack else 0
         event = TraceEvent(
             seq=self._next_seq,

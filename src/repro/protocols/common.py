@@ -96,11 +96,13 @@ class HandlerTimer:
 
     __slots__ = ("_obs", "_unit", "_etype", "_span", "_t0")
 
-    def __init__(self, obs, unit: str, etype: str) -> None:
+    def __init__(self, obs, unit: str, etype: str, node: int = -1) -> None:
         self._obs = obs
         self._unit = unit
         self._etype = etype
-        self._span = obs.tracer.span("unit.process", unit=unit, etype=etype)
+        self._span = obs.tracer.span(
+            "unit.process", unit=unit, etype=etype, node=node
+        )
         self._t0 = 0.0
 
     def __enter__(self) -> "HandlerTimer":
@@ -115,10 +117,12 @@ class HandlerTimer:
         ).observe(time.perf_counter() - self._t0)
 
 
-def handler_timer(obs, unit: str, etype: str) -> Optional[HandlerTimer]:
+def handler_timer(
+    obs, unit: str, etype: str, node: int = -1
+) -> Optional[HandlerTimer]:
     """A :class:`HandlerTimer` when tracing is on, else ``None``."""
     if obs is not None and obs.tracer is not None and obs.tracer.enabled:
-        return HandlerTimer(obs, unit, etype)
+        return HandlerTimer(obs, unit, etype, node)
     return None
 
 

@@ -109,7 +109,14 @@ class UdpNode:
 
     # -- transmit ------------------------------------------------------------------
 
-    def send_control(self, payload: bytes, link_dst: int = BROADCAST) -> bool:
+    def send_control(
+        self,
+        payload: bytes,
+        link_dst: int = BROADCAST,
+        msg: Optional[str] = None,
+    ) -> bool:
+        # ``msg`` (the trace label) is accepted for SimNode API parity;
+        # the UDP backend has no tracer to hand it to.
         self.control_tx += 1
         if self.stats is not None:
             self.stats.note_control_tx(self.node_id, len(payload))

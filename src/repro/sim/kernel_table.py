@@ -96,7 +96,9 @@ class KernelRoutingTable:
     entries are treated as absent (and reaped lazily).
     """
 
-    def __init__(self, clock: Callable[[], float], obs=None) -> None:
+    def __init__(
+        self, clock: Callable[[], float], obs=None, node_id: int = -1
+    ) -> None:
         #: host routes: destination -> route (the exact-match fast path)
         self._routes: Dict[int, KernelRoute] = {}
         #: covering routes: (network, prefix_len) -> route
@@ -107,6 +109,9 @@ class KernelRoutingTable:
         self.version = 0  # bumped on every mutation; cheap change detection
         #: Observability context; mutations are traced when tracing is on.
         self.obs = obs
+        #: Owning node's id, stamped on every traced mutation so offline
+        #: analysis can attribute route changes per node (-1 = unattached).
+        self.node_id = node_id
 
     def _tracer(self):
         obs = self.obs
@@ -145,12 +150,14 @@ class KernelRoutingTable:
         if tracer is not None:
             if prefix_len >= ADDR_BITS:
                 tracer.event(
-                    "kernel.route_add", destination=destination,
+                    "kernel.route_add", node=self.node_id,
+                    destination=destination,
                     next_hop=next_hop, metric=metric, proto=proto,
                 )
             else:
                 tracer.event(
-                    "kernel.route_add", destination=route.destination,
+                    "kernel.route_add", node=self.node_id,
+                    destination=route.destination,
                     next_hop=next_hop, metric=metric, proto=proto,
                     prefix_len=prefix_len,
                 )
@@ -170,7 +177,10 @@ class KernelRoutingTable:
             self.version += 1
             tracer = self._tracer()
             if tracer is not None:
-                tracer.event("kernel.route_del", destination=destination)
+                tracer.event(
+                    "kernel.route_del", node=self.node_id,
+                    destination=destination,
+                )
             return True
         return False
 
@@ -202,6 +212,15 @@ class KernelRoutingTable:
         replaced; entries installed by other protocols survive unless the
         new table claims the same destination.
         """
+        tracer = self._tracer()
+        # Delta attribution is trace-only work: snapshot the previous host
+        # table so the replace event can report which destinations were
+        # added/rerouted and which disappeared (the information offline
+        # route explanation needs for proactive protocols).
+        before = (
+            {d: r.next_hop for d, r in self._routes.items()}
+            if tracer is not None else None
+        )
         host = [r for r in routes if r.prefix_len >= ADDR_BITS]
         prefix = [r for r in routes if r.prefix_len < ADDR_BITS]
         if proto is None:
@@ -230,10 +249,17 @@ class KernelRoutingTable:
             self._prefixes = kept_prefixes
         self._plens = sorted({plen for _net, plen in self._prefixes}, reverse=True)
         self.version += 1
-        tracer = self._tracer()
         if tracer is not None:
+            added = sorted(
+                (d, r.next_hop)
+                for d, r in self._routes.items()
+                if before.get(d) != r.next_hop
+            )
+            removed = sorted(d for d in before if d not in self._routes)
             tracer.event(
-                "kernel.replace_all", proto=proto or "*", routes=len(routes)
+                "kernel.replace_all", node=self.node_id,
+                proto=proto or "*", routes=len(routes),
+                added=added, removed=removed,
             )
 
     # -- lookup ----------------------------------------------------------------
@@ -247,7 +273,10 @@ class KernelRoutingTable:
             self.version += 1
             tracer = self._tracer()
             if tracer is not None:
-                tracer.event("kernel.route_expired", destination=destination)
+                tracer.event(
+                    "kernel.route_expired", node=self.node_id,
+                    destination=destination,
+                )
         if not self._plens:
             return None
         # No host route: fall back to the covering prefixes, longest first.

@@ -211,10 +211,17 @@ class WirelessMedium:
         self.frames_sent += 1
         tracer = self._tracer()
         if tracer is not None:
-            tracer.event(
-                "medium.broadcast", sender=frame.sender, kind=frame.kind,
-                size=frame.size,
-            )
+            prov = frame.meta.get("prov")
+            if prov is None:
+                prov = frame.meta["prov"] = tracer.new_provenance()
+            attrs = {
+                "sender": frame.sender, "kind": frame.kind,
+                "size": frame.size, "prov": prov,
+            }
+            msg = frame.meta.get("msg")
+            if msg is not None:
+                attrs["msg"] = msg
+            tracer.event("medium.broadcast", **attrs)
         scheduled = 0
         sender = frame.sender
         links = self._links
@@ -227,7 +234,7 @@ class WirelessMedium:
                 if tracer is not None:
                     tracer.event(
                         "medium.loss", sender=sender, dst=neighbor,
-                        kind=frame.kind,
+                        kind=frame.kind, prov=frame.meta["prov"],
                     )
                 continue
             tamper = self.tamper
@@ -239,6 +246,7 @@ class WirelessMedium:
                         tracer.event(
                             "medium.tamper", sender=sender, dst=neighbor,
                             kind=frame.kind, copies=len(deliveries),
+                            prov=frame.meta["prov"],
                         )
                     if not deliveries:
                         self.frames_lost += 1
@@ -276,10 +284,17 @@ class WirelessMedium:
         self.frames_sent += 1
         tracer = self._tracer()
         if tracer is not None:
-            tracer.event(
-                "medium.unicast", sender=frame.sender, dst=frame.link_dst,
-                kind=frame.kind, size=frame.size,
-            )
+            prov = frame.meta.get("prov")
+            if prov is None:
+                prov = frame.meta["prov"] = tracer.new_provenance()
+            attrs = {
+                "sender": frame.sender, "dst": frame.link_dst,
+                "kind": frame.kind, "size": frame.size, "prov": prov,
+            }
+            msg = frame.meta.get("msg")
+            if msg is not None:
+                attrs["msg"] = msg
+            tracer.event("medium.unicast", **attrs)
         if (frame.sender, frame.link_dst) not in self._links:
             self.frames_lost += 1
             if tracer is not None:
@@ -297,7 +312,7 @@ class WirelessMedium:
             if tracer is not None:
                 tracer.event(
                     "medium.loss", sender=frame.sender, dst=receiver_id,
-                    kind=frame.kind,
+                    kind=frame.kind, prov=frame.meta.get("prov"),
                 )
             return False
         tamper = self.tamper
@@ -310,6 +325,7 @@ class WirelessMedium:
                     tracer.event(
                         "medium.tamper", sender=frame.sender, dst=receiver_id,
                         kind=frame.kind, copies=len(deliveries),
+                        prov=frame.meta.get("prov"),
                     )
                 if not deliveries:
                     self.frames_lost += 1
@@ -334,8 +350,20 @@ class WirelessMedium:
         self.frames_delivered += 1
         tracer = self._tracer()
         if tracer is not None:
+            prov = frame.meta.get("prov")
             tracer.event(
                 "medium.deliver", sender=frame.sender, dst=receiver_id,
-                kind=frame.kind, size=frame.size,
+                kind=frame.kind, size=frame.size, prov=prov,
             )
+            if prov:
+                # Everything the receiver does synchronously — handler
+                # dispatch, kernel installs, forwarded messages — happens
+                # under this causal context and links back to ``prov``.
+                saved = tracer.cause
+                tracer.cause = prov
+                try:
+                    receiver(frame)
+                finally:
+                    tracer.cause = saved
+                return
         receiver(frame)

@@ -145,6 +145,7 @@ class Simulation:
         self.obs.disable_tracing()
 
     def _collect_medium_metrics(self) -> Dict[str, float]:
+        tracer = self.obs.tracer
         return {
             "medium.frames_sent": float(self.medium.frames_sent),
             "medium.frames_delivered": float(self.medium.frames_delivered),
@@ -155,6 +156,9 @@ class Simulation:
             "timerwheel.heap_scheduled": float(self.scheduler.heap_scheduled),
             "timerwheel.cancelled_purged": float(self.scheduler.cancelled_purged),
             "timerwheel.heap_compactions": float(self.scheduler.heap_compactions),
+            # Always-present so metric schemas don't depend on tracing.
+            "trace.events": float(len(tracer.events)) if tracer else 0.0,
+            "trace.dropped": float(tracer.dropped) if tracer else 0.0,
         }
 
     # -- drain hooks (determinism under threaded concurrency models) ----------

@@ -81,7 +81,9 @@ class SimNode:
         # ("IP forwarding, ICMP redirects", paper section 4.3).
         self.ip_forward = False
         self.icmp_redirects = True
-        self.kernel_table = KernelRoutingTable(lambda: scheduler.now, obs=obs)
+        self.kernel_table = KernelRoutingTable(
+            lambda: scheduler.now, obs=obs, node_id=node_id
+        )
         self.hooks: Optional[NetfilterHooks] = None
         #: Control-plane receivers: called with (payload bytes, sender id).
         self._control_receivers: List[Callable[[bytes, int], None]] = []
@@ -118,11 +120,42 @@ class SimNode:
             original = receiver
 
             def delayed(payload: bytes, sender: int) -> None:
-                self.scheduler.call_later(processing_delay, original, payload, sender)
+                tracer = self._tracer()
+                cause = tracer.cause if tracer is not None else 0
+                if cause:
+                    # The delay hop would otherwise sever the causal chain:
+                    # re-establish the delivering frame's provenance when
+                    # the receiver finally runs.
+                    self.scheduler.call_later(
+                        processing_delay, self._run_with_cause,
+                        original, payload, sender, cause,
+                    )
+                else:
+                    self.scheduler.call_later(
+                        processing_delay, original, payload, sender
+                    )
 
             delayed.__wrapped__ = original  # type: ignore[attr-defined]
             receiver = delayed
         self._control_receivers.append(receiver)
+
+    def _run_with_cause(
+        self,
+        receiver: Callable[[bytes, int], None],
+        payload: bytes,
+        sender: int,
+        cause: int,
+    ) -> None:
+        tracer = self._tracer()
+        if tracer is None:
+            receiver(payload, sender)
+            return
+        saved = tracer.cause
+        tracer.cause = cause
+        try:
+            receiver(payload, sender)
+        finally:
+            tracer.cause = saved
 
     def remove_control_receiver(self, receiver: Callable[[bytes, int], None]) -> None:
         for installed in list(self._control_receivers):
@@ -159,14 +192,25 @@ class SimNode:
 
     # -- control plane --------------------------------------------------------------
 
-    def send_control(self, payload: bytes, link_dst: int = BROADCAST) -> bool:
-        """Transmit a control payload (PacketBB bytes) on the radio."""
+    def send_control(
+        self,
+        payload: bytes,
+        link_dst: int = BROADCAST,
+        msg: Optional[str] = None,
+    ) -> bool:
+        """Transmit a control payload (PacketBB bytes) on the radio.
+
+        ``msg`` optionally labels the frame's transmit trace record with
+        the message type it carries (e.g. ``"HELLO"``).
+        """
         self.battery.note_tx()
         self.control_tx += 1
         if self.stats is not None:
             self.stats.note_control_tx(self.node_id, len(payload))
         frame = Frame("control", payload, sender=self.node_id,
                       link_dst=link_dst, size=len(payload))
+        if msg is not None:
+            frame.meta["msg"] = msg
         if link_dst == BROADCAST:
             self.medium.broadcast(frame)
             return True
@@ -189,6 +233,22 @@ class SimNode:
         )
         if self.stats is not None:
             self.stats.note_data_sent(self.node_id)
+        tracer = self._tracer()
+        if tracer is not None:
+            # Root of the data packet's causal chain: everything that
+            # happens because of this send (route lookup, buffering, the
+            # eventual transmission) links back to this provenance id.
+            prov = tracer.new_provenance()
+            tracer.event(
+                "node.data_send", node=self.node_id, dst=dst,
+                packet_id=packet.packet_id, prov=prov,
+            )
+            saved = tracer.cause
+            tracer.cause = prov
+            try:
+                return self._route_and_send(packet, originated=True)
+            finally:
+                tracer.cause = saved
         return self._route_and_send(packet, originated=True)
 
     def reinject(self, packet: DataPacket) -> bool:
@@ -197,6 +257,15 @@ class SimNode:
         Used by the NetLink component when a route discovery succeeds
         (``ROUTE_FOUND``, paper section 5.2).
         """
+        tracer = self._tracer()
+        if tracer is not None:
+            # Runs under the causal context of whatever completed the
+            # route discovery (usually an RREP delivery), so the record's
+            # automatic ``cause`` attribute links buffered data back to it.
+            tracer.event(
+                "node.reinject", node=self.node_id, dst=packet.dst,
+                packet_id=packet.packet_id,
+            )
         return self._route_and_send(packet, originated=True)
 
     def _route_and_send(self, packet: DataPacket, originated: bool) -> bool:

@@ -58,7 +58,7 @@ PROTOCOL_CHOICES = ("olsr", "dymo", "aodv", "zrp", "olsr+dymo")
 #: runner's content hash excludes them so e.g. pointing a re-run at a
 #: different trace path still resumes.
 OUTPUT_OPTION_KEYS = frozenset(
-    {"trace", "trace_limit", "trace_jsonl", "metrics_json"}
+    {"trace", "trace_limit", "trace_tail", "trace_jsonl", "metrics_json"}
 )
 
 
@@ -289,7 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured trace and print its tail after the run",
     )
     parser.add_argument(
-        "--trace-limit", type=int, default=40,
+        "--trace-limit", type=int, default=200_000,
+        help="trace recorder capacity in records (default 200000); raise "
+             "it when the exporter warns about a truncated trace",
+    )
+    parser.add_argument(
+        "--trace-tail", type=int, default=40,
         help="how many trace records to print with --trace (default 40)",
     )
     parser.add_argument(
@@ -386,7 +391,7 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
     sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
     sim.topology.latency = args.latency
     sim.topology.loss = args.loss
-    tracer = sim.enable_tracing() if args.trace else None
+    tracer = sim.enable_tracing(capacity=args.trace_limit) if args.trace else None
     ids = parse_topology(args.topology, sim, nodes=args.nodes)
 
     mobility = None
@@ -555,7 +560,7 @@ def _print_report(args: argparse.Namespace, artifacts: ScenarioArtifacts) -> Non
     if tracer is not None:
         print(f"\ntrace: {len(tracer.events)} records"
               + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
-        print(format_timeline(tracer, limit=args.trace_limit))
+        print(format_timeline(tracer, limit=args.trace_tail))
         if args.trace_jsonl:
             from repro.obs.export import dump_trace_jsonl
 

@@ -1,0 +1,284 @@
+"""Causal provenance: recorder semantics, DAG reconstruction, analysis."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ManetKit
+from repro.obs.causal import CausalGraph, to_chrome_trace
+from repro.obs.export import (
+    dump_trace_jsonl,
+    load_trace_jsonl,
+    trace_event_to_dict,
+)
+from repro.obs.trace import TraceRecorder
+from repro.sim import Simulation, topology
+
+import repro.protocols  # noqa: F401  (registers protocol builders)
+
+
+def deploy(sim, ids, protocol):
+    for node_id in ids:
+        ManetKit(sim.node(node_id)).load_protocol(protocol)
+
+
+# -- recorder-level provenance semantics -------------------------------------
+
+class TestRecorderProvenance:
+    def make(self):
+        ticks = iter(x / 10.0 for x in range(1000))
+        return TraceRecorder(clock=lambda: next(ticks), wall=lambda: 0.0)
+
+    def test_new_provenance_counts_up_from_one(self):
+        rec = self.make()
+        assert rec.new_provenance() == 1
+        assert rec.new_provenance() == 2
+        assert rec.provenance_count == 2
+
+    def test_cause_context_stamps_records(self):
+        rec = self.make()
+        rec.event("plain")
+        rec.cause = 7
+        rec.event("caused")
+        with rec.span("spanned"):
+            pass
+        rec.cause = 0
+        rec.event("after")
+        by_name = {e.name: e for e in rec.events if e.kind != "end"}
+        assert "cause" not in by_name["plain"].attrs
+        assert by_name["caused"].attrs["cause"] == 7
+        assert by_name["spanned"].attrs["cause"] == 7
+        assert "cause" not in by_name["after"].attrs
+
+    def test_explicit_cause_attr_wins_over_context(self):
+        rec = self.make()
+        rec.cause = 7
+        rec.event("x", cause=3)
+        assert rec.events[0].attrs["cause"] == 3
+
+    def test_clear_resets_provenance_state(self):
+        rec = self.make()
+        rec.new_provenance()
+        rec.cause = 5
+        rec.clear()
+        assert rec.cause == 0
+        assert rec.provenance_count == 0
+        assert rec.new_provenance() == 1
+
+    def test_signature_includes_cause_links(self):
+        rec_a, rec_b = self.make(), self.make()
+        for rec, cause in ((rec_a, 1), (rec_b, 2)):
+            rec.cause = cause
+            rec.event("e")
+        assert rec_a.signature() != rec_b.signature()
+
+
+# -- end-to-end: reactive and proactive chains -------------------------------
+
+def traced_chain_run(protocol: str, seed: int = 3, warm: float = 5.0):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(5)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    tracer = sim.obs.enable_tracing()
+    deploy(sim, ids, protocol)
+    sim.run(warm)
+    sim.node(ids[0]).send_data(ids[-1], b"probe")
+    sim.run(5.0)
+    return sim, ids, tracer
+
+
+class TestReactiveChain:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return traced_chain_run("dymo")
+
+    def test_route_install_has_full_cross_node_chain(self, run):
+        sim, ids, tracer = run
+        graph = CausalGraph(tracer.events)
+        install = graph.first_route_install(ids[0], ids[-1])
+        assert install is not None
+        path = graph.critical_path(install)
+        # data send -> RREQ out and back -> install: every node involved.
+        assert set(path.nodes()) == set(ids)
+        assert path.chain[0].mint.name == "node.data_send"
+        assert path.chain[0].cause == 0  # the application send is the root
+
+    def test_edges_partition_root_to_install_exactly(self, run):
+        sim, ids, tracer = run
+        graph = CausalGraph(tracer.events)
+        install = graph.first_route_install(ids[0], ids[-1])
+        path = graph.critical_path(install)
+        assert path.edges, "expected a non-empty critical path"
+        # Contiguous tiling: each edge starts where the previous ended.
+        cursor = path.root.t_sim
+        for edge in path.edges:
+            assert edge.t0 == pytest.approx(cursor, abs=1e-9)
+            assert edge.t1 >= edge.t0
+            cursor = edge.t1
+        assert cursor == pytest.approx(install.t_sim, abs=1e-9)
+        # Therefore the edge sum IS the route-establishment delay.
+        edge_sum = sum(edge.dt for edge in path.edges)
+        assert edge_sum == pytest.approx(path.total, abs=1e-9)
+        assert path.total > 0
+
+    def test_reinjection_links_back_to_discovery(self, run):
+        sim, ids, tracer = run
+        graph = CausalGraph(tracer.events)
+        reinjects = [e for e in tracer.events if e.name == "node.reinject"]
+        assert reinjects, "buffered probe packet should have been reinjected"
+        chain = graph.chain(reinjects[0])
+        assert chain, "reinjection must be causally linked"
+        # The chain roots at the original application send.
+        assert chain[0].mint.name == "node.data_send"
+
+    def test_breakdown_sums_to_total(self, run):
+        sim, ids, tracer = run
+        graph = CausalGraph(tracer.events)
+        install = graph.first_route_install(ids[0], ids[-1])
+        path = graph.critical_path(install)
+        assert sum(path.breakdown().values()) == pytest.approx(
+            path.total, abs=1e-9
+        )
+
+
+class TestProactiveChain:
+    def test_olsr_install_chains_to_remote_origin(self):
+        sim, ids, tracer = traced_chain_run("olsr", warm=30.0)
+        graph = CausalGraph(tracer.events)
+        install = graph.first_route_install(ids[0], ids[-1])
+        assert install is not None
+        path = graph.critical_path(install)
+        assert len(path.nodes()) >= 2, "chain must cross nodes"
+        root = path.chain[0]
+        assert root.cause == 0
+        # Proactive routes originate from flooded control traffic.
+        assert root.mint.attrs.get("msg") in ("HELLO", "TC")
+        assert sum(e.dt for e in path.edges) == pytest.approx(
+            path.total, abs=1e-9
+        )
+
+    def test_replace_all_delta_attribution(self):
+        sim, ids, tracer = traced_chain_run("olsr", warm=30.0)
+        replaces = [
+            e for e in tracer.events
+            if e.name == "kernel.replace_all" and e.attrs.get("added")
+        ]
+        assert replaces, "OLSR must install routes via replace_all"
+        for event in replaces:
+            assert event.attrs["node"] in ids
+            for dest, next_hop in event.attrs["added"]:
+                assert dest in ids and next_hop in ids
+
+
+# -- determinism and disabled-path parity ------------------------------------
+
+class TestDeterminism:
+    def test_same_seed_same_provenance_ids(self):
+        runs = []
+        for _ in range(2):
+            sim, ids, tracer = traced_chain_run("dymo", seed=9)
+            runs.append([
+                (e.name, e.attrs.get("prov"), e.attrs.get("cause"))
+                for e in tracer.events
+            ])
+        assert runs[0] == runs[1]
+
+    def test_signature_identical_across_runs(self):
+        signatures = [
+            traced_chain_run("aodv", seed=4)[2].signature() for _ in range(2)
+        ]
+        assert signatures[0] == signatures[1]
+
+    def test_tracing_does_not_perturb_behaviour(self):
+        """Criterion: provenance must not change the simulated run."""
+        outcomes = []
+        for trace in (False, True):
+            sim = Simulation(seed=6)
+            sim.add_nodes(5)
+            ids = sim.node_ids()
+            sim.topology.apply(topology.linear_chain(ids))
+            if trace:
+                sim.obs.enable_tracing()
+            deploy(sim, ids, "dymo")
+            sim.run(5.0)
+            sim.node(ids[0]).send_data(ids[-1], b"probe")
+            sim.run(5.0)
+            outcomes.append((
+                sim.medium.frames_sent,
+                sim.medium.frames_delivered,
+                sim.medium.frames_lost,
+                sim.stats.total_control_frames,
+                sim.now,
+            ))
+        assert outcomes[0] == outcomes[1]
+
+
+# -- explain_route ------------------------------------------------------------
+
+class TestExplainRoute:
+    def test_installed_and_why(self):
+        sim, ids, tracer = traced_chain_run("dymo")
+        graph = CausalGraph(tracer.events)
+        info = graph.explain_route(ids[0], ids[-1])
+        assert info["installed"] is True
+        assert info["next_hop"] == ids[1]
+        assert info["last_event"]["cause"] > 0
+        assert info["no_route_events"], "first probe hit the no-route path"
+
+    def test_before_discovery_reports_no_route(self):
+        sim, ids, tracer = traced_chain_run("dymo")
+        graph = CausalGraph(tracer.events)
+        info = graph.explain_route(ids[0], ids[-1], at=1.0)
+        assert info["installed"] is False
+        assert info["last_event"] is None
+
+    def test_never_installed_destination(self):
+        sim, ids, tracer = traced_chain_run("dymo")
+        graph = CausalGraph(tracer.events)
+        info = graph.explain_route(ids[0], 999)
+        assert info["installed"] is False
+        assert info["history"] == []
+
+
+# -- chrome export ------------------------------------------------------------
+
+class TestChromeExport:
+    def test_schema_and_flow_pairing(self, tmp_path):
+        sim, ids, tracer = traced_chain_run("dymo")
+        data = to_chrome_trace(tracer.events)
+        # Must survive a JSON round trip (the Perfetto load contract).
+        data = json.loads(json.dumps(data))
+        events = data["traceEvents"]
+        assert events
+        for record in events:
+            assert {"name", "ph", "pid", "tid"} <= set(record)
+            assert record["ph"] in ("X", "i", "s", "f", "M")
+        # One process-name metadata record per node plus the simulator.
+        names = {
+            r["args"]["name"] for r in events if r["name"] == "process_name"
+        }
+        assert names == {"simulator"} | {f"node {n}" for n in ids}
+        # Flow starts and finishes pair up by id.
+        starts = {r["id"] for r in events if r["ph"] == "s"}
+        ends = {r["id"] for r in events if r["ph"] == "f"}
+        assert starts and starts == ends
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        sim, ids, tracer = traced_chain_run("aodv")
+        path = dump_trace_jsonl(tracer, tmp_path / "t.jsonl", deterministic=True)
+        loaded = load_trace_jsonl(path)
+        graph_live = CausalGraph(tracer.events)
+        graph_file = CausalGraph(loaded)
+        install_live = graph_live.first_route_install(ids[0], ids[-1])
+        install_file = graph_file.first_route_install(ids[0], ids[-1])
+        assert trace_event_to_dict(install_live, True) == trace_event_to_dict(
+            install_file, True
+        )
+        live = graph_live.critical_path(install_live)
+        filed = graph_file.critical_path(install_file)
+        assert [e.to_dict() for e in live.edges] == [
+            e.to_dict() for e in filed.edges
+        ]

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.export import (
     dump_metrics_json,
     dump_trace_jsonl,
@@ -75,3 +77,49 @@ class TestTimeline:
         text = format_timeline(rec, limit=2)
         assert "earlier records elided" in text.splitlines()[0]
         assert len(text.splitlines()) == 3
+
+    def test_golden_output(self):
+        """Byte-exact pretty-printer output for a fixed trace.
+
+        The timeline format is part of the user-facing surface (``--trace``
+        prints it); any change here must be deliberate.
+        """
+        expected = (
+            "  0.000000s + sched.dispatch [callback=tick]\n"
+            "  2.000000s .   medium.broadcast [sender=1 size=40]\n"
+            "  3.000000s +   unit.process [unit=dymo]\n"
+            "  5.000000s .     kernel.route_add [destination=5]\n"
+            "  7.000000s -   unit.process [unit=dymo] (0.000 ms)\n"
+            "  9.000000s - sched.dispatch [callback=tick] (0.000 ms)\n"
+            " 10.000000s . node.data_delivered [node=5]"
+        )
+        assert format_timeline(populated_recorder()) == expected
+
+
+class TestTruncationWarning:
+    def overflowed_recorder(self):
+        ticks = iter(range(100))
+        rec = TraceRecorder(
+            clock=lambda: float(next(ticks)), wall=lambda: 0.0, capacity=2
+        )
+        for i in range(5):
+            rec.event("e", i=i)
+        assert rec.dropped == 3
+        return rec
+
+    def test_dump_warns_and_prints_on_dropped_records(self, tmp_path, capsys):
+        rec = self.overflowed_recorder()
+        with pytest.warns(RuntimeWarning, match="3 records dropped"):
+            dump_trace_jsonl(rec, tmp_path / "trace.jsonl")
+        err = capsys.readouterr().err
+        assert "trace truncated" in err
+        assert "--trace-limit" in err
+
+    def test_no_warning_when_nothing_dropped(self, tmp_path, recwarn):
+        dump_trace_jsonl(populated_recorder(), tmp_path / "trace.jsonl")
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_bare_event_list_never_warns(self, tmp_path, recwarn):
+        events = list(self.overflowed_recorder().events)
+        dump_trace_jsonl(events, tmp_path / "trace.jsonl")
+        assert not [w for w in recwarn if w.category is RuntimeWarning]

@@ -1,0 +1,114 @@
+"""``repro.tools.traceview`` CLI over committed golden traces."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.obs.causal import CausalGraph
+from repro.tools import traceview
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+PROTOCOLS = ("olsr", "dymo", "aodv")
+
+
+def golden(protocol: str, seed: int = 1) -> str:
+    return str(GOLDEN_DIR / f"replay_{protocol}_seed{seed}.jsonl.gz")
+
+
+# -- the acceptance criterion: full chains from every committed golden --------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_route_reconstructs_cross_node_chain(protocol, capsys):
+    status = traceview.main([golden(protocol), "--route", "1", "5"])
+    out = capsys.readouterr().out
+    assert status == 0
+    match = re.search(r"causal chain: (\d+) transmissions across nodes (.+)", out)
+    assert match, out
+    assert int(match.group(1)) >= 2
+    assert len(match.group(2).split(" -> ")) >= 2, "chain must cross nodes"
+    assert "critical path" in out
+    assert "edge sum" in out
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", (1, 2, 3))
+def test_edge_sum_matches_route_establishment_delay(protocol, seed):
+    events = traceview.load_events(golden(protocol, seed))
+    graph = CausalGraph(events)
+    install = graph.first_route_install(1, 5)
+    assert install is not None, "golden run must establish the 1 -> 5 route"
+    path = graph.critical_path(install)
+    assert path.chain and path.edges
+    edge_sum = sum(edge.dt for edge in path.edges)
+    assert edge_sum == pytest.approx(path.total, abs=1e-9)
+    assert path.total == pytest.approx(
+        install.t_sim - path.root.t_sim, abs=1e-9
+    )
+
+
+def test_route_not_found_exits_1(capsys):
+    status = traceview.main([golden("dymo"), "--route", "1", "99"])
+    assert status == 1
+    assert "no route install" in capsys.readouterr().err
+
+
+# -- the other verbs ----------------------------------------------------------
+
+def test_summary_is_default_action(capsys):
+    status = traceview.main([golden("olsr")])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "transmissions" in out and "route installs" in out
+
+
+def test_explain_installed_route(capsys):
+    status = traceview.main([golden("dymo"), "--explain", "1", "5"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "INSTALLED via next hop 2" in out
+    assert "history" in out
+
+
+def test_explain_before_install_is_no_route(capsys):
+    status = traceview.main(
+        [golden("dymo"), "--explain", "1", "5", "--at", "0.5"]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "NO ROUTE" in out
+
+
+def test_chrome_export_is_valid_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.chrome.json"
+    status = traceview.main([golden("aodv"), "--chrome", str(out_path)])
+    assert status == 0
+    data = json.loads(out_path.read_text())
+    assert data["traceEvents"]
+    phases = {record["ph"] for record in data["traceEvents"]}
+    assert {"X", "M"} <= phases
+    assert "s" in phases and "f" in phases, "flow arrows expected"
+
+
+def test_loads_plain_jsonl_too(tmp_path):
+    plain = tmp_path / "trace.jsonl"
+    with gzip.open(golden("dymo"), "rt") as handle:
+        plain.write_text(handle.read())
+    events = traceview.load_events(str(plain))
+    assert events and events[0].seq == 0
+
+
+def test_missing_file_exits_2(capsys):
+    status = traceview.main(["/nonexistent/trace.jsonl", "--summary"])
+    assert status == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_corrupt_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    assert traceview.main([str(bad)]) == 2

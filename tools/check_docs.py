@@ -21,8 +21,9 @@ Walks ``README.md`` and ``docs/*.md`` and enforces three properties:
 2. **Documented flags exist.**  Every command line in a ``bash`` or
    ``console`` block that invokes one of this repo's CLIs
    (``repro.tools.scenario``, ``repro.tools.campaign``,
-   ``repro.tools.bench_check``, ``repro.tools.golden_replay``,
-   ``manetkit-scenario``, ``tools/check_docs.py``) has its ``--flags``
+   ``repro.tools.bench_check``, ``repro.tools.traceview``,
+   ``repro.tools.golden_replay``, ``manetkit-scenario``,
+   ``tools/check_docs.py``) has its ``--flags``
    checked against the *actual* argparse parser.  Rename a flag without
    updating the docs and this fails.
 
@@ -119,7 +120,7 @@ def extract_links(text: str) -> List[str]:
 
 def _known_parsers() -> Dict[str, Set[str]]:
     """Map CLI spelling → the option strings its real parser accepts."""
-    from repro.tools import bench_check, campaign, scenario
+    from repro.tools import bench_check, campaign, scenario, traceview
 
     def opts(parser: argparse.ArgumentParser) -> Set[str]:
         return set(parser._option_string_actions)
@@ -127,6 +128,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
     scenario_opts = opts(scenario.build_parser())
     campaign_opts = opts(campaign.build_parser())
     bench_opts = opts(bench_check.build_parser())
+    traceview_opts = opts(traceview.build_parser())
     docs_opts = opts(build_parser())
     return {
         "repro.tools.scenario": scenario_opts,
@@ -134,6 +136,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
         "repro.tools.campaign": campaign_opts,
         "repro.tools.bench_check": bench_opts,
         "tools/bench_check.py": bench_opts,
+        "repro.tools.traceview": traceview_opts,
         "tools/check_docs.py": docs_opts,
         # golden_replay builds its parser inline inside main()
         "repro.tools.golden_replay": {"--update", "-h", "--help"},
