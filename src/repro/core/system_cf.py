@@ -33,7 +33,7 @@ from repro.events.types import EventOntology
 from repro.opencom.component import Component
 from repro.opencom.framework import ComponentFramework, Mutation
 from repro.packetbb.message import Message, MsgType
-from repro.packetbb.packet import Packet, decode, encode
+from repro.packetbb.packet import Packet, decode_interned, encode
 from repro.sim.kernel_table import DataPacket, NetfilterHooks
 from repro.sim.medium import BROADCAST
 from repro.sim.node import SimNode
@@ -105,6 +105,15 @@ class SysState(Component):
 
     def replace_all(self, routes, proto: Optional[str] = None) -> None:
         self.node.kernel_table.replace_all(routes, proto)
+
+    def kernel_version(self) -> int:
+        """Monotonic kernel-table mutation counter.
+
+        Lets route installers prove a rewrite redundant: if the version is
+        unchanged since their own last write and their route set is too,
+        the table still holds exactly what they would install.
+        """
+        return self.node.kernel_table.version
 
     def lookup(self, destination: int):
         return self.node.kernel_table.lookup(destination)
@@ -181,7 +190,10 @@ class SysForward(Component):
 
     def _on_wire(self, payload: bytes, sender: int) -> None:
         try:
-            packet = decode(payload)
+            # A broadcast hands the *same* payload bytes to every receiver;
+            # the interned decode parses each distinct frame once instead of
+            # once per neighbour (parsed messages are read-only downstream).
+            packet = decode_interned(payload)
         except ParseError:
             # A real daemon drops malformed control packets at the wire
             # (corruption happens; the fault injector makes it routine).

@@ -196,10 +196,15 @@ def compare_dirs(
     Metrics present only in the current results are reported as ``new``
     (never failing); baseline metrics with no current counterpart are
     ``missing`` (failing — the benchmark silently stopped reporting).
+    Whole BENCH files present only in the results — a benchmark that has
+    not been baselined yet — also surface as ``new``, so a fresh rung
+    is visible in the report instead of silently ignored.
     """
     comparisons: List[Comparison] = []
     results_dir = pathlib.Path(results_dir)
+    baseline_names = set()
     for base_path in discover_bench_files(baseline_dir):
+        baseline_names.add(base_path.name)
         base = load_bench(base_path)
         bench_name = str(base["name"])
         current_path = results_dir / base_path.name
@@ -228,6 +233,22 @@ def compare_dirs(
                         status="new",
                     )
                 )
+    for result_path in discover_bench_files(results_dir):
+        if result_path.name in baseline_names:
+            continue
+        current = load_bench(result_path)
+        bench_name = str(current["name"])
+        for metric_name, cur_metric in sorted(current["metrics"].items()):  # type: ignore[union-attr]
+            comparisons.append(
+                Comparison(
+                    bench_name,
+                    metric_name,
+                    None,
+                    cur_metric.get("value"),
+                    str(cur_metric.get("direction", "lower")),
+                    status="new",
+                )
+            )
     return comparisons
 
 

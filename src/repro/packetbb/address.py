@@ -20,14 +20,37 @@ _MAX_ADDR = (1 << (8 * ADDR_LEN)) - 1
 
 
 class Address:
-    """A fixed-width network address (4 bytes, rendered dotted-quad)."""
+    """A fixed-width network address (4 bytes, rendered dotted-quad).
+
+    Addresses are value objects and treated as immutable everywhere; the
+    wire-facing constructors intern them (control traffic mentions the same
+    few dozen nodes over and over, so parsing allocates from a small pool
+    instead of churning one object per mention).
+    """
 
     __slots__ = ("value",)
+
+    #: interning pool for the wire-facing constructors (Address only —
+    #: subclasses are excluded so the pool can never hand back the wrong
+    #: type).  Bounded as a safety net; a simulation's address universe is
+    #: its node count.
+    _intern: dict = {}
+    _INTERN_LIMIT = 65536
 
     def __init__(self, value: int) -> None:
         if not 0 <= value <= _MAX_ADDR:
             raise ValueError(f"address out of range: {value}")
         self.value = value
+
+    @classmethod
+    def _interned(cls, value: int) -> "Address":
+        pool = cls._intern
+        address = pool.get(value)
+        if address is None:
+            address = cls(value)
+            if len(pool) < cls._INTERN_LIMIT:
+                pool[value] = address
+        return address
 
     # -- constructors -----------------------------------------------------
 
@@ -49,7 +72,10 @@ class Address:
         """Map a simulator node id into the 10.0.0.0/8 test network."""
         if not 0 <= node_id <= 0x00FFFFFF:
             raise ValueError(f"node id out of range: {node_id}")
-        return cls((10 << 24) | node_id)
+        value = (10 << 24) | node_id
+        if cls is Address:
+            return cls._interned(value)
+        return cls(value)
 
     @property
     def node_id(self) -> int:
@@ -65,7 +91,10 @@ class Address:
     def from_bytes(cls, data: bytes) -> "Address":
         if len(data) != ADDR_LEN:
             raise ParseError(f"address needs {ADDR_LEN} bytes, got {len(data)}")
-        return cls(struct.unpack("!I", data)[0])
+        value = struct.unpack("!I", data)[0]
+        if cls is Address:
+            return cls._interned(value)
+        return cls(value)
 
     # -- value semantics ----------------------------------------------------
 

@@ -9,7 +9,8 @@ going to transmit anyway).
 from __future__ import annotations
 
 import struct
-from typing import List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 from repro.errors import ParseError, SerializationError
 from repro.packetbb.message import Message
@@ -102,3 +103,48 @@ def encode(packet: Packet) -> bytes:
 def decode(data: bytes) -> Packet:
     """Parse binary wire data back into a :class:`Packet`."""
     return Packet.parse(data)
+
+
+#: Bounded payload-keyed parse cache.  A broadcast frame reaches every
+#: neighbour with identical bytes, so the n-th receiver can reuse the first
+#: receiver's parse.  Keys are the immutable payload bytes themselves
+#: (value-hashed), so a corrupted copy of a frame can never alias a clean
+#: one.  Callers share the returned object graph and must treat it as
+#: read-only — which every receive path in this repository does (relays and
+#: path accumulation always build fresh messages).
+_DECODE_CACHE: "OrderedDict[bytes, Packet]" = OrderedDict()
+_DECODE_CACHE_LIMIT = 256
+_decode_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def decode_interned(data: bytes) -> Packet:
+    """Like :func:`decode`, but memoised on the payload bytes.
+
+    Only successful parses are cached: a :class:`ParseError` propagates and
+    leaves no cache entry, so transiently corrupted frames cost one parse
+    attempt each, exactly as before.
+    """
+    cache = _DECODE_CACHE
+    packet = cache.get(data)
+    if packet is not None:
+        cache.move_to_end(data)
+        _decode_stats["hits"] += 1
+        return packet
+    packet = Packet.parse(data)
+    _decode_stats["misses"] += 1
+    cache[bytes(data)] = packet
+    if len(cache) > _DECODE_CACHE_LIMIT:
+        cache.popitem(last=False)
+    return packet
+
+
+def decode_cache_stats() -> Dict[str, int]:
+    """Snapshot of the interned-decode hit/miss counters."""
+    return dict(_decode_stats)
+
+
+def reset_decode_cache() -> None:
+    """Clear the parse cache and its counters (test/benchmark isolation)."""
+    _DECODE_CACHE.clear()
+    _decode_stats["hits"] = 0
+    _decode_stats["misses"] = 0

@@ -49,6 +49,15 @@ class TLV:
 
     # -- typed-value conveniences ------------------------------------------
 
+    #: interning pool for index-free integer TLVs — link codes and
+    #: willingness values recur in every HELLO a node ever sends, so the
+    #: emit hot path reuses one object per (type, value, width) instead of
+    #: packing a fresh one each interval.  TLVs are immutable after
+    #: construction (slots; the value is copied to ``bytes``), which makes
+    #: sharing safe.  TLV only: subclasses bypass the pool.
+    _int_intern: dict = {}
+    _INT_INTERN_LIMIT = 4096
+
     @classmethod
     def of_int(
         cls,
@@ -59,6 +68,16 @@ class TLV:
         index_stop: Optional[int] = None,
     ) -> "TLV":
         """Build a TLV holding an unsigned big-endian integer."""
+        if index_start is None and cls is TLV:
+            key = (tlv_type, number, width)
+            pool = cls._int_intern
+            tlv = pool.get(key)
+            if tlv is None:
+                fmt = {1: "!B", 2: "!H", 4: "!I", 8: "!Q"}[width]
+                tlv = cls(tlv_type, struct.pack(fmt, number))
+                if len(pool) < cls._INT_INTERN_LIMIT:
+                    pool[key] = tlv
+            return tlv
         fmt = {1: "!B", 2: "!H", 4: "!I", 8: "!Q"}[width]
         return cls(
             tlv_type,

@@ -5,6 +5,18 @@ symmetric 1-hop neighbours, a minimal set of relays covering every strict
 2-hop neighbour — preferring higher willingness, then greater coverage of
 still-uncovered 2-hop nodes, then higher degree.
 
+Selection runs on every HELLO received and before every HELLO sent, so at
+scale it is a hot path.  :meth:`MprCalculator.select` therefore memoises
+against a version fingerprint (symmetric set, neighbourhood version,
+willingness version) and, on a miss, repairs its cached coverage structures
+incrementally — work scoped to the neighbours whose 2-hop listings actually
+changed and the strict-2-hop nodes they touch, never the whole
+neighbourhood.  The greedy cover itself is re-run in full on the repaired
+coverage: its choices are globally order-dependent (each pick changes every
+later gain), so a localized re-selection would not be behaviour-identical.
+:meth:`compute` remains the from-scratch reference; the property suite pins
+``select`` to it.
+
 The calculator is a replaceable plug-in: the power-aware OLSR variant swaps
 in an energy-weighted version (paper section 5.1), which is implemented in
 :mod:`repro.protocols.olsr.power_aware`.
@@ -12,7 +24,7 @@ in an energy-weighted version (paper section 5.1), which is implemented in
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.opencom.component import Component
 from repro.protocols.common import Willingness
@@ -22,15 +34,139 @@ from repro.protocols.mpr.state import MprState
 class MprCalculator(Component):
     """The standard (RFC 3626) greedy MPR selection."""
 
+    #: Subclasses whose selection reads inputs outside the version
+    #: fingerprint (e.g. link costs) set this False; ``select`` then
+    #: degrades to a plain ``compute`` call.
+    memoises = True
+
     def __init__(self, name: str = "mpr-calculator") -> None:
         super().__init__(name)
         self.computations = 0
+        #: ``select`` calls answered from the memo without recomputing.
+        self.memo_hits = 0
+        self._token: Optional[tuple] = None
+        self._memo_result: Set[int] = set()
+        # Incrementally maintained coverage structures (select path).
+        self._sym: Set[int] = set()
+        self._blocks: Dict[int, frozenset] = {}
+        #: the live 2-hop set object last seen per neighbour — the HELLO
+        #: handler replaces the object only when its content changes, so an
+        #: identity match proves the block unchanged without comparing it.
+        self._raw: Dict[int, object] = {}
+        #: inverted index: 2-hop node -> symmetric neighbours listing it.
+        self._listers: Dict[int, Set[int]] = {}
+        self._strict: Set[int] = set()
+        self._coverage: Dict[int, Set[int]] = {}
         self.provide_interface("IMprCalc", "IMprCalc")
 
     def compute(self, state: MprState, now: float, self_address: int) -> Set[int]:
-        """Return the new MPR set (does not mutate ``state``)."""
+        """Return the new MPR set (does not mutate ``state``).
+
+        From-scratch reference path; ``select`` is the cached equivalent.
+        """
         self.computations += 1
-        coverage = state.coverage(now, self_address)
+        return self._select_from_coverage(state, state.coverage(now, self_address))
+
+    def select(
+        self,
+        state: MprState,
+        now: float,
+        self_address: int,
+        sym: Optional[Iterable[int]] = None,
+    ) -> Set[int]:
+        """Memoised, incrementally-repaired equivalent of :meth:`compute`.
+
+        ``sym`` is the momentary symmetric-neighbour set when the caller
+        already has it (avoids a second link-set scan).
+        """
+        if not self.memoises:
+            return self.compute(state, now, self_address)
+        if sym is None:
+            sym_t: Tuple[int, ...] = tuple(state.symmetric_neighbours(now))
+        else:
+            sym_t = tuple(sorted(sym))
+        token = (sym_t, state.nhood_version, state.will_version)
+        if token == self._token:
+            self.memo_hits += 1
+            # Copy: callers hand the result to ``state.mpr_set``, which is
+            # mutated elsewhere (link expiry discards from it).
+            return set(self._memo_result)
+        self._refresh_coverage(state, sym_t, self_address)
+        self.computations += 1
+        result = self._select_from_coverage(state, self._coverage)
+        self._token = token
+        self._memo_result = set(result)
+        return result
+
+    # -- incremental coverage maintenance ----------------------------------
+
+    def _refresh_coverage(
+        self, state: MprState, sym_t: Tuple[int, ...], self_address: int
+    ) -> None:
+        """Repair coverage for the neighbours affected since the last call."""
+        new_sym = set(sym_t)
+        prev_sym = self._sym
+        blocks = self._blocks
+        raw = self._raw
+        listers = self._listers
+        coverage = self._coverage
+        affected: Set[int] = set()
+
+        def unlist(neighbour: int, nodes) -> None:
+            for x in nodes:
+                entry = listers.get(x)
+                if entry is not None:
+                    entry.discard(neighbour)
+                    if not entry:
+                        del listers[x]
+
+        def enlist(neighbour: int, nodes) -> None:
+            for x in nodes:
+                listers.setdefault(x, set()).add(neighbour)
+
+        for neighbour in prev_sym - new_sym:
+            unlist(neighbour, blocks.pop(neighbour, ()))
+            raw.pop(neighbour, None)
+            coverage.pop(neighbour, None)
+        for neighbour in new_sym - prev_sym:
+            live = state.two_hop.get(neighbour)
+            block = frozenset(live) if live is not None else frozenset()
+            blocks[neighbour] = block
+            raw[neighbour] = live
+            enlist(neighbour, block)
+            affected.add(neighbour)
+        for neighbour in new_sym & prev_sym:
+            live = state.two_hop.get(neighbour)
+            if live is raw.get(neighbour):
+                continue
+            raw[neighbour] = live
+            new_block = frozenset(live) if live is not None else frozenset()
+            old_block = blocks[neighbour]
+            if new_block == old_block:
+                continue
+            blocks[neighbour] = new_block
+            enlist(neighbour, new_block - old_block)
+            unlist(neighbour, old_block - new_block)
+            affected.add(neighbour)
+
+        new_strict = set(listers) - new_sym - {self_address}
+        # Any neighbour listing a node whose strict status flipped must have
+        # that node added to / dropped from its coverage entry.
+        for x in self._strict ^ new_strict:
+            affected |= listers.get(x, set())
+        self._strict = new_strict
+        for neighbour in affected:
+            block = blocks.get(neighbour)
+            if block is not None:
+                coverage[neighbour] = set(block & new_strict)
+        self._sym = new_sym
+
+    # -- the RFC 3626 rules -------------------------------------------------
+
+    def _select_from_coverage(
+        self, state: MprState, coverage: Dict[int, Set[int]]
+    ) -> Set[int]:
+        """Run the selection rules on a coverage map (neighbour -> covered)."""
         # Never relay through unwilling neighbours.
         candidates = {
             n: covered

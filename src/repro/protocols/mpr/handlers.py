@@ -137,7 +137,10 @@ class MprHelloHandler(EventHandlerComponent):
 
         will_tlv = message.tlv_block.find(TlvType.WILLINGNESS)
         if will_tlv is not None:
-            state.willingness_of[sender] = will_tlv.as_int()
+            willingness = will_tlv.as_int()
+            if state.willingness_of.get(sender) != willingness:
+                state.willingness_of[sender] = willingness
+                state.will_version += 1
 
         if selected_us:
             state.note_selector(sender, now + validity)

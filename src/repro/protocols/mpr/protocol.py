@@ -178,7 +178,9 @@ class MprCF(ManetProtocol):
                 "NHOOD_CHANGE",
                 payload={"added": added, "lost": lost, "neighbours": set(sym)},
             )
-        new_mprs = self.calculator.compute(self.mpr_state, now, self.local_address)
+        new_mprs = self.calculator.select(
+            self.mpr_state, now, self.local_address, sym=sym
+        )
         if new_mprs != self.mpr_state.mpr_set:
             self.mpr_state.mpr_set = new_mprs
             self.emit("MPR_CHANGE", payload={"mpr_set": set(new_mprs)})

@@ -64,6 +64,10 @@ class MprState(StateComponent):
         #: downstream computations (route tables) can be cached against it
         #: together with the momentary symmetric-neighbour set.
         self.nhood_version = 0
+        #: bumped when a neighbour's advertised willingness *value* changes
+        #: (kept separate from ``nhood_version`` because willingness feeds
+        #: MPR selection but not route computation).
+        self.will_version = 0
         self.provide_interface("IMPRState", "IMPRState")
 
     # -- link queries -------------------------------------------------------
@@ -187,3 +191,4 @@ class MprState(StateComponent):
         if "own_willingness" in state:
             self.own_willingness = state["own_willingness"]  # type: ignore[assignment]
         self.nhood_version += 1
+        self.will_version += 1

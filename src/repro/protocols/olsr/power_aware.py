@@ -141,6 +141,10 @@ class PowerAwareHelloHandler(MprHelloHandler):
 class PowerAwareMprCalculator(MprCalculator):
     """Replacement calculator: prefers relays with cheap (high-power) links."""
 
+    # Link costs change without any version bump, so the memoised/scoped
+    # ``select`` path would serve stale selections: always recompute.
+    memoises = False
+
     def __init__(self) -> None:
         super().__init__(name="mpr-calculator")
 
@@ -195,6 +199,11 @@ class PowerAwareRouteCalculator(RouteCalculator):
     The destination's own level does not weight the final edge (delivering
     to a low-battery node is the point, relaying through one is the cost).
     """
+
+    # Energy weights sit outside every version fingerprint, so the
+    # incremental SPT (unit hop counts, delta-driven) cannot serve this
+    # calculator: run the legacy full recomputation each install.
+    incremental = False
 
     ALPHA = 4.0
 

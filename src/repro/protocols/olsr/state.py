@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.manet_protocol import StateComponent
 from repro.protocols.common import seq_increment, seq_newer
@@ -22,6 +23,11 @@ class TopologyEntry:
 
 class OlsrState(StateComponent):
     """S element of the OLSR CF."""
+
+    #: Edge-delta batches retained for incremental route repair.  Consumers
+    #: further behind than this (or cut off by a state transfer) rebuild
+    #: from scratch instead.
+    JOURNAL_LIMIT = 256
 
     def __init__(self) -> None:
         super().__init__("olsr-state")
@@ -52,7 +58,49 @@ class OlsrState(StateComponent):
         #: only extend expiries keep the version, so route computations
         #: (which depend on edges alone) can be cached against it.
         self.topology_version = 0
+        #: journal of edge deltas, one entry per version bump:
+        #: (version after applying, added edges, removed edges).
+        self._journal: Deque[
+            Tuple[int, Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]
+        ] = deque()
+        #: oldest version a journal consumer can still catch up from.
+        self._journal_floor = 0
         self.provide_interface("IOLSRState", "IOLSRState")
+
+    # -- topology delta journal --------------------------------------------
+
+    def _log_topology_delta(self, added, removed) -> None:
+        """Bump the version and journal the edge delta that caused it."""
+        self.topology_version += 1
+        self._journal.append((self.topology_version, tuple(added), tuple(removed)))
+        if len(self._journal) > self.JOURNAL_LIMIT:
+            self._journal.popleft()
+            self._journal_floor = self._journal[0][0] - 1
+
+    def _invalidate_journal(self) -> None:
+        """Structural invalidation (state transfer): force consumers to rebuild."""
+        self.topology_version += 1
+        self._journal.clear()
+        self._journal_floor = self.topology_version
+
+    def topology_deltas_since(
+        self, version: int
+    ) -> Optional[List[Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]]]:
+        """Edge deltas taking ``version`` to the current version.
+
+        Returns ``[]`` when already current, ``None`` when the consumer is
+        too far behind (journal overflow) or the journal was invalidated by
+        a state transfer — the caller must fall back to a full rebuild.
+        """
+        if version == self.topology_version:
+            return []
+        if version < self._journal_floor or version > self.topology_version:
+            return None
+        return [
+            (added, removed)
+            for entry_version, added, removed in self._journal
+            if entry_version > version
+        ]
 
     # -- ANSN --------------------------------------------------------------
 
@@ -94,8 +142,14 @@ class OlsrState(StateComponent):
             d for d in dests if seq_newer(ansn, topology[(last_hop, d)].ansn)
         }
         advertised = set(destinations)
-        if (dests - stale) | advertised != dests:
-            self.topology_version += 1
+        # Net edge delta: stale-but-readvertised destinations cancel out.
+        added_net = advertised - dests
+        removed_net = stale - advertised
+        if added_net or removed_net:
+            self._log_topology_delta(
+                [(last_hop, d) for d in added_net],
+                [(last_hop, d) for d in removed_net],
+            )
         for destination in stale:
             del topology[(last_hop, destination)]
         dests -= stale
@@ -121,7 +175,7 @@ class OlsrState(StateComponent):
                 if not dests:
                     del self._by_origin[key[0]]
         if stale:
-            self.topology_version += 1
+            self._log_topology_delta((), stale)
         self._min_expiry = min(
             (entry.expiry for entry in self.topology.values()),
             default=float("inf"),
@@ -134,7 +188,7 @@ class OlsrState(StateComponent):
             return
         for destination in dests:
             del self.topology[(originator, destination)]
-        self.topology_version += 1
+        self._log_topology_delta((), [(originator, d) for d in dests])
 
     def topology_edges(self) -> List[Tuple[int, int]]:
         return sorted(self.topology.keys())
@@ -163,7 +217,10 @@ class OlsrState(StateComponent):
                 self._by_origin.setdefault(last_hop, set()).add(destination)
                 if expiry < self._min_expiry:
                     self._min_expiry = expiry
-            self.topology_version += 1
+        # A transfer can rewrite any input of route computation (topology
+        # edges, the route mirror), so downstream incremental consumers must
+        # rebuild rather than trust their replay position.
+        self._invalidate_journal()
         for attr in ("ansn_of", "msg_seq_of", "routes"):
             value = state.get(attr)
             if isinstance(value, dict):

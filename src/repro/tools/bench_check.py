@@ -128,10 +128,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             continue
         print(comparison.describe())
     gated = [c for c in comparisons if c.direction != "info" and c.status != "new"]
+    fresh = [c for c in comparisons if c.status == "new"]
     print(
         f"bench_check: {len(gated)} gated metric(s), {len(bad)} failure(s), "
         f"tolerance {args.tolerance:.0%}"
     )
+    if fresh:
+        print(
+            f"bench_check: {len(fresh)} metric(s) have no baseline yet and "
+            "were not gated; run with --update to bless them"
+        )
     if bad:
         print(
             f"bench_check: REGRESSION — {len(bad)} metric(s) moved past the "

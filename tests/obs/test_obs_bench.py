@@ -125,6 +125,24 @@ class TestCompareDirs:
         bad = failures(compare_dirs(base_dir, cur_dir))
         assert [c.status for c in bad] == ["missing"]
 
+    def test_results_only_bench_file_reported_new(self, tmp_path):
+        """A not-yet-baselined BENCH file must surface, not vanish."""
+        base_dir, cur_dir = self._dirs(
+            tmp_path,
+            {"frames": BenchMetric(value=100)},
+            {"frames": BenchMetric(value=100)},
+        )
+        write_bench(
+            "ladder",
+            {"nodes": BenchMetric(value=500), "wall": BenchMetric(value=1.0)},
+            cur_dir,
+        )
+        comparisons = compare_dirs(base_dir, cur_dir)
+        assert failures(comparisons) == []
+        fresh = [c for c in comparisons if c.bench == "ladder"]
+        assert len(fresh) == 2
+        assert all(c.status == "new" and c.baseline is None for c in fresh)
+
 
 class TestBenchCheckCli:
     def test_update_then_pass(self, tmp_path, capsys):
