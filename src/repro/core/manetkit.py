@@ -134,6 +134,12 @@ class ManetKit(ComponentFramework):
             self.manager.unregister_unit(protocol)
             protocol.deployment = None
             raise
+        # Record in the rebuild recipe so crash/restart resurrects the
+        # stack a node is *currently* running — including protocols that
+        # arrived via a live switch, not load_protocol.  Registered-name
+        # entries only: an unregistered name cannot be rebuilt.
+        if protocol.name in PROTOCOL_REGISTRY:
+            self._recipe.append((protocol.name, {}))
         self.system.emit("PROTOCOL_STARTED", payload={"protocol": protocol.name})
         return protocol
 
@@ -147,7 +153,10 @@ class ManetKit(ComponentFramework):
                 f"(available: {sorted(PROTOCOL_REGISTRY)})"
             ) from None
         protocol = self.deploy(builder(self.ontology, **kwargs))
-        self._recipe.append((name, dict(kwargs)))
+        if self._recipe and self._recipe[-1] == (name, {}):
+            self._recipe[-1] = (name, dict(kwargs))
+        else:
+            self._recipe.append((name, dict(kwargs)))
         return protocol
 
     def undeploy(self, name: str) -> ManetProtocol:

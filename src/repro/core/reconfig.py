@@ -45,17 +45,52 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def _canonical_encode(value: Any) -> str:
+    """Canonical text encoding of an S-element state payload.
+
+    Deterministic across runs and interpreter hash seeds: dict items are
+    ordered by their encoded key, sets by their encoded elements.  This is
+    the sizing encoding for ``reconfig.state_transfer_bytes`` — a stable
+    stand-in for the wire format a distributed state handover would use.
+    """
+    if isinstance(value, dict):
+        parts = sorted(
+            (_canonical_encode(k), _canonical_encode(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in parts) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical_encode(v) for v in value)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical_encode(v) for v in value) + "]"
+    return repr(value)
+
+
+def canonical_state_bytes(payload: Any) -> int:
+    """Size in bytes of the canonical encoding of a carried state payload."""
+    return len(_canonical_encode(payload).encode("utf-8"))
+
+
 class ReconfigurationManager:
     """Enactment engine for one deployment."""
 
     def __init__(self, deployment: "ManetKit") -> None:
         self.deployment = deployment
         self.enactments = 0
+        #: Canonical byte size of the state payload carried by the most
+        #: recent :meth:`switch_protocol` (0 when nothing was carried).
+        self.last_state_transfer_bytes = 0
+        #: Running total across every switch this manager enacted.
+        self.state_transfer_bytes = 0
+
+    def _node_id(self) -> int:
+        node = getattr(self.deployment, "node", None)
+        return getattr(node, "node_id", -1)
 
     def _span(self, name: str, **attrs: Any):
         """A trace span for one enactment (no-op without tracing)."""
         obs = getattr(self.deployment, "obs", None)
         if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+            attrs.setdefault("node", self._node_id())
             return obs.tracer.span(name, **attrs)
         return _NULL_SPAN
 
@@ -147,17 +182,40 @@ class ReconfigurationManager:
         processed while neither (or both) protocol is live.
         """
         old = self._protocol(old_name)
+        self.last_state_transfer_bytes = 0
         with self._span(
             "reconfig.switch_protocol", old=old_name, new=new_protocol.name
         ):
             self.deployment.drain()
             with QuiescenceManager([old, new_protocol]):
                 if carry_state and old.state is not None and new_protocol.state is not None:
-                    new_protocol.state.set_state(old.state.get_state())
+                    payload = old.state.get_state()
+                    self._note_state_transfer(old_name, new_protocol.name, payload)
+                    new_protocol.state.set_state(payload)
                 self.deployment.undeploy(old_name)
                 self.deployment.deploy(new_protocol)
         self.enactments += 1
         return new_protocol
+
+    def _note_state_transfer(
+        self, old_name: str, new_name: str, payload: Any
+    ) -> None:
+        """Account the carried S-element payload (metrics + trace record)."""
+        size = canonical_state_bytes(payload)
+        self.last_state_transfer_bytes = size
+        self.state_transfer_bytes += size
+        obs = getattr(self.deployment, "obs", None)
+        if obs is None:
+            return
+        obs.registry.counter(
+            "reconfig.state_transfer_bytes", node=self._node_id()
+        ).inc(size)
+        tracer = obs.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "reconfig.state_transfer", node=self._node_id(),
+                old=old_name, new=new_name, bytes=size,
+            )
 
     # -- transactional multi-CF changes --------------------------------------------------
 

@@ -39,6 +39,15 @@ from repro.obs.trace import TraceEvent
 MINT_NAMES = ("medium.broadcast", "medium.unicast", "node.data_send")
 
 
+def _reconfig_label(event: TraceEvent) -> str:
+    """Human label for a reconfiguration record, e.g. the switch pair."""
+    attrs = event.attrs
+    if "old" in attrs and "new" in attrs:
+        return f"{event.name} {attrs['old']}->{attrs['new']}"
+    detail = attrs.get("protocol") or attrs.get("unit") or attrs.get("child")
+    return f"{event.name} {detail}" if detail else event.name
+
+
 class Transmission:
     """One provenance id: a transmission (or data-send origination)."""
 
@@ -185,6 +194,18 @@ class CausalGraph:
         self._unit_ends: Dict[int, List[TraceEvent]] = {}
         #: (node, dst) -> node.no_route records.
         self._no_route: Dict[Tuple[int, int], List[TraceEvent]] = {}
+        #: Reconfiguration enactments: every completed ``reconfig.*`` span
+        #: (end records, which carry the duration) plus the instantaneous
+        #: ``reconfig.state_transfer`` records, in trace order.
+        self.reconfig_events: List[TraceEvent] = []
+        #: node -> [(t0, t1, end-record)] completed reconfig spans.
+        self._reconfig_spans: Dict[int, List[Tuple[float, float, TraceEvent]]] = {}
+        #: packet_id -> node.data_send record.
+        self._data_sends: Dict[int, TraceEvent] = {}
+        #: packet_ids seen in node.data_delivered records.
+        self._data_delivered: Dict[int, TraceEvent] = {}
+        #: packet_id -> node.data_drop / node.no_route records (drop causes).
+        self._data_drops: Dict[int, List[TraceEvent]] = {}
         self._index()
 
     # -- construction -------------------------------------------------------
@@ -206,7 +227,10 @@ class CausalGraph:
                     self._tx(prov).mint = event
                 elif name == "medium.deliver":
                     self._tx(prov).deliveries.append(event)
-                elif name in ("medium.loss", "medium.tamper", "medium.no_link"):
+                elif name in (
+                    "medium.loss", "medium.tamper", "medium.no_link",
+                    "medium.unregistered",
+                ):
                     self._tx(prov).losses.append(event)
             cause = attrs.get("cause")
             if cause:
@@ -245,6 +269,27 @@ class CausalGraph:
             elif name == "node.no_route":
                 key = (int(attrs["node"]), int(attrs["dst"]))
                 self._no_route.setdefault(key, []).append(event)
+                packet_id = attrs.get("packet_id")
+                if packet_id is not None:
+                    self._data_drops.setdefault(int(packet_id), []).append(event)
+            elif name == "node.data_drop":
+                self._data_drops.setdefault(
+                    int(attrs["packet_id"]), []
+                ).append(event)
+            elif name == "node.data_send":
+                self._data_sends[int(attrs["packet_id"])] = event
+            elif name == "node.data_delivered":
+                self._data_delivered.setdefault(int(attrs["packet_id"]), event)
+            elif name.startswith("reconfig."):
+                if name == "reconfig.state_transfer":
+                    self.reconfig_events.append(event)
+                elif event.kind == "end":
+                    self.reconfig_events.append(event)
+                    node = attrs.get("node")
+                    if node is not None:
+                        self._reconfig_spans.setdefault(int(node), []).append(
+                            (event.t_sim - event.dt_sim, event.t_sim, event)
+                        )
 
     # -- route installs ------------------------------------------------------
 
@@ -364,6 +409,151 @@ class CausalGraph:
                 self._split_gap(next_node, mint.t_sim, next_t, tx.prov, edges)
         return CriticalPath(target, chain, edges)
 
+    # -- reconfiguration attribution ----------------------------------------
+
+    def reconfig_during(
+        self, node: int, t: float
+    ) -> Optional[TraceEvent]:
+        """The reconfiguration span covering time ``t`` on ``node``, if any."""
+        for t0, t1, event in self._reconfig_spans.get(node, ()):
+            if t0 - 1e-9 <= t <= t1 + 1e-9:
+                return event
+        return None
+
+    def reconfig_summary(self) -> List[Dict[str, Any]]:
+        """Every reconfiguration record, flattened for display."""
+        out: List[Dict[str, Any]] = []
+        for event in self.reconfig_events:
+            attrs = event.attrs
+            entry: Dict[str, Any] = {
+                "t": event.t_sim,
+                "name": event.name,
+                "node": attrs.get("node"),
+                "label": _reconfig_label(event),
+            }
+            if event.kind == "end":
+                entry["dt"] = event.dt_sim
+            if event.name == "reconfig.state_transfer":
+                entry["bytes"] = attrs.get("bytes")
+            out.append(entry)
+        return out
+
+    # -- data-plane accounting ----------------------------------------------
+
+    def _origin_packet(self, tx: Transmission) -> Optional[int]:
+        """The application packet id a data transmission originates from."""
+        seen = set()
+        current: Optional[Transmission] = tx
+        while current is not None and current.prov not in seen:
+            seen.add(current.prov)
+            mint = current.mint
+            if mint is not None and mint.name == "node.data_send":
+                packet_id = mint.attrs.get("packet_id")
+                return None if packet_id is None else int(packet_id)
+            cause = current.cause
+            if not cause:
+                return None
+            current = self.transmissions.get(cause)
+        return None
+
+    def account_data(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """No-silent-loss ledger for application data packets.
+
+        Every ``node.data_send`` whose origination time falls inside
+        ``[t0, t1]`` is classified as exactly one of:
+
+        * ``delivered`` — a ``node.data_delivered`` record exists;
+        * ``dropped`` (by reason) — a drop record with an explicit cause
+          exists: ``node.data_drop`` (TTL expiry / forwarding disabled),
+          ``node.no_route`` without a buffering hook, or a medium loss
+          record (``medium.loss`` / ``medium.tamper`` / ``medium.no_link``
+          / ``medium.unregistered``) on any hop of the packet's causal
+          chain;
+        * ``buffered`` — held by NetLink pending route discovery
+          (``node.no_route`` with the netfilter hook) and never resolved;
+        * ``in_flight`` — a hop transmission exists with neither a
+          delivery nor a loss record (the trace window closed around it);
+        * ``silent`` — none of the above.  A non-empty ``silent`` list is
+          an accounting hole: the simulator lost a packet without leaving
+          a cause record, which the reconfiguration battery treats as an
+          invariant violation.
+        """
+        tx_of_packet: Dict[int, List[Transmission]] = {}
+        for tx in self.transmissions.values():
+            mint = tx.mint
+            if mint is None:
+                continue
+            if mint.name == "node.data_send":
+                continue  # origination, not a hop transmission
+            if mint.attrs.get("kind") == "data":
+                packet_id = self._origin_packet(tx)
+                if packet_id is not None:
+                    tx_of_packet.setdefault(packet_id, []).append(tx)
+
+        dropped: Dict[str, int] = {}
+        outcomes: Dict[int, str] = {}
+        silent: List[int] = []
+        sent = delivered = buffered_count = in_flight = 0
+        for packet_id, send in sorted(self._data_sends.items()):
+            if t0 is not None and send.t_sim < t0 - 1e-9:
+                continue
+            if t1 is not None and send.t_sim > t1 + 1e-9:
+                continue
+            sent += 1
+            if packet_id in self._data_delivered:
+                delivered += 1
+                outcomes[packet_id] = "delivered"
+                continue
+            drop_reason: Optional[str] = None
+            buffered = False
+            for record in self._data_drops.get(packet_id, ()):
+                if record.name == "node.data_drop":
+                    drop_reason = str(record.attrs.get("reason", "drop"))
+                    break
+                if record.attrs.get("originated") and (
+                    record.attrs.get("hook") == "netfilter"
+                ):
+                    buffered = True
+                else:
+                    drop_reason = "no_route"
+            if drop_reason is None:
+                losses = [
+                    loss
+                    for tx in tx_of_packet.get(packet_id, ())
+                    for loss in tx.losses
+                ]
+                if losses:
+                    drop_reason = losses[-1].name.split(".", 1)[1]
+            if drop_reason is not None:
+                dropped[drop_reason] = dropped.get(drop_reason, 0) + 1
+                outcomes[packet_id] = f"dropped:{drop_reason}"
+            elif buffered:
+                buffered_count += 1
+                outcomes[packet_id] = "buffered"
+            else:
+                live = [
+                    tx
+                    for tx in tx_of_packet.get(packet_id, ())
+                    if not tx.deliveries and not tx.losses
+                ]
+                if live:
+                    in_flight += 1
+                    outcomes[packet_id] = "in_flight"
+                else:
+                    silent.append(packet_id)
+                    outcomes[packet_id] = "silent"
+        return {
+            "sent": sent,
+            "delivered": delivered,
+            "dropped": dropped,
+            "buffered": buffered_count,
+            "in_flight": in_flight,
+            "silent": silent,
+            "outcomes": outcomes,
+        }
+
     # -- why / why-not route queries ----------------------------------------
 
     def explain_route(
@@ -396,6 +586,10 @@ class CausalGraph:
         history.sort(key=lambda item: (item["t"], item["seq"]))
         if at is not None:
             history = [item for item in history if item["t"] <= at]
+        for item in history:
+            span = self.reconfig_during(node, item["t"])
+            if span is not None:
+                item["during"] = _reconfig_label(span)
         last = history[-1] if history else None
         installed = last is not None and last["action"] == "install"
         no_route = [
@@ -430,6 +624,14 @@ class CausalGraph:
             "losses": sum(len(tx.losses) for tx in minted),
             "route_installs": len(self._installs),
             "route_removals": len(self._removals),
+            "reconfigurations": sum(
+                1 for e in self.reconfig_events if e.kind == "end"
+            ),
+            "state_transfer_bytes": sum(
+                int(e.attrs.get("bytes", 0) or 0)
+                for e in self.reconfig_events
+                if e.name == "reconfig.state_transfer"
+            ),
         }
 
 

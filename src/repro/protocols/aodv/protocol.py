@@ -234,6 +234,9 @@ class AodvCF(ManetProtocol):
                 "rreq_wait": RREQ_WAIT,
                 "rreq_tries": RREQ_TRIES,
                 "piggyback_routes": False,
+                # RREQ TTL: must cover the network diameter or discovery
+                # dies short of far destinations (same knob as DYMO's).
+                "net_diameter": 10,
             }
         )
         self.aodv_state = AodvState()
@@ -282,6 +285,15 @@ class AodvCF(ManetProtocol):
             deployment.deploy(NeighbourDetectionCF(self.ontology))
         if self.config("piggyback_routes"):
             self.enable_route_piggyback()
+
+    def on_uninstall(self, deployment) -> None:
+        # Same teardown discipline as DYMO: disarm discovery retry timers
+        # (they close over this protocol and must not fire after the
+        # switch) and withdraw this protocol's kernel routes.
+        for pending in self.aodv_state.pending.values():
+            pending.cancel()
+        self.aodv_state.pending.clear()
+        self.sys_state().replace_all([], proto=self.name)
 
     def enable_route_piggyback(self) -> None:
         """Advertise routes on the Neighbour Detection CF's HELLOs.
@@ -377,6 +389,7 @@ class AodvCF(ManetProtocol):
             state.next_rreq_id(),
             destination,
             known.seqnum if known is not None else None,
+            hop_limit=self.config("net_diameter"),
         )
         self.send_message("AODV_RREQ_OUT", rreq)
 

@@ -135,6 +135,17 @@ class DymoCF(ManetProtocol):
 
             deployment.deploy(NeighbourDetectionCF(self.ontology))
 
+    def on_uninstall(self, deployment) -> None:
+        # A live discovery's retry timer closes over this protocol; left
+        # armed it would fire after the teardown and resurrect RREQ traffic
+        # (or crash on the severed deployment reference) mid-switch.
+        for pending in self.dymo_state.pending.values():
+            pending.cancel()
+        self.dymo_state.pending.clear()
+        # Withdraw this protocol's kernel routes, like a real daemon on
+        # exit; routes installed by co-deployed protocols survive.
+        self.sys_state().replace_all([], proto=self.name)
+
     # -- parameters --------------------------------------------------------------
 
     def route_timeout(self) -> float:

@@ -16,7 +16,7 @@ from repro.core.manet_protocol import EventHandlerComponent, ManetProtocol
 from repro.events.event import Event
 from repro.events.registry import EventTuple, Requirement
 from repro.events.types import EventOntology
-from repro.packetbb.message import MsgType
+from repro.packetbb.message import Message, MsgType
 from repro.protocols.mpr.calculator import MprCalculator
 from repro.protocols.mpr.forward import MprForward
 from repro.protocols.mpr.handlers import (
@@ -41,8 +41,15 @@ class _FloodRelayHandler(EventHandlerComponent):
         super().__init__(f"relay[{in_event}]")
         self.cf = cf
         self.out_event = out_event
+        #: numeric message types seen through this relay; purged from the
+        #: duplicate set when the type is unregistered (the registrant's
+        #: replacement restarts its seqnum space)
+        self.msg_types_seen: set = set()
 
     def handle(self, event: Event) -> None:
+        message = event.payload
+        if isinstance(message, Message):
+            self.msg_types_seen.add(message.msg_type)
         self.cf.mpr_forward.consider(event, self.out_event)
 
 
@@ -131,7 +138,9 @@ class MprCF(ManetProtocol):
         out_event = self._flooded.pop(in_event, None)
         if out_event is None:
             return
-        self.remove_component(f"relay[{in_event}]")
+        handler = self.remove_component(f"relay[{in_event}]")
+        for msg_type in getattr(handler, "msg_types_seen", ()):
+            self.mpr_state.purge_duplicates(msg_type)
         required = [r for r in self.event_tuple.required if r.name != in_event]
         provided = [
             p

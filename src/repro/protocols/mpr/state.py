@@ -161,6 +161,18 @@ class MprState(StateComponent):
         for key in [k for k, t in self.duplicates.items() if t <= now]:
             del self.duplicates[key]
 
+    def purge_duplicates(self, msg_type: int) -> None:
+        """Forget one message type's flooding history.
+
+        Called when the type's registrant is undeployed: a re-deployed
+        protocol restarts its seqnum space, and the stale entries would
+        otherwise suppress its first ``DUP_HOLD`` seconds of floods at
+        every relay hop — a fleet-wide blackout after a live protocol
+        switch.
+        """
+        for key in [k for k in self.duplicates if k[1] == msg_type]:
+            del self.duplicates[key]
+
     # -- state transfer ----------------------------------------------------------
 
     def get_state(self) -> Dict[str, object]:

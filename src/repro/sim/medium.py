@@ -346,6 +346,13 @@ class WirelessMedium:
         if receiver is None:
             # The node left the network while the frame was in flight.
             self.frames_lost += 1
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.event(
+                    "medium.unregistered", sender=frame.sender,
+                    dst=receiver_id, kind=frame.kind, size=frame.size,
+                    prov=frame.meta.get("prov"),
+                )
             return
         self.frames_delivered += 1
         tracer = self._tracer()

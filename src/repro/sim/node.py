@@ -299,7 +299,7 @@ class SimNode:
         if tracer is not None:
             tracer.event(
                 "node.no_route", node=self.node_id, dst=packet.dst,
-                originated=originated,
+                packet_id=packet.packet_id, originated=originated,
                 hook="netfilter" if self.hooks is not None else "drop",
             )
         if self.hooks is not None:
@@ -344,6 +344,13 @@ class SimNode:
         if not self.ip_forward or packet.ttl <= 1:
             if self.stats is not None:
                 self.stats.note_data_dropped(self.node_id)
+            tracer = self._tracer()
+            if tracer is not None:
+                tracer.event(
+                    "node.data_drop", node=self.node_id, dst=packet.dst,
+                    packet_id=packet.packet_id,
+                    reason="no_forward" if not self.ip_forward else "ttl_expired",
+                )
             return
         packet.ttl -= 1
         self.data_forwarded += 1

@@ -86,6 +86,48 @@ def deploy(kit: ManetKit, protocol: str) -> None:
         kit.load_protocol(protocol)
 
 
+#: The live-reconfiguration golden cell: one canonical seed, two fleet
+#: switches (proactive -> reactive -> reactive) under the same chain and
+#: CBR traffic, freezing the reconfiguration trace records
+#: (``reconfig.switch_protocol`` spans and ``reconfig.state_transfer``)
+#: byte-for-byte alongside the protocol traffic.
+RECONFIG_SEED = 7
+RECONFIG_DURATION = 30.0
+RECONFIG_SWITCHES: Tuple[Tuple[float, str, str], ...] = (
+    (12.0, "olsr", "dymo"),
+    (20.0, "dymo", "aodv"),
+)
+
+
+def run_reconfig_scenario(seed: int = RECONFIG_SEED) -> bytes:
+    """The reconfiguration cell; returns deterministic JSONL."""
+    from repro.core.manetkit import PROTOCOL_REGISTRY
+
+    sim = Simulation(seed=seed)
+    sim.add_nodes(5)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    tracer = sim.obs.enable_tracing()
+    kits: Dict[int, ManetKit] = {}
+    for node_id in ids:
+        kit = ManetKit(sim.node(node_id))
+        deploy(kit, "olsr")
+        kits[node_id] = kit
+    sim.start_cbr(ids[0], ids[-1], interval=0.5, start_delay=5.0)
+    for at, old, new in RECONFIG_SWITCHES:
+        sim.run(at - sim.now)
+        for node_id in ids:
+            kit = kits[node_id]
+            replacement = PROTOCOL_REGISTRY[new](kit.ontology)
+            kit.reconfig.switch_protocol(old, replacement)
+    sim.run(RECONFIG_DURATION - sim.now)
+    buffer = io.StringIO()
+    for event in tracer.events:
+        buffer.write(json.dumps(trace_event_to_dict(event, True), sort_keys=True))
+        buffer.write("\n")
+    return buffer.getvalue().encode("utf-8")
+
+
 def run_scenario(protocol: str, seed: int) -> bytes:
     """One seeded cell of the golden matrix; returns deterministic JSONL."""
     sim = Simulation(seed=seed)
@@ -123,6 +165,10 @@ def regenerate(directory: pathlib.Path = GOLDEN_DIR) -> List[pathlib.Path]:
             )
             written.append(path)
             print(f"[golden] wrote {path} ({path.stat().st_size} bytes)")
+    path = directory / f"replay_reconfig_seed{RECONFIG_SEED}.jsonl.gz"
+    path.write_bytes(gzip.compress(run_reconfig_scenario(), mtime=0))
+    written.append(path)
+    print(f"[golden] wrote {path} ({path.stat().st_size} bytes)")
     return written
 
 

@@ -15,7 +15,10 @@ through every forwarding hop to the kernel install) and prints the
 critical path: an exact partition of the root-to-install delay into
 propagation / timer-wait / processing edges.  ``--explain NODE DST``
 answers why (or why not) a node holds a route at a given time, replayed
-from the kernel-table mutation records.  ``--chrome OUT`` writes Chrome
+from the kernel-table mutation records; history rows that fall inside a
+live-reconfiguration window are annotated ``[during ...]``.  ``--reconfig``
+lists every reconfiguration enactment and state-transfer record in the
+trace.  ``--chrome OUT`` writes Chrome
 trace-event JSON viewable in Perfetto or ``chrome://tracing``, one track
 per node with flow arrows following every transmission.
 
@@ -68,6 +71,9 @@ def print_summary(graph: CausalGraph) -> None:
           f"{stats['deliveries']} deliveries, {stats['losses']} losses")
     print(f"kernel: {stats['route_installs']} route installs, "
           f"{stats['route_removals']} removals")
+    if stats["reconfigurations"]:
+        print(f"reconfig: {stats['reconfigurations']} enactments, "
+              f"{stats['state_transfer_bytes']} state-transfer bytes")
     top = sorted(
         summary["events_by_name"].items(), key=lambda kv: -kv[1]
     )[:10]
@@ -166,7 +172,30 @@ def print_explain(
                 else ""
             )
             cause = f" cause=prov {item['cause']}" if item.get("cause") else ""
-            print(f"  t={item['t']:.6f}s  {item['action']}{detail}{cause}")
+            during = (
+                f" [during {item['during']}]" if item.get("during") else ""
+            )
+            print(f"  t={item['t']:.6f}s  {item['action']}{detail}{cause}{during}")
+    return 0
+
+
+def print_reconfig(graph: CausalGraph, limit: int) -> int:
+    entries = graph.reconfig_summary()
+    if not entries:
+        print("no reconfiguration records in this trace", file=sys.stderr)
+        return 1
+    print(f"{len(entries)} reconfiguration record(s):")
+    shown = entries if len(entries) <= limit else entries[-limit:]
+    if len(entries) > limit:
+        print(f"  ... ({len(entries) - limit} earlier records elided)")
+    for entry in shown:
+        node = f"node {entry['node']}" if entry.get("node") is not None else "?"
+        extra = ""
+        if entry.get("bytes") is not None:
+            extra = f"  {entry['bytes']} B carried"
+        elif entry.get("dt") is not None:
+            extra = f"  ({_ms(entry['dt'])} quiesced)"
+        print(f"  t={entry['t']:.6f}s  {node:<10s} {entry['label']}{extra}")
     return 0
 
 
@@ -213,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print trace and provenance summary statistics",
     )
     parser.add_argument(
+        "--reconfig", action="store_true",
+        help="list reconfiguration enactments and state-transfer records",
+    )
+    parser.add_argument(
         "--limit", type=int, default=30,
         help="max chain/history rows to print (default 30)",
     )
@@ -240,6 +273,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             status,
             print_explain(graph, *args.explain, at=args.at, limit=args.limit),
         )
+        ran_anything = True
+    if args.reconfig:
+        status = max(status, print_reconfig(graph, limit=args.limit))
         ran_anything = True
     if args.chrome is not None:
         status = max(status, write_chrome(graph, args.chrome))

@@ -1,0 +1,23 @@
+"""Shared fixtures for the live-reconfiguration suite.
+
+The smoke battery is the expensive common substrate (a 12-node grid,
+three fleet-wide protocol switches, mobility, loss bursts, full trace):
+run it once per session and let every module assert against the same
+report, trace and live simulation objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.reconfig_battery import ReconfigBattery, smoke_battery
+
+
+@pytest.fixture(scope="session")
+def smoke_run():
+    """One traced smoke-battery run: ``(battery, report)``."""
+    config = smoke_battery()
+    config.trace = True
+    battery = ReconfigBattery(config)
+    report = battery.run()
+    return battery, report

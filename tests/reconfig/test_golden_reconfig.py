@@ -1,0 +1,54 @@
+"""Golden replay of the reconfiguration cell: frozen, byte-identical.
+
+``tests/golden/replay_reconfig_seed7.jsonl.gz`` freezes the full trace
+of two fleet-wide switches (olsr -> dymo -> aodv) on the 5-node chain —
+state-transfer records included.  The live tree must reproduce it
+byte-for-byte, and two runs on the same tree must agree with each other
+(self-determinism), which pins the reconfiguration path into the same
+determinism contract as the protocol matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.golden_replay import (
+    RECONFIG_SEED,
+    load_golden,
+    run_reconfig_scenario,
+)
+
+
+def _first_divergence(ours: bytes, golden: bytes) -> str:
+    our_lines = ours.decode().splitlines()
+    golden_lines = golden.decode().splitlines()
+    for index, (a, b) in enumerate(zip(our_lines, golden_lines)):
+        if a != b:
+            return (f"first divergence at line {index + 1}:\n"
+                    f"  ours:   {a[:200]}\n  golden: {b[:200]}")
+    return (f"line counts differ: ours={len(our_lines)} "
+            f"golden={len(golden_lines)}")
+
+
+@pytest.fixture(scope="module")
+def replay() -> bytes:
+    return run_reconfig_scenario()
+
+
+def test_reconfig_replay_matches_golden(replay):
+    golden = load_golden("reconfig", RECONFIG_SEED)
+    assert replay == golden, _first_divergence(replay, golden)
+
+
+def test_reconfig_replay_self_deterministic(replay):
+    again = run_reconfig_scenario()
+    assert replay == again, _first_divergence(again, replay)
+
+
+def test_reconfig_replay_contains_transfer_records(replay):
+    lines = replay.decode().splitlines()
+    transfers = [l for l in lines if '"reconfig.state_transfer"' in l]
+    switches = [l for l in lines if '"reconfig.switch_protocol' in l]
+    # Two fleet switches x five nodes, each with a state handoff.
+    assert len(transfers) == 10
+    assert len(switches) >= 10

@@ -1,0 +1,138 @@
+"""Delta-journal invalidation on state transfer (property + integration).
+
+The incremental SPT consumes :meth:`OlsrState.topology_deltas_since` to
+replay edge deltas instead of rebuilding.  A ``set_state`` (live switch
+handoff) can rewrite any input of route computation, so the journal must
+be *structurally invalidated*: any replay position captured before the
+transfer has to come back ``None`` — never a stale delta list — and the
+route calculator's next install has to be a full rebuild, not an
+incremental repair over pre-transfer deltas.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManetKit
+from repro.protocols.olsr.state import OlsrState
+from repro.sim import Simulation, topology
+
+
+# -- state-level property ---------------------------------------------------
+
+#: One topology mutation: a TC installing ``destinations`` for
+#: ``last_hop`` at monotonically growing ANSNs.
+_tc_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=6),            # last_hop
+        st.sets(st.integers(min_value=1, max_value=9),    # destinations
+                max_size=4),
+    ),
+    min_size=0, max_size=12,
+)
+
+
+def _apply_ops(state: OlsrState, ops, ansn_start: int = 0) -> None:
+    for index, (last_hop, destinations) in enumerate(ops):
+        state.record_topology(
+            last_hop, sorted(destinations), ansn_start + index + 1,
+            expiry=1e9,
+        )
+
+
+@given(
+    before=_tc_ops,
+    after=_tc_ops,
+    donor_ops=_tc_ops,
+    probe_offset=st.integers(min_value=0, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_set_state_always_invalidates_pre_transfer_versions(
+    before, after, donor_ops, probe_offset
+):
+    state = OlsrState()
+    _apply_ops(state, before)
+
+    # Any version a consumer could have captured before the transfer.
+    probe = min(probe_offset, state.topology_version)
+    v_transfer = state.topology_version
+
+    donor = OlsrState()
+    _apply_ops(donor, donor_ops, ansn_start=100)
+    state.set_state(donor.get_state())
+
+    # The transfer itself bumps the version: caches keyed on it miss.
+    assert state.topology_version > v_transfer
+    # Every pre-transfer replay position is refused outright.
+    assert state.topology_deltas_since(probe) is None
+    assert state.topology_deltas_since(v_transfer) is None
+    # The current version is the only catch-up point...
+    assert state.topology_deltas_since(state.topology_version) == []
+
+    # ...and post-transfer journalling resumes normally from there.
+    v_after_transfer = state.topology_version
+    _apply_ops(state, after, ansn_start=200)
+    deltas = state.topology_deltas_since(v_after_transfer)
+    assert deltas is not None
+    replayed = state.topology_version - v_after_transfer
+    assert len(deltas) == replayed
+
+
+@given(ops=_tc_ops)
+@settings(max_examples=30, deadline=None)
+def test_journal_replays_exactly_without_transfer(ops):
+    """Control property: absent a transfer, replay is always available."""
+    state = OlsrState()
+    v0 = state.topology_version
+    _apply_ops(state, ops)
+    deltas = state.topology_deltas_since(v0)
+    assert deltas is not None
+    # Replaying the deltas reproduces the edge set.
+    edges = set()
+    for added, removed in deltas:
+        edges |= set(added)
+        edges -= set(removed)
+    assert edges == set(state.topology.keys())
+
+
+# -- integration: the route calculator falls back, never replays ------------
+
+
+def test_route_calculator_full_rebuild_after_transfer():
+    sim = Simulation(seed=9)
+    sim.add_nodes(4)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol("olsr", tc_interval=1.0)
+        kits[nid] = kit
+    sim.run(8.0)
+
+    olsr = kits[ids[0]].protocol("olsr")
+    calc = olsr.route_calculator
+    # Steady state: the incremental engine is seeded and live.
+    assert calc.incremental and calc._engine is not None
+    routes_before = dict(olsr.olsr_state.routes)
+    assert routes_before
+
+    donor = kits[ids[-1]].protocol("olsr")
+    fallbacks = calc.fallbacks
+    incrementals = calc.incremental_updates
+    olsr.olsr_state.set_state(donor.olsr_state.get_state())
+
+    count = calc.install()
+    assert calc.fallbacks == fallbacks + 1, (
+        "post-transfer install did not fall back to a full rebuild"
+    )
+    assert calc.incremental_updates == incrementals, (
+        "post-transfer install replayed stale deltas incrementally"
+    )
+    assert count > 0
+    # And the fleet keeps functioning: the next installs may be
+    # incremental again, from the post-transfer baseline.
+    sim.run(5.0)
+    assert calc.fallbacks == fallbacks + 1

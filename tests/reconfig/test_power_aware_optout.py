@@ -1,0 +1,138 @@
+"""The power-aware variant's cache opt-out contract.
+
+Residual power changes without bumping any version fingerprint, so the
+power-aware calculators must opt out of every caching layer the standard
+ones rely on: ``PowerAwareMprCalculator.memoises = False`` (selection
+recomputes every call), ``PowerAwareRouteCalculator.incremental = False``
+(the legacy full-recompute install path, never the delta-driven SPT) and
+``_cache_token() -> None`` (no token-cached route reuse).  Backing the
+variant out must restore the memoised/incremental regime intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManetKit
+from repro.protocols.mpr.calculator import MprCalculator
+from repro.protocols.olsr.power_aware import (
+    PowerAwareMprCalculator,
+    PowerAwareRouteCalculator,
+    apply_power_aware,
+    remove_power_aware,
+)
+from repro.protocols.olsr.routes import RouteCalculator
+from repro.sim import Simulation, topology
+
+
+@pytest.fixture()
+def fleet():
+    sim = Simulation(seed=13)
+    sim.add_nodes(4)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol("olsr", tc_interval=1.0)
+        kits[nid] = kit
+    sim.run(8.0)
+    return sim, ids, kits
+
+
+def test_flags_and_cache_token(fleet):
+    _sim, ids, kits = fleet
+    kit = kits[ids[1]]
+    olsr = kit.protocol("olsr")
+    mpr = kit.protocol("mpr")
+
+    assert olsr.route_calculator.incremental is True
+    assert mpr.calculator.memoises is True
+
+    apply_power_aware(kit)
+    calc = olsr.route_calculator
+    assert isinstance(calc, PowerAwareRouteCalculator)
+    assert calc.incremental is False
+    assert calc._cache_token() is None
+    assert isinstance(mpr.calculator, PowerAwareMprCalculator)
+    assert mpr.calculator.memoises is False
+
+
+def test_optout_recomputes_every_install(fleet):
+    """No token -> no cache hit: every install runs the full Dijkstra."""
+    _sim, ids, kits = fleet
+    kit = kits[ids[1]]
+    apply_power_aware(kit)
+    calc = kit.protocol("olsr").route_calculator
+
+    computations = calc.computations
+    hits = calc.cache_hits
+    for _ in range(3):
+        calc.install()
+    assert calc.computations == computations + 3
+    assert calc.cache_hits == hits
+    # The legacy path never touches the incremental machinery.
+    assert calc.incremental_updates == 0 and calc.fallbacks == 0
+
+
+def test_optout_mpr_selection_never_memoised(fleet):
+    sim, ids, kits = fleet
+    kit = kits[ids[1]]
+    mpr = kit.protocol("mpr")
+    apply_power_aware(kit)
+    calculator = mpr.calculator
+    now = sim.now
+    state = mpr.mpr_state
+    sym = set(state.symmetric_neighbours(now))
+
+    computations = calculator.computations
+    first = calculator.select(state, now, mpr.local_address, sym=sym)
+    second = calculator.select(state, now, mpr.local_address, sym=sym)
+    # Identical inputs, yet both calls computed (no memo hit) and agree.
+    assert calculator.computations == computations + 2
+    assert first == second
+
+
+def test_memoised_control_skips_recompute(fleet):
+    """Control: the standard calculator memoises identical selections."""
+    sim, ids, kits = fleet
+    mpr = kits[ids[1]].protocol("mpr")
+    calculator = mpr.calculator
+    now = sim.now
+    state = mpr.mpr_state
+    sym = set(state.symmetric_neighbours(now))
+    calculator.select(state, now, mpr.local_address, sym=sym)
+    computations = calculator.computations
+    calculator.select(state, now, mpr.local_address, sym=sym)
+    assert calculator.computations == computations
+
+
+def test_remove_restores_incremental_regime(fleet):
+    sim, ids, kits = fleet
+    kit = kits[ids[1]]
+    apply_power_aware(kit)
+    sim.run(5.0)
+    remove_power_aware(kit)
+
+    olsr = kit.protocol("olsr")
+    mpr = kit.protocol("mpr")
+    calc = olsr.route_calculator
+    assert type(calc) is RouteCalculator and calc.incremental is True
+    assert type(mpr.calculator) is MprCalculator
+    assert mpr.calculator.memoises is True
+    assert "POWER_IN" not in mpr.flooded_types()
+    assert not olsr.event_tuple.requires("POWER_IN")
+
+    # The restored calculator caches again: a second identical install
+    # is a fingerprint check, not a recompute.
+    calc.install()
+    hits = calc.cache_hits
+    computations = calc.computations
+    calc.install()
+    assert calc.cache_hits == hits + 1
+    assert calc.computations == computations
+
+    # And the node still routes after the round-trip.
+    sim.run(5.0)
+    assert len(sim.node(ids[1]).kernel_table) > 0

@@ -1,0 +1,127 @@
+"""Scheduler cleanliness across live switches (regression suite).
+
+A reactive protocol's discovery-retry timers close over the protocol
+instance.  If a fleet switch tears the protocol down while a discovery
+is pending, those timers must be disarmed with it — left armed, a retry
+fires into the severed deployment and either crashes or resurrects RREQ
+traffic for a protocol that no longer exists.  The same discipline must
+survive composition with the ``FaultInjector``: a node crashed and
+restarted *after* a switch has to rebuild the stack it was running at
+crash time (the switched-in protocol), not the stack it booted with.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ManetKit
+from repro.core.manetkit import PROTOCOL_REGISTRY
+from repro.sim import Simulation, topology
+from repro.sim.faults import FaultPlan
+
+
+def _chain(protocol: str, nodes: int = 4, seed: int = 5):
+    sim = Simulation(seed=seed)
+    sim.add_nodes(nodes)
+    ids = sim.node_ids()
+    sim.topology.apply(topology.linear_chain(ids))
+    kits = {}
+    for nid in ids:
+        kit = ManetKit(sim.node(nid))
+        kit.load_protocol("mpr", hello_interval=0.5)
+        kit.load_protocol(protocol)
+        kits[nid] = kit
+    sim.run(5.0)
+    return sim, ids, kits
+
+
+@pytest.mark.parametrize("protocol,state_attr", [
+    ("dymo", "dymo_state"),
+    ("aodv", "aodv_state"),
+])
+def test_switch_disarms_pending_discovery_timers(protocol, state_attr):
+    sim, ids, kits = _chain(protocol)
+    kit = kits[ids[0]]
+    old = kit.protocol(protocol)
+    state = getattr(old, state_attr)
+
+    # Arm a discovery toward an address that will never answer: the
+    # retry one-shot is now live on the deployment's timer service.
+    old.start_discovery(9999)
+    assert 9999 in state.pending
+    assert state.pending[9999].timer is not None
+
+    replacement = PROTOCOL_REGISTRY["olsr"](kit.ontology)
+    kit.reconfig.switch_protocol(protocol, replacement)
+
+    # Teardown cleared the pending table in place...
+    assert state.pending == {}
+
+    # ...and no timer callback may reach the torn-down instance again.
+    resurrections = []
+    old.send_message = lambda *a, **k: resurrections.append(a)  # type: ignore
+    old.emit = lambda *a, **k: resurrections.append(a)  # type: ignore
+
+    # Run far past every retry horizon (rreq_wait doubles per try).
+    sim.run(40.0)
+    assert resurrections == []
+    assert state.pending == {}
+
+
+def test_switch_survives_mid_discovery_fleet_wide():
+    """Every node mid-discovery; the whole fleet switches at once."""
+    sim, ids, kits = _chain("dymo")
+    for nid in ids:
+        kits[nid].protocol("dymo").start_discovery(9999)
+    for nid in ids:
+        replacement = PROTOCOL_REGISTRY["aodv"](kits[nid].ontology)
+        kits[nid].reconfig.switch_protocol("dymo", replacement)
+    # The run would raise if a stale retry fired into a dead deployment.
+    sim.run(40.0)
+    for nid in ids:
+        assert kits[nid].protocol("aodv") is not None
+
+
+def test_restart_after_switch_rebuilds_switched_stack():
+    """FaultInjector composition: crash/restart honours the live recipe."""
+    sim, ids, kits = _chain("dymo")
+    victim = ids[1]
+
+    # Switch the whole fleet dymo -> olsr, then crash and restart one
+    # node through the fault injector.
+    for nid in ids:
+        replacement = PROTOCOL_REGISTRY["olsr"](kits[nid].ontology)
+        kits[nid].reconfig.switch_protocol("dymo", replacement)
+
+    recipe = kits[victim].deployment_recipe()
+    assert [name for name, _ in recipe] == ["mpr", "olsr"]
+
+    plan = FaultPlan(seed=1)
+    plan.crash(2.0, victim)
+    plan.restart(6.0, victim)
+    sim.install_faults(plan, kits=kits)
+    sim.run(12.0)
+
+    rebuilt = kits[victim]
+    assert not rebuilt.crashed
+    names = sorted(p.name for p in rebuilt.protocols())
+    assert names == ["mpr", "olsr"], (
+        "restart resurrected the pre-switch stack (or none): "
+        f"{names}"
+    )
+    # The rebuilt node rejoins the proactive mesh: give it a few TC
+    # intervals and expect routes back in its kernel table.
+    sim.run(10.0)
+    assert len(sim.node(victim).kernel_table) > 0
+
+
+def test_crash_during_pending_discovery_is_inert():
+    """A crash (no graceful teardown) still cancels armed retries."""
+    sim, ids, kits = _chain("aodv")
+    kit = kits[ids[0]]
+    kit.protocol("aodv").start_discovery(9999)
+    kit.crash()
+    sim.node(ids[0]).power_off()
+    # Retry horizon passes without the dead kit's timers firing.
+    sim.run(40.0)
+    assert kit.crashed

@@ -22,8 +22,8 @@ Walks ``README.md`` and ``docs/*.md`` and enforces three properties:
    ``console`` block that invokes one of this repo's CLIs
    (``repro.tools.scenario``, ``repro.tools.campaign``,
    ``repro.tools.bench_check``, ``repro.tools.traceview``,
-   ``repro.tools.golden_replay``, ``manetkit-scenario``,
-   ``tools/check_docs.py``) has its ``--flags``
+   ``repro.tools.golden_replay``, ``repro.sim.reconfig_battery``,
+   ``manetkit-scenario``, ``tools/check_docs.py``) has its ``--flags``
    checked against the *actual* argparse parser.  Rename a flag without
    updating the docs and this fails.
 
@@ -120,6 +120,7 @@ def extract_links(text: str) -> List[str]:
 
 def _known_parsers() -> Dict[str, Set[str]]:
     """Map CLI spelling → the option strings its real parser accepts."""
+    from repro.sim import reconfig_battery
     from repro.tools import bench_check, campaign, scenario, traceview
 
     def opts(parser: argparse.ArgumentParser) -> Set[str]:
@@ -129,6 +130,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
     campaign_opts = opts(campaign.build_parser())
     bench_opts = opts(bench_check.build_parser())
     traceview_opts = opts(traceview.build_parser())
+    battery_opts = opts(reconfig_battery.build_parser())
     docs_opts = opts(build_parser())
     return {
         "repro.tools.scenario": scenario_opts,
@@ -137,6 +139,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
         "repro.tools.bench_check": bench_opts,
         "tools/bench_check.py": bench_opts,
         "repro.tools.traceview": traceview_opts,
+        "repro.sim.reconfig_battery": battery_opts,
         "tools/check_docs.py": docs_opts,
         # golden_replay builds its parser inline inside main()
         "repro.tools.golden_replay": {"--update", "-h", "--help"},
