@@ -23,7 +23,12 @@ package is the structured substrate for it:
   frames) which ``tools/bench_check.py`` gates in CI;
 * :mod:`repro.obs.summary` — cross-run merging: reduces many scenario
   result dicts into one percentile summary (the campaign runner's merged
-  report).
+  report);
+* :mod:`repro.obs.merge` — cross-shard merging: interleaves per-shard
+  traces (disjoint span/prov id bands keep causal links intact) and sums
+  per-shard metrics snapshots, so ``traceview``, ``CausalGraph`` and the
+  BENCH exporters work unchanged on sharded runs
+  (:mod:`repro.sim.sharded`).
 
 Tracing is **off by default** and costs a single attribute check on the
 hot paths when disabled; enable it per simulation with
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.merge import merge_metrics_snapshots, merge_trace_events
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.summary import summarize_runs
 from repro.obs.trace import TraceEvent, TraceRecorder
@@ -92,5 +98,7 @@ __all__ = [
     "Histogram",
     "TraceRecorder",
     "TraceEvent",
+    "merge_metrics_snapshots",
+    "merge_trace_events",
     "summarize_runs",
 ]

@@ -1,0 +1,147 @@
+"""Merge per-shard observability artifacts back into one view.
+
+A sharded run (:mod:`repro.sim.sharded`) gives every worker its own
+:class:`~repro.obs.trace.TraceRecorder` and
+:class:`~repro.obs.metrics.MetricsRegistry`.  Shards mint span and
+provenance ids in disjoint bands (``TraceRecorder.set_id_base``), so the
+merge is purely structural:
+
+* **traces** interleave by ``(t_sim, shard, seq)`` and are re-sequenced;
+  every ``prov``/``cause``/``span`` link survives unchanged, which is
+  what lets :class:`~repro.obs.causal.CausalGraph` (and ``traceview``)
+  follow a packet across a partition cut exactly as it follows one
+  across nodes.
+* **metrics** sum counters/gauges/collected values, recompute the ratio
+  metrics that must not be summed, and rebuild histogram summaries from
+  the shards' raw samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import _render_key  # noqa: PLC2701 - same package
+from repro.obs.trace import TraceEvent
+
+#: Collected metrics that are ratios of two other collected metrics and
+#: must be recomputed — not summed — when snapshots merge.
+RATIO_METRICS: Dict[str, Tuple[str, str]] = {
+    "net.delivery_ratio": ("net.data_delivered", "net.data_sent"),
+}
+
+
+def merge_trace_events(
+    shard_events: Sequence[Sequence[TraceEvent]],
+) -> List[TraceEvent]:
+    """Interleave per-shard traces into one globally ordered trace.
+
+    Events sort by ``(t_sim, shard index, original seq)`` — within a
+    shard ``seq`` already increases with simulated time, so this is a
+    stable merge — and are renumbered with a fresh global ``seq``.  Span
+    and provenance ids are left untouched (disjoint per shard by
+    construction).
+    """
+    keyed = [
+        (event.t_sim, shard_index, event.seq, event)
+        for shard_index, events in enumerate(shard_events)
+        for event in events
+    ]
+    keyed.sort(key=lambda item: item[:3])
+    merged: List[TraceEvent] = []
+    for new_seq, (_, _, _, event) in enumerate(keyed):
+        event.seq = new_seq
+        merged.append(event)
+    return merged
+
+
+def registry_histogram_samples(
+    registry: MetricsRegistry,
+) -> Dict[str, List[float]]:
+    """Raw sample lists of every histogram in ``registry``, by name."""
+    return {
+        _render_key(key): list(metric.samples)
+        for key, metric in sorted(registry._histograms.items())
+    }
+
+
+def merge_metrics_snapshots(
+    snapshots: Sequence[Dict[str, object]],
+    histogram_samples: Optional[Sequence[Dict[str, List[float]]]] = None,
+) -> Dict[str, object]:
+    """Merge per-shard ``MetricsRegistry.snapshot()`` dicts.
+
+    Counters, gauges and collected values are summed across shards
+    (missing keys count as zero); :data:`RATIO_METRICS` are then
+    recomputed from their merged numerator/denominator.  When
+    ``histogram_samples`` (one dict per shard, from
+    :func:`registry_histogram_samples`) is given, histogram summaries
+    are rebuilt from the union of the raw samples; otherwise count/sum/
+    min/max merge exactly and the percentile fields are NaN.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    collected: Dict[str, float] = {}
+    for snapshot in snapshots:
+        for section, sink in (
+            ("counters", counters), ("gauges", gauges), ("collected", collected)
+        ):
+            for name, value in (snapshot.get(section) or {}).items():
+                sink[name] = sink.get(name, 0) + value
+    for name, (numerator, denominator) in RATIO_METRICS.items():
+        if name in collected:
+            total = collected.get(denominator, 0.0)
+            collected[name] = (
+                collected.get(numerator, 0.0) / total if total else 1.0
+            )
+
+    histograms: Dict[str, Dict[str, float]] = {}
+    if histogram_samples is not None:
+        pooled: Dict[str, Histogram] = {}
+        for shard in histogram_samples:
+            for name, samples in shard.items():
+                hist = pooled.get(name)
+                if hist is None:
+                    hist = pooled[name] = Histogram()
+                for sample in samples:
+                    hist.observe(sample)
+        histograms = {
+            name: hist.summary() for name, hist in sorted(pooled.items())
+        }
+    else:
+        nan = float("nan")
+        for snapshot in snapshots:
+            for name, summary in (snapshot.get("histograms") or {}).items():
+                merged = histograms.get(name)
+                if merged is None:
+                    histograms[name] = dict(summary)
+                    continue
+                merged["count"] += summary["count"]
+                merged["sum"] += summary["sum"]
+                for key, pick in (("min", min), ("max", max)):
+                    a, b = merged[key], summary[key]
+                    if math.isnan(a):
+                        merged[key] = b
+                    elif not math.isnan(b):
+                        merged[key] = pick(a, b)
+                merged["mean"] = (
+                    merged["sum"] / merged["count"] if merged["count"] else nan
+                )
+                for key in ("median", "p95", "p99"):
+                    merged[key] = nan
+
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "collected": dict(sorted(collected.items())),
+    }
+
+
+__all__ = [
+    "RATIO_METRICS",
+    "merge_metrics_snapshots",
+    "merge_trace_events",
+    "registry_histogram_samples",
+]

@@ -25,7 +25,10 @@ simulation:
   Gilbert-Elliott loss bursts, crash/restart, corruption/duplication/
   reordering, partition/heal) replayed by a
   :class:`~repro.sim.faults.FaultInjector`;
-* :mod:`repro.sim.stats` — delivery/overhead/latency accounting.
+* :mod:`repro.sim.stats` — delivery/overhead/latency accounting;
+* :mod:`repro.sim.sharded` — one scenario partitioned across worker
+  processes under conservative epoch-barrier time synchronisation
+  (:class:`~repro.sim.sharded.ShardedSimulation`).
 """
 
 from repro.sim.medium import BROADCAST, Frame, WirelessMedium
@@ -33,10 +36,13 @@ from repro.sim.node import SimNode
 from repro.sim.kernel_table import DataPacket, KernelRoute, KernelRoutingTable
 from repro.sim.network import Simulation
 from repro.sim.faults import FaultInjector, FaultPlan, FaultStep
+from repro.sim.sharded import ShardedSimulation, run_sharded_scenario
 from repro.sim.stats import NetworkStats
 from repro.sim import topology, mobility
 
 __all__ = [
+    "ShardedSimulation",
+    "run_sharded_scenario",
     "BROADCAST",
     "Frame",
     "WirelessMedium",

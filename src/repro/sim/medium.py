@@ -83,6 +83,13 @@ class WirelessMedium:
         self.tamper: Optional[
             Callable[[Frame, int, LinkProperties], Optional[List[Tuple[float, Frame]]]]
         ] = None
+        #: Shard-boundary proxy (see :mod:`repro.sim.sharded`): when set,
+        #: frames addressed to a receiver in ``boundary.remote`` are
+        #: captured — serialized for delivery into the peer shard's next
+        #: epoch — instead of being scheduled locally.  ``None`` on the
+        #: single-process path, which therefore pays one attribute load
+        #: per transmission and nothing else.
+        self.boundary = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
@@ -226,6 +233,7 @@ class WirelessMedium:
         sender = frame.sender
         links = self._links
         rng = self.rng
+        boundary = self.boundary
         batches: Dict[float, List[int]] = {}
         for neighbor in self.neighbors(sender):
             props = links[(sender, neighbor)]
@@ -236,6 +244,12 @@ class WirelessMedium:
                         "medium.loss", sender=sender, dst=neighbor,
                         kind=frame.kind, prov=frame.meta["prov"],
                     )
+                continue
+            if boundary is not None and neighbor in boundary.remote:
+                # Cross-shard hop: hand the frame to the boundary proxy
+                # (it carries latency + prov to the peer shard's epoch).
+                boundary.capture(frame, neighbor, props)
+                scheduled += 1
                 continue
             tamper = self.tamper
             if tamper is not None:
@@ -315,6 +329,10 @@ class WirelessMedium:
                     kind=frame.kind, prov=frame.meta.get("prov"),
                 )
             return False
+        boundary = self.boundary
+        if boundary is not None and receiver_id in boundary.remote:
+            boundary.capture(frame, receiver_id, props)
+            return True
         tamper = self.tamper
         if tamper is not None:
             deliveries = tamper(frame, receiver_id, props)

@@ -81,6 +81,11 @@ class Simulation:
         self._next_id = itertools.count(1)
         self._drain_hooks: List[Callable[[], None]] = []
         self.flows: List[CBRFlow] = []
+        #: Sticky: set once any run loop trips its ``max_events`` cap with
+        #: work still queued.  Surfaced per shard in merged sharded
+        #: summaries so a silently capped shard cannot masquerade as a
+        #: complete run.
+        self.truncated = False
 
     # -- node management -----------------------------------------------------
 
@@ -178,17 +183,44 @@ class Simulation:
 
     def run(self, duration: float, max_events: int = 2_000_000) -> int:
         """Advance the simulation by ``duration`` seconds."""
-        deadline = self.scheduler.now + duration
+        return self.run_until(
+            self.scheduler.now + duration, max_events=max_events
+        )
+
+    def run_until(
+        self,
+        deadline: float,
+        max_events: Optional[int] = 2_000_000,
+        inclusive: bool = True,
+    ) -> int:
+        """Advance to an absolute deadline — the sharded-epoch seam.
+
+        ``inclusive=False`` leaves events stamped exactly at ``deadline``
+        queued (a shard's non-final epochs use this so barrier-straddling
+        events fire on the same side as in an unsharded run).  When
+        ``max_events`` trips with work still queued, the clock is NOT
+        jumped over the stranded events (doing so used to poison the
+        scheduler: the next ``step`` would try to move the clock
+        backwards) and :attr:`truncated` latches ``True``.
+        """
         executed = 0
-        while executed < max_events:
+        truncated = False
+        while True:
             upcoming = self.scheduler.next_event_time()
-            if upcoming is None or upcoming > deadline:
+            if upcoming is None:
+                break
+            if (upcoming > deadline) if inclusive else (upcoming >= deadline):
+                break
+            if max_events is not None and executed >= max_events:
+                truncated = True
                 break
             self.scheduler.step()
             executed += 1
             if self._drain_hooks:
                 self._drain()
-        if self.scheduler.clock.now() < deadline:
+        if truncated:
+            self.truncated = True
+        elif self.scheduler.clock.now() < deadline:
             self.scheduler.clock.set_time(deadline)
         return executed
 

@@ -1,0 +1,670 @@
+"""Shard one scenario across worker processes, conservatively synchronised.
+
+A single large topology is partitioned into N shards, each simulated by
+its own worker process (reusing the campaign runner's process machinery
+via :class:`repro.tools.workers.DuplexWorker`).  Synchronisation is
+conservative and null-message-free: all shards advance in lock-stepped
+**epochs** whose length is bounded below by the **lookahead** — the
+minimum link latency across the partition cut.
+
+Correctness argument.  A frame transmitted at time ``t`` over a cut link
+with latency ``λ ≥ L`` (``L`` = lookahead) is delivered at ``t + λ ≥
+t + L``.  An epoch never runs further than ``T + L`` where ``T`` is the
+earliest pending event or in-flight boundary frame anywhere in the
+system, so every frame captured during an epoch delivers at or after the
+next barrier: exchanging captured frames at barriers and injecting them
+before the next epoch preserves the exact global timestamp order of
+deliveries.  Within a phase, epochs run *exclusive* of their deadline
+and the final epoch runs *inclusive*, matching the single-process
+:meth:`~repro.sim.network.Simulation.run` semantics end to end — an
+event sitting exactly on a barrier fires on the same side of it as in
+an unsharded run.
+
+Because the earliest-event bound ``T`` also advances the epoch end
+(``T + L`` instead of a fixed ``+L`` grid), idle stretches — protocol
+timers parked hundreds of milliseconds out — cost one barrier instead
+of hundreds.
+
+Determinism.  Per-node timer jitter is seeded by node id (shard
+invariant), the medium RNG is only consulted on lossy links, and trace
+span/provenance ids are minted in disjoint per-shard bands
+(``TraceRecorder.set_id_base``) with ``prov`` carried inside the pickled
+frame across the cut — so a merged sharded trace keeps every causal
+link.  A sharded run of a loss-free scenario produces the same routes
+and the same delivery accounting as the single-process run (pinned by
+``tests/sim/test_sharded.py``); it is *not* byte-identical event-order
+(a cross-shard delivery occupies its own scheduler slot in the peer
+shard rather than sharing the sender's broadcast batch).  One visible
+consequence at scale: when two frames arrive at the same node at the
+*same instant* from senders in different shards, their processing tie
+order can differ from single-process, which can flip duplicate-flood
+suppression decisions and shift control-overhead counts by a fraction
+of a percent (routes and delivery accounting still converge
+identically; the bounds are pinned by ``benchmarks/test_shard.py``).
+Sharded runs are fully deterministic run-to-run for a fixed spec and
+shard count.
+
+Unsupported in sharded mode (raise ``ValueError`` up front): mobility
+and fault plans — both mutate topology mid-run, which would change the
+cut and the lookahead under the workers' feet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.export import trace_event_from_dict, trace_event_to_dict
+from repro.obs.merge import (
+    merge_metrics_snapshots,
+    merge_trace_events,
+    registry_histogram_samples,
+)
+from repro.tools.workers import DuplexWorker
+
+#: Width of each shard's span/provenance id band.  2**48 ids per shard
+#: keeps every realistic trace disjoint while staying well inside the
+#: float53/JSON-safe integer range for up to 32 shards.
+ID_STRIDE = 1 << 48
+
+#: Per-shard, per-phase event budget (mirrors the single-process
+#: ``Simulation.run`` default).
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+# -- partitioning ------------------------------------------------------------
+
+def partition_nodes(
+    ids: Sequence[int],
+    edges: Sequence[Tuple[int, int]],
+    shards: int,
+) -> List[List[int]]:
+    """Deterministic greedy graph-growing partition into ``shards`` parts.
+
+    Each part grows by breadth-first search from the lowest-id
+    unassigned node until it reaches its size quota (quotas differ by at
+    most one), which keeps parts connected on chains/grids and the cut
+    near the minimum a contiguous split can achieve.  Pure function of
+    ``(ids, edges, shards)`` — every caller computes the same parts.
+    """
+    ordered = sorted(set(ids))
+    if not ordered:
+        raise ValueError("cannot partition an empty node set")
+    shards = max(1, min(int(shards), len(ordered)))
+    adjacency: Dict[int, Set[int]] = {nid: set() for nid in ordered}
+    for a, b in edges:
+        if a in adjacency and b in adjacency:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    base, extra = divmod(len(ordered), shards)
+    remaining = set(ordered)
+    parts: List[List[int]] = []
+    for index in range(shards):
+        quota = base + (1 if index < extra else 0)
+        part: List[int] = []
+        queue: List[int] = []
+        while len(part) < quota and (queue or remaining):
+            if not queue:
+                seed = min(remaining)
+                remaining.discard(seed)
+                queue.append(seed)
+            nid = queue.pop(0)
+            part.append(nid)
+            for neighbor in sorted(adjacency[nid]):
+                if neighbor in remaining:
+                    remaining.discard(neighbor)
+                    queue.append(neighbor)
+        # BFS frontier beyond the quota goes back into the pool.
+        for nid in queue:
+            remaining.add(nid)
+        parts.append(sorted(part))
+    return parts
+
+
+def cut_edges(
+    edges: Sequence[Tuple[int, int]], parts: Sequence[Sequence[int]]
+) -> List[Tuple[int, int]]:
+    """Edges whose endpoints live in different parts."""
+    part_of = {nid: i for i, part in enumerate(parts) for nid in part}
+    return [
+        (a, b) for a, b in edges
+        if part_of.get(a) != part_of.get(b)
+    ]
+
+
+# -- the shard-boundary proxy ------------------------------------------------
+
+class ShardBoundary:
+    """Captures frames addressed across the partition cut.
+
+    Installed as :attr:`WirelessMedium.boundary`; the medium calls
+    :meth:`capture` instead of scheduling a local delivery whenever the
+    receiver is in :attr:`remote`.  Frames are deep-copied at capture
+    time (the sender may keep mutating a shared payload — TTL decrement
+    on forward — before the barrier pickles the outbox).
+    """
+
+    __slots__ = ("remote", "scheduler", "outbox", "captured", "_seq")
+
+    def __init__(self, remote: Sequence[int], scheduler) -> None:
+        self.remote = frozenset(remote)
+        self.scheduler = scheduler
+        self.outbox: List[Tuple[float, int, int, Any]] = []
+        self.captured = 0
+        self._seq = 0
+
+    def capture(self, frame, receiver_id: int, props) -> None:
+        self._seq += 1
+        self.captured += 1
+        self.outbox.append((
+            self.scheduler.now + props.latency,
+            receiver_id,
+            self._seq,
+            copy.deepcopy(frame),
+        ))
+
+    def drain(self) -> List[Tuple[float, int, int, Any]]:
+        out, self.outbox = self.outbox, []
+        return out
+
+
+# -- the worker process ------------------------------------------------------
+
+def _serve_shard(conn, options: Dict[str, Any], plan: Dict[str, Any]) -> None:
+    """Build this worker's shard and serve the epoch-barrier protocol."""
+    from repro.sim.network import CBRFlow, Simulation
+    from repro.tools.scenario import deploy_one, resolve_options, topology_model
+
+    full = resolve_options(options, include_output=True)
+    args = argparse.Namespace(**full)
+    shard_index = plan["shard"]
+    parts = plan["parts"]
+    max_events = plan.get("max_events")
+
+    ids, edges, positions = topology_model(args.topology, nodes=args.nodes)
+    local = list(parts[shard_index])
+    local_set = set(local)
+    shard_edges = [
+        (a, b) for a, b in edges if a in local_set or b in local_set
+    ]
+    remote = sorted({
+        endpoint
+        for a, b in shard_edges
+        for endpoint in (a, b)
+        if endpoint not in local_set
+    })
+
+    sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
+    sim.topology.latency = args.latency
+    sim.topology.loss = args.loss
+    tracer = None
+    if args.trace:
+        tracer = sim.enable_tracing(capacity=args.trace_limit)
+        tracer.set_id_base(shard_index * ID_STRIDE)
+    for nid in local:
+        sim.add_node(nid, position=positions.get(nid, (0.0, 0.0)))
+    sim.topology.apply(shard_edges)
+    boundary = ShardBoundary(remote, sim.scheduler)
+    sim.medium.boundary = boundary
+    kits = {nid: deploy_one(args.protocol, sim, nid, args) for nid in local}
+
+    flows: Dict[int, CBRFlow] = {}
+    deliveries: Dict[Tuple[int, int], List[Any]] = {}
+    current_phase = None
+    phase_executed = 0
+    total_executed = 0
+
+    def reply_base() -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "next_event": sim.scheduler.next_event_time(),
+            "truncated": sim.truncated,
+        }
+
+    conn.send(reply_base())
+    while True:
+        message = conn.recv()
+        cmd = message["cmd"]
+        if cmd == "epoch":
+            if message["phase"] != current_phase:
+                current_phase = message["phase"]
+                phase_executed = 0
+            for deliver_time, receiver_id, frame in message["frames"]:
+                sim.scheduler.call_at(
+                    deliver_time, sim.medium._deliver, frame, receiver_id
+                )
+            remaining = (
+                None if max_events is None
+                else max(0, max_events - phase_executed)
+            )
+            executed = sim.run_until(
+                message["until"],
+                max_events=remaining,
+                inclusive=message["inclusive"],
+            )
+            phase_executed += executed
+            total_executed += executed
+            reply = reply_base()
+            reply["executed"] = executed
+            reply["frames"] = boundary.drain()
+            conn.send(reply)
+        elif cmd == "start_flows":
+            for src, dst, interval in plan["flows"]:
+                if dst in local_set and (src, dst) not in deliveries:
+                    received: List[Any] = []
+                    deliveries[(src, dst)] = received
+                    sim.node(dst).add_app_receiver(received.append)
+            for index, (src, dst, interval) in enumerate(plan["flows"]):
+                if src in local_set:
+                    # ``start_cbr`` validates both endpoints locally; on a
+                    # shard the destination usually lives elsewhere, so
+                    # build the flow directly (same defaults).
+                    flow = CBRFlow(
+                        sim, src, dst, interval, b"\x00" * 64, None
+                    )
+                    sim.flows.append(flow)
+                    sim.scheduler.call_later(0.0, flow._emit)
+                    flows[index] = flow
+            conn.send(reply_base())
+        elif cmd == "stop_flows":
+            for flow in flows.values():
+                flow.stop()
+            conn.send(reply_base())
+        elif cmd == "finish":
+            stats = sim.stats
+            report: Dict[str, Any] = {
+                "shard": shard_index,
+                "events_executed": total_executed,
+                "truncated": sim.truncated,
+                "boundary_captured": boundary.captured,
+                "flow_sent": {
+                    index: flow.sent for index, flow in flows.items()
+                },
+                "flow_delivered": {
+                    index: len(deliveries[(src, dst)])
+                    for index, (src, dst, _interval) in enumerate(plan["flows"])
+                    if (src, dst) in deliveries
+                },
+                "control_frames": stats.total_control_frames,
+                "control_bytes": stats.total_control_bytes,
+                "data_sent": stats.total_data_sent,
+                "data_delivered": stats.data_delivered_count,
+                "data_dropped": stats.total_data_dropped,
+                "latency_samples": list(stats.latencies),
+                "metrics": sim.obs.registry.snapshot(deterministic=True),
+                "histogram_samples": registry_histogram_samples(
+                    sim.obs.registry
+                ),
+                "routes": {
+                    nid: {
+                        route.destination: route.next_hop
+                        for route in sim.node(nid).kernel_table.routes()
+                    }
+                    for nid in local
+                },
+            }
+            if tracer is not None:
+                report["trace"] = [
+                    trace_event_to_dict(event, deterministic=True)
+                    for event in tracer.events
+                ]
+                report["trace_dropped"] = tracer.dropped
+            reply = reply_base()
+            reply["report"] = report
+            conn.send(reply)
+        elif cmd == "stop":
+            del kits  # noqa: F841 - keep kits alive until the very end
+            return
+        else:
+            raise ValueError(f"unknown shard command {cmd!r}")
+
+
+def _shard_worker_main(conn, options: Dict[str, Any], plan: Dict[str, Any]) -> None:
+    try:
+        _serve_shard(conn, options, plan)
+    except BaseException as error:  # noqa: BLE001 - ship to the parent
+        try:
+            conn.send({"ok": False, "error": f"{type(error).__name__}: {error}"})
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# -- the orchestrator --------------------------------------------------------
+
+class ShardedSimulation:
+    """Run one scenario partitioned across worker processes.
+
+    Takes the same option mapping as
+    :func:`repro.tools.scenario.run_scenario` plus the shard count.  The
+    merged result dict has the single-process result's shape (flows,
+    delivery ratio, control overhead, latency, deterministic metrics
+    snapshot) plus a ``sharding`` section, final kernel ``routes`` and a
+    top-level ``truncated`` flag that is ``True`` whenever *any* shard
+    tripped its per-phase event budget.
+    """
+
+    def __init__(
+        self,
+        options: Optional[Dict[str, Any]] = None,
+        shards: int = 2,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+        **overrides: Any,
+    ) -> None:
+        from repro.tools.scenario import resolve_options, topology_model
+
+        self.options = resolve_options(options, include_output=True, **overrides)
+        self.args = argparse.Namespace(**self.options)
+        if self.args.mobility:
+            raise ValueError("sharded runs do not support --mobility")
+        if self.args.fault or self.args.fault_plan:
+            raise ValueError("sharded runs do not support fault injection")
+        if self.args.latency <= 0:
+            raise ValueError(
+                "sharded runs need a positive link latency (the lookahead)"
+            )
+        self.ids, self.edges, self.positions = topology_model(
+            self.args.topology, nodes=self.args.nodes
+        )
+        self.shards = max(1, min(int(shards), len(self.ids)))
+        self.max_events = max_events
+        self.parts = partition_nodes(self.ids, self.edges, self.shards)
+        self.cut = cut_edges(self.edges, self.parts)
+        #: Lookahead: minimum latency over the partition cut.  The
+        #: topology controller installs every link with the scenario's
+        #: uniform latency, so today this is ``args.latency`` — computed
+        #: as a min over the cut so per-link latencies keep working.
+        self.lookahead = min(
+            (self.args.latency for _edge in self.cut),
+            default=self.args.latency,
+        )
+        self._part_of = {
+            nid: i for i, part in enumerate(self.parts) for nid in part
+        }
+        flow_specs = list(self.args.traffic) if self.args.traffic else []
+        if flow_specs:
+            from repro.tools.scenario import parse_flow
+
+            self.flows = [parse_flow(spec) for spec in flow_specs]
+        else:
+            self.flows = [(self.ids[0], self.ids[-1], 0.5)]
+        self.truncated = False
+        self.epochs = 0
+        self.result: Optional[Dict[str, Any]] = None
+        self.trace_events = None
+        self.shard_trace_events: List[List[Any]] = []
+        self.reports: List[Dict[str, Any]] = []
+
+    # -- barrier plumbing --------------------------------------------------
+
+    def _broadcast(self, workers, message) -> List[Dict[str, Any]]:
+        for worker in workers:
+            worker.send(message)
+        replies = [worker.recv() for worker in workers]
+        for reply in replies:
+            if not reply.get("ok"):
+                raise RuntimeError(
+                    f"shard worker failed: {reply.get('error')}"
+                )
+        return replies
+
+    def _run_phase(
+        self, workers, phase: str, start: float, end: float,
+        next_events: List[Optional[float]],
+        inboxes: List[List[Tuple[float, int, int, int, Any]]],
+    ) -> Tuple[float, List[Optional[float]]]:
+        """Drive every worker from ``start`` to ``end`` in epochs."""
+        clock = start
+        while clock < end:
+            bound: Optional[float] = None
+            for candidate in next_events:
+                if candidate is not None:
+                    bound = candidate if bound is None else min(bound, candidate)
+            for inbox in inboxes:
+                for deliver_time, _r, _s, _q, _f in inbox:
+                    bound = (
+                        deliver_time if bound is None
+                        else min(bound, deliver_time)
+                    )
+            if not self.cut or bound is None:
+                # No cross-shard traffic possible (or nothing pending):
+                # one epoch to the phase end.
+                epoch_end = end
+            else:
+                epoch_end = min(end, bound + self.lookahead)
+            inclusive = epoch_end >= end
+            if inclusive:
+                epoch_end = end
+            replies = []
+            for index, worker in enumerate(workers):
+                frames = sorted(inboxes[index], key=lambda item: item[:4])
+                inboxes[index] = []
+                worker.send({
+                    "cmd": "epoch",
+                    "phase": phase,
+                    "until": epoch_end,
+                    "inclusive": inclusive,
+                    "frames": [
+                        (deliver_time, receiver_id, frame)
+                        for deliver_time, receiver_id, _src, _seq, frame
+                        in frames
+                    ],
+                })
+            replies = [worker.recv() for worker in workers]
+            self.epochs += 1
+            for src_shard, reply in enumerate(replies):
+                if not reply.get("ok"):
+                    raise RuntimeError(
+                        f"shard worker failed: {reply.get('error')}"
+                    )
+                next_events[src_shard] = reply["next_event"]
+                if reply["truncated"]:
+                    self.truncated = True
+                for deliver_time, receiver_id, seq, frame in reply["frames"]:
+                    target = self._part_of[receiver_id]
+                    inboxes[target].append(
+                        (deliver_time, receiver_id, src_shard, seq, frame)
+                    )
+            if self.truncated:
+                # A capped shard cannot advance its clock past the
+                # stranded events; stop driving barriers and report.
+                return clock, next_events
+            clock = epoch_end
+        return clock, next_events
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        plan_base = {
+            "parts": self.parts,
+            "flows": self.flows,
+            "max_events": self.max_events,
+        }
+        workers = [
+            DuplexWorker(
+                _shard_worker_main,
+                args=(self.options, {**plan_base, "shard": index}),
+                name=f"shard-{index}",
+            )
+            for index in range(self.shards)
+        ]
+        try:
+            ready = [worker.recv() for worker in workers]
+            for reply in ready:
+                if not reply.get("ok"):
+                    raise RuntimeError(
+                        f"shard worker failed: {reply.get('error')}"
+                    )
+            next_events: List[Optional[float]] = [
+                reply["next_event"] for reply in ready
+            ]
+            inboxes: List[List[Tuple[float, int, int, int, Any]]] = [
+                [] for _ in workers
+            ]
+            args = self.args
+            clock = 0.0
+            clock, next_events = self._run_phase(
+                workers, "warmup", clock, args.warmup, next_events, inboxes
+            )
+            if not self.truncated:
+                replies = self._broadcast(workers, {"cmd": "start_flows"})
+                next_events = [reply["next_event"] for reply in replies]
+                clock, next_events = self._run_phase(
+                    workers, "traffic", clock, args.warmup + args.duration,
+                    next_events, inboxes,
+                )
+            if not self.truncated:
+                replies = self._broadcast(workers, {"cmd": "stop_flows"})
+                next_events = [reply["next_event"] for reply in replies]
+                clock, next_events = self._run_phase(
+                    workers, "drain", clock,
+                    args.warmup + args.duration + 1.0, next_events, inboxes,
+                )
+            replies = self._broadcast(workers, {"cmd": "finish"})
+            self.reports = [reply["report"] for reply in replies]
+            for worker in workers:
+                worker.send({"cmd": "stop"})
+        finally:
+            for worker in workers:
+                worker.stop()
+        self.result = self._merge(clock)
+        return self.result
+
+    # -- merging -----------------------------------------------------------
+
+    def _merge(self, clock: float) -> Dict[str, Any]:
+        from repro.sim.stats import percentile
+        from repro.tools.scenario import resolve_options
+
+        reports = sorted(self.reports, key=lambda r: r["shard"])
+        truncated = self.truncated or any(r["truncated"] for r in reports)
+        flow_rows = []
+        for index, (src, dst, interval) in enumerate(self.flows):
+            sent = delivered = 0
+            for report in reports:
+                sent += report["flow_sent"].get(index, 0)
+                delivered += report["flow_delivered"].get(index, 0)
+            flow_rows.append({
+                "src": src, "dst": dst, "interval": interval,
+                "sent": sent, "delivered": delivered,
+                "ratio": delivered / max(sent, 1),
+            })
+        data_sent = sum(r["data_sent"] for r in reports)
+        data_delivered = sum(r["data_delivered"] for r in reports)
+        latencies: List[float] = []
+        for report in reports:
+            latencies.extend(report["latency_samples"])
+        routes: Dict[int, Dict[int, int]] = {}
+        for report in reports:
+            routes.update(report["routes"])
+        merged_metrics = merge_metrics_snapshots(
+            [r["metrics"] for r in reports],
+            histogram_samples=[r["histogram_samples"] for r in reports],
+        )
+        result: Dict[str, Any] = {
+            "spec": resolve_options(self.options),
+            "nodes": len(self.ids),
+            "sim_time_s": clock,
+            "events_executed": sum(r["events_executed"] for r in reports),
+            "truncated": truncated,
+            "flows": flow_rows,
+            "delivery_ratio": (
+                data_delivered / data_sent if data_sent else 1.0
+            ),
+            "control_frames": sum(r["control_frames"] for r in reports),
+            "control_bytes": sum(r["control_bytes"] for r in reports),
+            "latency_mean_s": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "latency_p95_s": percentile(latencies, 0.95) if latencies else None,
+            "mobility": False,
+            "faults": [],
+            "recoveries": [],
+            "recovery_timeouts": [],
+            "metrics": merged_metrics,
+            "routes": routes,
+            "sharding": {
+                "shards": self.shards,
+                "parts": [len(part) for part in self.parts],
+                "cut_edges": len(self.cut),
+                "lookahead_s": self.lookahead,
+                "epochs": self.epochs,
+                "boundary_frames": sum(
+                    r["boundary_captured"] for r in reports
+                ),
+                "per_shard": [
+                    {
+                        "shard": r["shard"],
+                        "nodes": len(self.parts[r["shard"]]),
+                        "events_executed": r["events_executed"],
+                        "truncated": r["truncated"],
+                        "boundary_captured": r["boundary_captured"],
+                        "trace_dropped": r.get("trace_dropped", 0),
+                    }
+                    for r in reports
+                ],
+            },
+        }
+        if any("trace" in r for r in reports):
+            shard_events = [
+                [trace_event_from_dict(data) for data in r.get("trace") or []]
+                for r in reports
+            ]
+            self.shard_trace_events = shard_events
+            self.trace_events = merge_trace_events(shard_events)
+        from repro.obs.export import _nan_to_null
+
+        return _nan_to_null(result)
+
+
+def run_sharded_scenario(
+    options: Optional[Dict[str, Any]] = None,
+    shards: int = 2,
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    **overrides: Any,
+) -> Dict[str, Any]:
+    """Run one scenario across ``shards`` worker processes.
+
+    The sharded analogue of :func:`repro.tools.scenario.run_scenario`:
+    same option mapping, a merged result dict of the same shape (plus
+    ``sharding``/``routes``/``truncated``).  With ``trace_jsonl`` set the
+    *merged* trace is written there deterministically, exactly like the
+    single-process exporter, plus one ``<stem>.shardN<suffix>`` file per
+    shard — feed those to ``repro.tools.traceview`` together to exercise
+    the multi-file merge path.
+    """
+    sharded = ShardedSimulation(
+        options, shards=shards, max_events=max_events, **overrides
+    )
+    result = sharded.run()
+    trace_jsonl = sharded.options.get("trace_jsonl")
+    if trace_jsonl and sharded.trace_events is not None:
+        import pathlib
+
+        from repro.obs.export import dump_trace_jsonl
+
+        dump_trace_jsonl(sharded.trace_events, trace_jsonl, deterministic=True)
+        path = pathlib.Path(trace_jsonl)
+        for index, events in enumerate(sharded.shard_trace_events):
+            dump_trace_jsonl(
+                events,
+                path.with_name(f"{path.stem}.shard{index}{path.suffix}"),
+                deterministic=True,
+            )
+    return result
+
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "ID_STRIDE",
+    "ShardBoundary",
+    "ShardedSimulation",
+    "cut_edges",
+    "partition_nodes",
+    "run_sharded_scenario",
+]

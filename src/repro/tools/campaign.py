@@ -47,26 +47,27 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
-import multiprocessing
 import os
 import pathlib
 import re
 import sys
 import time
 from dataclasses import dataclass, field
-from multiprocessing.connection import wait as connection_wait
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.obs.bench import BenchMetric, write_bench
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.summary import sanitize, summarize_runs
 from repro.tools.scenario import resolve_options
+from repro.tools.workers import CRASH_HOOK_EXIT, Job, JobOutcome, ProcessPool
+from repro.tools.workers import default_context as _default_mp_context
 
 PathLike = Any
 
-#: Exit status a worker uses when the test-only crash hook fires; chosen
-#: to be visibly distinct from Python's generic exit codes in logs.
-CRASH_HOOK_EXIT = 23
+__all__ = [
+    "CRASH_HOOK_EXIT", "CampaignResult", "CampaignRunner", "RunRecord",
+    "RunSpec", "content_hash", "emit_bench", "expand_matrix", "load_spec",
+]
 
 _MATRIX_AXES_CLI = ("protocol", "seed", "topology", "nodes", "duration")
 
@@ -270,7 +271,7 @@ def expand_matrix(
 
 # -- worker process ----------------------------------------------------------
 
-def _worker_main(options, conn, crash_marker):
+def _worker_main(conn, options, crash_marker):
     """Executed in the child: run one scenario, ship the result, exit.
 
     ``crash_marker`` is the runner's own fault-injection hook (used by the
@@ -353,18 +354,6 @@ class CampaignResult:
         return [r.result for r in self.records if r.result is not None]
 
 
-class _ActiveJob:
-    __slots__ = ("spec", "process", "conn", "started", "attempt", "deadline")
-
-    def __init__(self, spec, process, conn, started, attempt, deadline):
-        self.spec = spec
-        self.process = process
-        self.conn = conn
-        self.started = started
-        self.attempt = attempt
-        self.deadline = deadline
-
-
 class CampaignRunner:
     """Fan a list of :class:`RunSpec` out over worker processes.
 
@@ -398,10 +387,7 @@ class CampaignRunner:
         self.progress = progress
         self.crash_once = set(crash_once or ())
         self.registry = MetricsRegistry()
-        methods = multiprocessing.get_all_start_methods()
-        self._ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
+        self._ctx = _default_mp_context()
 
     # -- persistence ---------------------------------------------------------
 
@@ -481,9 +467,15 @@ class CampaignRunner:
             if show_progress:
                 print(f"\r{line}\033[K", end="", file=sys.stderr, flush=True)
 
-        queue = list(pending)
-        active: List[_ActiveJob] = []
-        attempts: Dict[str, int] = {}
+        jobs: List[Job] = []
+        for spec in pending:
+            crash_marker = None
+            if spec.run_id in self.crash_once:
+                crash_marker = str(self.output / ".crash_markers" / spec.run_id)
+            jobs.append(Job(
+                key=spec.run_id, args=(spec.options, crash_marker), tag=spec,
+            ))
+
         with self.runs_path.open("a") as log:
 
             def finish(record: RunRecord) -> None:
@@ -499,95 +491,30 @@ class CampaignRunner:
                         file=sys.stderr,
                     )
 
-            def launch(spec: RunSpec) -> None:
-                attempt = attempts.get(spec.run_id, 0) + 1
-                attempts[spec.run_id] = attempt
-                crash_marker = None
-                if spec.run_id in self.crash_once:
-                    crash_marker = str(
-                        self.output / ".crash_markers" / spec.run_id
-                    )
-                parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-                process = self._ctx.Process(
-                    target=_worker_main,
-                    args=(spec.options, child_conn, crash_marker),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                now = time.perf_counter()
-                deadline = now + self.timeout if self.timeout else None
-                active.append(_ActiveJob(
-                    spec, process, parent_conn, now, attempt, deadline
-                ))
-
-            def reap(job: _ActiveJob, timed_out: bool) -> None:
-                active.remove(job)
-                wall = time.perf_counter() - job.started
-                payload = None
-                if not timed_out:
-                    try:
-                        if job.conn.poll():
-                            payload = job.conn.recv()
-                    except (EOFError, OSError):
-                        payload = None
-                job.conn.close()
-                if timed_out:
-                    job.process.terminate()
-                job.process.join(timeout=10.0)
-                if job.process.is_alive():  # pragma: no cover - last resort
-                    job.process.kill()
-                    job.process.join()
-
-                if payload is not None and payload.get("ok"):
-                    finish(RunRecord(
-                        run_id=job.spec.run_id, index=job.spec.index,
-                        status="ok", attempts=job.attempt, wall_s=wall,
-                        spec=job.spec.option_dict, result=payload["result"],
-                    ))
-                    return
-                if payload is not None:
-                    # Clean scenario error: deterministic, never retried.
-                    finish(RunRecord(
-                        run_id=job.spec.run_id, index=job.spec.index,
-                        status="failed", attempts=job.attempt, wall_s=wall,
-                        spec=job.spec.option_dict, error=payload.get("error"),
-                    ))
-                    return
-                kind = "timeout" if timed_out else "worker crash"
-                counters["timeouts" if timed_out else "worker_crashes"].inc()
-                if job.attempt <= self.retries:
-                    counters["retries"].inc()
-                    launch(job.spec)
-                    return
+            def on_outcome(outcome: JobOutcome) -> None:
+                spec = outcome.job.tag
                 finish(RunRecord(
-                    run_id=job.spec.run_id, index=job.spec.index,
-                    status="failed", attempts=job.attempt, wall_s=wall,
-                    spec=job.spec.option_dict,
-                    error=f"{kind} (exit code {job.process.exitcode}), "
-                          f"retries exhausted",
+                    run_id=spec.run_id, index=spec.index,
+                    status="ok" if outcome.status == "ok" else "failed",
+                    attempts=outcome.attempts, wall_s=outcome.wall_s,
+                    spec=spec.option_dict, result=outcome.result,
+                    error=outcome.error,
                 ))
 
-            while queue or active:
-                while queue and len(active) < self.workers:
-                    launch(queue.pop(0))
-                progress_line(len(active), len(queue))
-                now = time.perf_counter()
-                wait_for = 0.5
-                for job in active:
-                    if job.deadline is not None:
-                        wait_for = min(wait_for, max(0.0, job.deadline - now))
-                ready = connection_wait(
-                    [job.conn for job in active], timeout=wait_for
-                )
-                ready_set = set(ready)
-                now = time.perf_counter()
-                for job in list(active):
-                    if job.conn in ready_set:
-                        reap(job, timed_out=False)
-                    elif job.deadline is not None and now > job.deadline:
-                        reap(job, timed_out=True)
-            progress_line(0, 0)
+            def on_event(kind: str, job: Job, attempt: int) -> None:
+                if kind == "crash":
+                    counters["worker_crashes"].inc()
+                elif kind == "timeout":
+                    counters["timeouts"].inc()
+                elif kind == "retry":
+                    counters["retries"].inc()
+
+            pool = ProcessPool(
+                _worker_main, workers=self.workers, retries=self.retries,
+                timeout=self.timeout, on_outcome=on_outcome,
+                on_event=on_event, on_tick=progress_line, context=self._ctx,
+            )
+            pool.run(jobs)
             if show_progress:
                 print(file=sys.stderr)
 

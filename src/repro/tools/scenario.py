@@ -70,13 +70,16 @@ def _near_square(count: int) -> Tuple[int, int]:
     return count // height, height
 
 
-def parse_topology(spec: str, sim: Simulation, nodes: Optional[int] = None) -> List[int]:
-    """Build the topology described by ``spec``; returns the node ids.
+def topology_model(
+    spec: str, nodes: Optional[int] = None
+) -> Tuple[List[int], List[Tuple[int, int]], Dict[int, Tuple[float, float]]]:
+    """Pure form of :func:`parse_topology`: ``(ids, edges, positions)``.
 
-    ``nodes`` (the CLI's ``--nodes``) completes a bare-kind spec: ``chain``
-    becomes ``chain:N``, ``grid`` becomes the most square ``grid:WxH``
-    holding exactly N nodes, and so on — the scale benchmark drives the
-    same entry point as interactive runs.
+    Builds nothing — just the node ids (always ``1..N``, matching what
+    :meth:`Simulation.add_nodes` would assign), the edge list and any
+    node positions.  :func:`parse_topology` materialises this model into
+    a live simulation; the sharded orchestrator partitions it across
+    workers first (:mod:`repro.sim.sharded`).
     """
     if ":" not in spec and nodes is not None:
         if spec == "grid":
@@ -85,36 +88,50 @@ def parse_topology(spec: str, sim: Simulation, nodes: Optional[int] = None) -> L
         else:
             spec = f"{spec}:{nodes}"
     kind, _, rest = spec.partition(":")
+    positions: Dict[int, Tuple[float, float]] = {}
     if kind == "chain":
-        count = int(rest)
-        sim.add_nodes(count)
-        ids = sim.node_ids()
-        sim.topology.apply(topology.linear_chain(ids))
+        ids = list(range(1, int(rest) + 1))
+        edges = topology.linear_chain(ids)
     elif kind == "ring":
-        count = int(rest)
-        sim.add_nodes(count)
-        ids = sim.node_ids()
-        sim.topology.apply(topology.ring(ids))
+        ids = list(range(1, int(rest) + 1))
+        edges = topology.ring(ids)
     elif kind == "grid":
         width, _, height = rest.partition("x")
-        sim.add_nodes(int(width) * int(height))
-        ids = sim.node_ids()
-        sim.topology.apply(topology.grid(int(width), int(height), first_id=ids[0]))
+        ids = list(range(1, int(width) * int(height) + 1))
+        edges = topology.grid(int(width), int(height), first_id=ids[0])
     elif kind == "random":
         count_text, _, radius_text = rest.partition(":")
-        count = int(count_text)
+        ids = list(range(1, int(count_text) + 1))
         radius = float(radius_text or "0.45")
-        sim.add_nodes(count)
-        ids = sim.node_ids()
         edges, positions = topology.random_geometric(ids, radius, seed=1)
-        sim.topology.apply(edges)
-        for node_id, position in positions.items():
-            sim.node(node_id).position = position
     else:
         raise ValueError(
             f"unknown topology {spec!r}; use chain:N, ring:N, grid:WxH "
             "or random:N[:radius]"
         )
+    return ids, list(edges), positions
+
+
+def parse_topology(spec: str, sim: Simulation, nodes: Optional[int] = None) -> List[int]:
+    """Build the topology described by ``spec``; returns the node ids.
+
+    ``nodes`` (the CLI's ``--nodes``) completes a bare-kind spec: ``chain``
+    becomes ``chain:N``, ``grid`` becomes the most square ``grid:WxH``
+    holding exactly N nodes, and so on — the scale benchmark drives the
+    same entry point as interactive runs.
+    """
+    model_ids, edges, positions = topology_model(spec, nodes=nodes)
+    sim.add_nodes(len(model_ids))
+    ids = sim.node_ids()
+    if ids != model_ids:
+        # A pre-populated simulation assigned different ids; remap the
+        # model onto them in order.
+        remap = dict(zip(model_ids, ids))
+        edges = [(remap[a], remap[b]) for a, b in edges]
+        positions = {remap[n]: pos for n, pos in positions.items()}
+    sim.topology.apply(edges)
+    for node_id, position in positions.items():
+        sim.node(node_id).position = position
     return ids
 
 
@@ -448,6 +465,7 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
         "nodes": len(ids),
         "sim_time_s": sim.now,
         "events_executed": executed,
+        "truncated": sim.truncated,
         "flows": [
             {
                 "src": src, "dst": dst, "interval": interval,
