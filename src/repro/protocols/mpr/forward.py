@@ -73,6 +73,11 @@ class MprForward(ForwardComponent):
             return False
         if not message.forwardable:
             return False
+        if message.hop_count is not None and message.hop_count >= 255:
+            # The 8-bit hop count cannot account another hop.  Reachable
+            # only via corruption faults (a corrupted hop-count byte);
+            # relaying would raise SerializationError and crash the run.
+            return False
         self.relayed += 1
         self.cf.emit(out_event, payload=_relay_copy(message), meta={"relay": True})
         return True

@@ -9,6 +9,10 @@ simulation:
 * :mod:`repro.sim.medium` — the wireless medium: a connectivity relation
   with per-link latency, loss and quality; broadcast and unicast delivery
   with optional link-layer feedback;
+* :mod:`repro.sim.phy` — pluggable medium models: the byte-identical
+  :class:`~repro.sim.phy.IdealModel` default and an
+  :class:`~repro.sim.phy.InterferenceModel` adding SINR-style
+  interference and CSMA contention under named 802.11 link profiles;
 * :mod:`repro.sim.node` — simulated hosts with position, battery and
   synthetic CPU/memory context;
 * :mod:`repro.sim.kernel_table` — the per-node "kernel" routing table and
@@ -33,6 +37,14 @@ simulation:
 
 from repro.sim.medium import BROADCAST, Frame, WirelessMedium
 from repro.sim.node import SimNode
+from repro.sim.phy import (
+    PROFILES,
+    IdealModel,
+    InterferenceModel,
+    LinkProfile,
+    MediumModel,
+    build_medium_model,
+)
 from repro.sim.kernel_table import DataPacket, KernelRoute, KernelRoutingTable
 from repro.sim.network import Simulation
 from repro.sim.faults import FaultInjector, FaultPlan, FaultStep
@@ -46,6 +58,12 @@ __all__ = [
     "BROADCAST",
     "Frame",
     "WirelessMedium",
+    "MediumModel",
+    "IdealModel",
+    "InterferenceModel",
+    "LinkProfile",
+    "PROFILES",
+    "build_medium_model",
     "SimNode",
     "DataPacket",
     "KernelRoute",

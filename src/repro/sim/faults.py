@@ -23,6 +23,13 @@ order, and Gilbert-Elliott transitions are sampled on fixed ticks — all
 from the injector's dedicated RNG, never from module-level ``random`` and
 never from the medium's own loss RNG.  :meth:`FaultInjector.schedule`
 exposes the fully-expanded deterministic schedule for regression tests.
+
+Composition with PHY models (:mod:`repro.sim.phy`): the medium model's
+verdict runs first, so the tamper hook (corruption / duplication /
+reordering windows) only ever sees frames the PHY let through, and
+Gilbert-Elliott bursts mutate :class:`~repro.sim.medium.LinkProperties`
+loss, which a non-ideal PHY folds into its noise floor.  Fault plans run
+unchanged under every medium model; see ``docs/phy.md``.
 """
 
 from __future__ import annotations

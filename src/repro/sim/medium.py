@@ -13,6 +13,15 @@ Deliveries are scheduled on the simulation's discrete-event scheduler, so
 in-flight frames still arrive (or are lost) after topology changes, just as
 on a real radio.  All randomness comes from one seeded RNG: identical
 seeds give identical runs.
+
+*How* a transmission becomes deliveries is a pluggable strategy
+(:mod:`repro.sim.phy`): the default :class:`~repro.sim.phy.IdealModel`
+is the matrix-delivery fast path inlined in :meth:`WirelessMedium.broadcast`
+/ :meth:`WirelessMedium.unicast` below (``self.phy`` stays ``None``, so
+the only cost is one attribute check per transmission);
+:class:`~repro.sim.phy.InterferenceModel` adds SINR-style interference,
+CSMA contention and 802.11 link profiles.  Install via
+:meth:`WirelessMedium.install_model`.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import UnknownNode
+from repro.sim.phy import IdealModel, MediumModel
 from repro.utils.scheduler import Scheduler
 
 #: Destination id used for broadcast frames.
@@ -90,6 +100,14 @@ class WirelessMedium:
         #: single-process path, which therefore pays one attribute load
         #: per transmission and nothing else.
         self.boundary = None
+        #: The installed :class:`~repro.sim.phy.MediumModel`.  ``model``
+        #: is always a real strategy object (for metrics/reporting);
+        #: ``phy`` is the hot-path dispatch handle — ``None`` for the
+        #: ideal model, whose behaviour is inlined in
+        #: :meth:`broadcast`/:meth:`unicast`, so the fast path pays one
+        #: attribute check per transmission and nothing else.
+        self.model: MediumModel = IdealModel()
+        self.phy: Optional[MediumModel] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
@@ -113,6 +131,19 @@ class WirelessMedium:
 
     def node_ids(self) -> List[int]:
         return sorted(self._receivers)
+
+    # -- PHY strategy --------------------------------------------------------
+
+    def install_model(self, model: MediumModel) -> MediumModel:
+        """Install a :class:`~repro.sim.phy.MediumModel` strategy.
+
+        An :class:`~repro.sim.phy.IdealModel` keeps ``phy = None`` — the
+        inlined fast path below, byte-identical to the pre-strategy
+        medium.  Any other model takes over transmission handling.
+        """
+        self.model = model
+        self.phy = None if isinstance(model, IdealModel) else model
+        return model
 
     def _check_node(self, node_id: int) -> None:
         if node_id not in self._receivers:
@@ -213,7 +244,13 @@ class WirelessMedium:
         anchored at the scheduler position of their first member, and any
         tampered delivery seals the open batches, which preserves the
         exact same-instant execution order of the unbatched world.
+
+        With a non-ideal PHY model installed, the model takes over
+        entirely (carrier sense, deferral, per-receiver SINR verdicts).
         """
+        phy = self.phy
+        if phy is not None:
+            return phy.broadcast(self, frame)
         self._check_node(frame.sender)
         self.frames_sent += 1
         tracer = self._tracer()
@@ -292,8 +329,12 @@ class WirelessMedium:
         Returns ``False`` immediately when no link exists (the analogue of
         a link-layer transmission failure, which drives link-layer-feedback
         neighbour detection).  A ``True`` return means the frame was put on
-        the air; it can still be lost to the link's loss probability.
+        the air; it can still be lost to the link's loss probability (and,
+        under a non-ideal PHY model, to contention or interference).
         """
+        phy = self.phy
+        if phy is not None:
+            return phy.unicast(self, frame)
         self._check_node(frame.sender)
         self.frames_sent += 1
         tracer = self._tracer()
@@ -353,6 +394,65 @@ class WirelessMedium:
                 return True
         self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
         return True
+
+    # -- PHY-path plumbing ----------------------------------------------------
+    #
+    # Used only by non-ideal MediumModel strategies (repro.sim.phy); the
+    # ideal fast path above keeps its inline copies of this logic so its
+    # cost and trace output stay byte-identical.
+
+    def _trace_transmit(self, frame: Frame, unicast: bool) -> None:
+        """Record the transmit trace event (mirrors the ideal path's)."""
+        tracer = self._tracer()
+        if tracer is None:
+            return
+        prov = frame.meta.get("prov")
+        if prov is None:
+            prov = frame.meta["prov"] = tracer.new_provenance()
+        attrs: Dict[str, Any] = {"sender": frame.sender}
+        if unicast:
+            attrs["dst"] = frame.link_dst
+        attrs.update(kind=frame.kind, size=frame.size, prov=prov)
+        msg = frame.meta.get("msg")
+        if msg is not None:
+            attrs["msg"] = msg
+        tracer.event("medium.unicast" if unicast else "medium.broadcast", **attrs)
+
+    def _schedule_delivery(
+        self, frame: Frame, receiver_id: int, props: LinkProperties
+    ) -> None:
+        """Post-PHY-verdict pipeline: boundary capture → tamper → delivery.
+
+        Exactly the ideal path's post-loss handling, so fault injection
+        (corruption/duplication/reordering windows) composes identically
+        with every medium model: the tamper hook only ever sees frames
+        the PHY let through.
+        """
+        boundary = self.boundary
+        if boundary is not None and receiver_id in boundary.remote:
+            boundary.capture(frame, receiver_id, props)
+            return
+        tamper = self.tamper
+        if tamper is not None:
+            deliveries = tamper(frame, receiver_id, props)
+            if deliveries is not None:
+                self.frames_tampered += 1
+                tracer = self._tracer()
+                if tracer is not None:
+                    tracer.event(
+                        "medium.tamper", sender=frame.sender, dst=receiver_id,
+                        kind=frame.kind, copies=len(deliveries),
+                        prov=frame.meta.get("prov"),
+                    )
+                if not deliveries:
+                    self.frames_lost += 1
+                    return
+                for delay, tampered in deliveries:
+                    self.scheduler.call_later(
+                        delay, self._deliver, tampered, receiver_id
+                    )
+                return
+        self.scheduler.call_later(props.latency, self._deliver, frame, receiver_id)
 
     def _deliver_batch(self, frame: Frame, receivers: List[int]) -> None:
         """Deliver one shared frame to every receiver of a broadcast batch."""

@@ -10,7 +10,7 @@ simulated time advances — keeping runs deterministic under every model.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports medium)
     from repro.sim.faults import FaultInjector, FaultPlan
@@ -20,6 +20,7 @@ from repro.obs import Observability
 from repro.obs.trace import TraceRecorder
 from repro.sim.medium import WirelessMedium
 from repro.sim.node import BatteryModel, SimNode
+from repro.sim.phy import MediumModel, build_medium_model
 from repro.sim.stats import NetworkStats
 from repro.sim.topology import TopologyController
 from repro.utils.scheduler import Scheduler
@@ -69,10 +70,16 @@ class Simulation:
         seed: int = 0,
         latency: float = 0.002,
         loss: float = 0.0,
+        phy: "Union[None, str, MediumModel]" = None,
     ) -> None:
         self.scheduler = Scheduler()
         self.obs = Observability(clock=lambda: self.scheduler.now)
         self.medium = WirelessMedium(self.scheduler, seed=seed, obs=self.obs)
+        #: PHY strategy (see :mod:`repro.sim.phy`): ``None``/``"ideal"``
+        #: keeps the ideal matrix-delivery fast path; a profile name
+        #: (``"802.11b"``/``"802.11g"``/``"802.11p"``) installs an
+        #: :class:`~repro.sim.phy.InterferenceModel` seeded with ``seed``.
+        self.phy_model = self.medium.install_model(build_medium_model(phy, seed=seed))
         self.stats = NetworkStats(registry=self.obs.registry)
         self.obs.registry.register_collector(self._collect_medium_metrics)
         self.timers = TimerService(self.scheduler, seed=seed)
@@ -151,7 +158,7 @@ class Simulation:
 
     def _collect_medium_metrics(self) -> Dict[str, float]:
         tracer = self.obs.tracer
-        return {
+        metrics = {
             "medium.frames_sent": float(self.medium.frames_sent),
             "medium.frames_delivered": float(self.medium.frames_delivered),
             "medium.frames_lost": float(self.medium.frames_lost),
@@ -165,6 +172,10 @@ class Simulation:
             "trace.events": float(len(tracer.events)) if tracer else 0.0,
             "trace.dropped": float(tracer.dropped) if tracer else 0.0,
         }
+        # phy.* keys are always present (zeros under the ideal model) so
+        # metric schemas don't depend on which medium model is installed.
+        metrics.update(self.medium.model.metrics())
+        return metrics
 
     # -- drain hooks (determinism under threaded concurrency models) ----------
 

@@ -202,6 +202,11 @@ class SimNode:
 
         ``msg`` optionally labels the frame's transmit trace record with
         the message type it carries (e.g. ``"HELLO"``).
+
+        Under a non-ideal medium model (:mod:`repro.sim.phy`) the frame
+        may be deferred by CSMA carrier sense before it goes on the air;
+        a ``True`` return still means only "accepted for transmission" —
+        losses (noise, collisions) happen at delivery time.
         """
         self.battery.note_tx()
         self.control_tx += 1

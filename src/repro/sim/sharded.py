@@ -46,7 +46,11 @@ shard count.
 
 Unsupported in sharded mode (raise ``ValueError`` up front): mobility
 and fault plans — both mutate topology mid-run, which would change the
-cut and the lookahead under the workers' feet.
+cut and the lookahead under the workers' feet — and non-ideal medium
+models (``--phy`` other than ``ideal``): CSMA deferral makes frame
+departure times depend on concurrent cross-shard transmissions the
+conservative barrier cannot see, so shard runs would silently diverge
+from the single-process result.
 """
 
 from __future__ import annotations
@@ -364,6 +368,13 @@ class ShardedSimulation:
             raise ValueError("sharded runs do not support --mobility")
         if self.args.fault or self.args.fault_plan:
             raise ValueError("sharded runs do not support fault injection")
+        phy = getattr(self.args, "phy", None)
+        if phy not in (None, "ideal"):
+            raise ValueError(
+                f"sharded runs do not support non-ideal medium models "
+                f"(got --phy {phy}); rerun with --phy ideal, or drop "
+                f"--shards to use the PHY model in a single process"
+            )
         if self.args.latency <= 0:
             raise ValueError(
                 "sharded runs need a positive link latency (the lookahead)"

@@ -69,7 +69,7 @@ __all__ = [
     "RunSpec", "content_hash", "emit_bench", "expand_matrix", "load_spec",
 ]
 
-_MATRIX_AXES_CLI = ("protocol", "seed", "topology", "nodes", "duration")
+_MATRIX_AXES_CLI = ("protocol", "seed", "topology", "nodes", "duration", "phy")
 
 
 # -- spec loading ------------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.core import ManetKit
 from repro.obs.export import _nan_to_null, dump_metrics_json, format_timeline
 from repro.sim import FaultPlan, Simulation, topology
 from repro.sim.mobility import RandomWaypoint
+from repro.sim.phy import PHY_CHOICES
 
 import repro.protocols  # noqa: F401
 
@@ -278,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--loss", type=float, default=0.0,
                         help="per-link loss probability")
+    parser.add_argument(
+        "--phy", choices=PHY_CHOICES, default="ideal",
+        help="medium model: 'ideal' keeps matrix delivery; an 802.11 "
+             "profile enables SINR interference + CSMA contention",
+    )
     parser.add_argument("--latency", type=float, default=0.002,
                         help="per-link latency in seconds")
     parser.add_argument(
@@ -405,7 +411,10 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
             raise ValueError(f"bad --mobility {args.mobility!r}") from None
     plan = build_fault_plan(args)
 
-    sim = Simulation(seed=args.seed, latency=args.latency, loss=args.loss)
+    sim = Simulation(
+        seed=args.seed, latency=args.latency, loss=args.loss,
+        phy=getattr(args, "phy", None),
+    )
     sim.topology.latency = args.latency
     sim.topology.loss = args.loss
     tracer = sim.enable_tracing(capacity=args.trace_limit) if args.trace else None

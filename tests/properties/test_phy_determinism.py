@@ -1,0 +1,86 @@
+"""Property tests: PHY determinism and reduction to the ideal path.
+
+Two families, per the medium-model contract (docs/phy.md):
+
+* **determinism** — same seed + same profile ⇒ identical deliveries,
+  identical counters, for arbitrary traffic patterns and profiles drawn
+  by hypothesis (the InterferenceModel owns all its randomness);
+* **reduction** — with every degradation knob at zero (``NULL_PROFILE``:
+  no deferrals, no base loss, no interference penalty) the interference
+  machinery reproduces the ideal path's deliveries exactly — same
+  frames, same receivers, same arrival times.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.medium import Frame, WirelessMedium
+from repro.sim.phy import NULL_PROFILE, PROFILES, InterferenceModel
+from repro.utils.scheduler import Scheduler
+
+NODE_IDS = [1, 2, 3, 4]
+EDGES = [(1, 2), (2, 3), (3, 4), (1, 3)]
+
+#: One transmission: (sender, payload size, gap before sending).
+sends = st.tuples(
+    st.sampled_from(NODE_IDS),
+    st.integers(1, 200),
+    st.floats(0.0, 0.01, allow_nan=False, allow_infinity=False),
+)
+
+
+def run_traffic(model, schedule, loss=0.0):
+    """Drive ``schedule`` through a fresh 4-node diamond; return what
+    arrived where and when, plus the medium/model counters."""
+    sched = Scheduler()
+    med = WirelessMedium(sched, seed=99)
+    if model is not None:
+        med.install_model(model)
+    arrivals = {nid: [] for nid in NODE_IDS}
+    for nid in NODE_IDS:
+        def receive(frame, nid=nid):
+            arrivals[nid].append((sched.now, frame.sender, frame.payload))
+        med.register_node(nid, receive)
+    for a, b in EDGES:
+        med.set_link(a, b, loss=loss)
+
+    def emit(sender, size):
+        med.broadcast(Frame("control", b"x" * size, sender=sender, size=size))
+
+    at = 0.0
+    for sender, size, gap in schedule:
+        at += gap
+        sched.call_at(at, emit, sender, size)
+    sched.run_until_idle()
+    counters = (med.frames_sent, med.frames_delivered, med.frames_lost)
+    return arrivals, counters
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule=st.lists(sends, min_size=1, max_size=20),
+    profile=st.sampled_from(sorted(PROFILES)),
+    seed=st.integers(0, 2**16),
+    loss=st.floats(0.0, 0.5, allow_nan=False, allow_infinity=False),
+)
+def test_same_seed_same_profile_same_run(schedule, profile, seed, loss):
+    first = run_traffic(InterferenceModel(profile, seed=seed), schedule, loss=loss)
+    second = run_traffic(InterferenceModel(profile, seed=seed), schedule, loss=loss)
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule=st.lists(sends, min_size=1, max_size=20),
+    seed=st.integers(0, 2**16),
+)
+def test_null_profile_reduces_to_ideal(schedule, seed):
+    """Disabling interference reduces to the ideal path: identical
+    arrivals (same frames, same receivers, same times) on loss-free
+    links, regardless of the model's seed (no draws are ever made)."""
+    ideal_arrivals, ideal_counters = run_traffic(None, schedule)
+    null_arrivals, null_counters = run_traffic(
+        InterferenceModel(NULL_PROFILE, seed=seed), schedule
+    )
+    assert null_arrivals == ideal_arrivals
+    assert null_counters == ideal_counters

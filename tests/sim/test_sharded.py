@@ -174,6 +174,13 @@ class TestValidationAndLimits:
         with pytest.raises(ValueError, match="lookahead"):
             ShardedSimulation(dict(OPTS), shards=2, latency=0.0)
 
+    def test_non_ideal_phy_rejected(self):
+        with pytest.raises(ValueError, match="--phy ideal"):
+            ShardedSimulation(dict(OPTS), shards=2, phy="802.11g")
+
+    def test_ideal_phy_accepted(self):
+        ShardedSimulation(dict(OPTS), shards=2, phy="ideal")
+
     def test_max_events_budget_surfaces_truncation(self):
         result = run_sharded_scenario(dict(OPTS), shards=2, max_events=40)
         assert result["truncated"] is True
