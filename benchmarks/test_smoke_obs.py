@@ -143,6 +143,7 @@ def test_smoke_tracing_disabled_allocates_nothing():
     import tracemalloc
 
     import repro.obs.causal as causal_mod
+    import repro.obs.profile as profile_mod
     import repro.obs.trace as trace_mod
 
     sim, ids, _kits = build_mkit_dymo_chain(seed=2)
@@ -152,6 +153,10 @@ def test_smoke_tracing_disabled_allocates_nothing():
     trace_filter = [
         tracemalloc.Filter(True, trace_mod.__file__),
         tracemalloc.Filter(True, causal_mod.__file__),
+        # The profiler has the same contract: seams guard with one
+        # attribute load + None check and never enter profile.py when
+        # profiling is off.
+        tracemalloc.Filter(True, profile_mod.__file__),
     ]
     tracemalloc.start(1)
     try:

@@ -45,6 +45,28 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _ProfiledSpan:
+    """Composes a profiler frame with an (optional) trace span."""
+
+    __slots__ = ("profiler", "name", "inner")
+
+    def __init__(self, profiler: Any, name: str, inner: Any) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.inner = inner
+
+    def __enter__(self) -> "_ProfiledSpan":
+        self.profiler.push(self.name)
+        self.inner.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> Any:
+        try:
+            return self.inner.__exit__(*exc_info)
+        finally:
+            self.profiler.pop()
+
+
 def _canonical_encode(value: Any) -> str:
     """Canonical text encoding of an S-element state payload.
 
@@ -87,12 +109,20 @@ class ReconfigurationManager:
         return getattr(node, "node_id", -1)
 
     def _span(self, name: str, **attrs: Any):
-        """A trace span for one enactment (no-op without tracing)."""
+        """A trace span + profiler frame for one enactment (no-op when
+        both tracing and profiling are off)."""
         obs = getattr(self.deployment, "obs", None)
-        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
+        if obs is None:
+            return _NULL_SPAN
+        if obs.tracer is not None and obs.tracer.enabled:
             attrs.setdefault("node", self._node_id())
-            return obs.tracer.span(name, **attrs)
-        return _NULL_SPAN
+            span = obs.tracer.span(name, **attrs)
+        else:
+            span = _NULL_SPAN
+        profiler = obs.profiler
+        if profiler is not None:
+            return _ProfiledSpan(profiler, name, span)
+        return span
 
     # -- method 1: declarative tuple rewiring ---------------------------------
 

@@ -111,21 +111,31 @@ class CFSUnit(ComponentFramework):
         self.events_processed += 1
         deployment = self.deployment
         obs = None if deployment is None else getattr(deployment, "obs", None)
-        if obs is not None and obs.tracer is not None and obs.tracer.enabled:
-            # Imported lazily: repro.protocols pulls in the protocol
-            # registry, which imports this module at package-init time.
-            from repro.protocols.common import handler_timer
+        if obs is None:
+            self.registry.dispatch(event)
+            return
+        profiler = obs.profiler
+        if profiler is not None:
+            profiler.push2("unit.process", self.name + "/" + event.etype.name)
+        try:
+            if obs.tracer is not None and obs.tracer.enabled:
+                # Imported lazily: repro.protocols pulls in the protocol
+                # registry, which imports this module at package-init time.
+                from repro.protocols.common import handler_timer
 
-            node = getattr(deployment, "node", None)
-            timer = handler_timer(
-                obs, self.name, event.etype.name,
-                node=node.node_id if node is not None else -1,
-            )
-            if timer is not None:
-                with timer:
-                    self.registry.dispatch(event)
-                return
-        self.registry.dispatch(event)
+                node = getattr(deployment, "node", None)
+                timer = handler_timer(
+                    obs, self.name, event.etype.name,
+                    node=node.node_id if node is not None else -1,
+                )
+                if timer is not None:
+                    with timer:
+                        self.registry.dispatch(event)
+                    return
+            self.registry.dispatch(event)
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     # -- direct calls --------------------------------------------------------------
 

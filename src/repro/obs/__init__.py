@@ -39,24 +39,26 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.obs.merge import merge_metrics_snapshots, merge_trace_events
+from repro.obs.merge import merge_metrics_snapshots, merge_profiles, merge_trace_events
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler
 from repro.obs.summary import summarize_runs
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 
 class Observability:
-    """One deployment's observability context: a registry plus a tracer.
+    """One deployment's observability context: registry, tracer, profiler.
 
-    The tracer is ``None`` until :meth:`enable_tracing` is called, so
-    instrumented hot paths pay only an attribute load and a ``None`` check
-    when tracing is disabled.
+    The tracer and profiler are ``None`` until :meth:`enable_tracing` /
+    :meth:`enable_profiling` are called, so instrumented hot paths pay
+    only an attribute load and a ``None`` check when both are disabled.
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
         self.registry = MetricsRegistry()
         self.tracer: Optional[TraceRecorder] = None
+        self.profiler: Optional[Profiler] = None
 
     # -- tracing lifecycle --------------------------------------------------
 
@@ -76,6 +78,22 @@ class Observability:
     def tracing(self) -> bool:
         return self.tracer is not None and self.tracer.enabled
 
+    # -- profiling lifecycle ------------------------------------------------
+
+    def enable_profiling(self) -> Profiler:
+        """Install (or return) the cost-attribution profiler."""
+        if self.profiler is None:
+            self.profiler = Profiler()
+        return self.profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler; captured aggregates stay on the instance."""
+        self.profiler = None
+
+    @property
+    def profiling(self) -> bool:
+        return self.profiler is not None
+
     # -- snapshots ----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -87,6 +105,11 @@ class Observability:
                 "dropped": self.tracer.dropped,
                 "enabled": self.tracer.enabled,
             }
+        if self.profiler is not None:
+            out["profile"] = {
+                "stacks": len(self.profiler.stats),
+                "events": sum(stat[0] for stat in self.profiler.stats.values()),
+            }
         return out
 
 
@@ -96,9 +119,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Profiler",
     "TraceRecorder",
     "TraceEvent",
     "merge_metrics_snapshots",
+    "merge_profiles",
     "merge_trace_events",
     "summarize_runs",
 ]

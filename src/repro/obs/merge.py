@@ -14,6 +14,9 @@ merge is purely structural:
 * **metrics** sum counters/gauges/collected values, recompute the ratio
   metrics that must not be summed, and rebuild histogram summaries from
   the shards' raw samples.
+* **profiles** (:func:`merge_profiles`, from :mod:`repro.obs.profile`)
+  sum per-``(phase, stack)`` event counts and self-wall across shard
+  id-bands, so one flamegraph covers the whole sharded run.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.metrics import _render_key  # noqa: PLC2701 - same package
+from repro.obs.profile import merge_profiles
 from repro.obs.trace import TraceEvent
 
 #: Collected metrics that are ratios of two other collected metrics and
@@ -142,6 +146,7 @@ def merge_metrics_snapshots(
 __all__ = [
     "RATIO_METRICS",
     "merge_metrics_snapshots",
+    "merge_profiles",
     "merge_trace_events",
     "registry_histogram_samples",
 ]

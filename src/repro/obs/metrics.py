@@ -92,31 +92,65 @@ class Histogram:
     def percentile(self, fraction: float) -> float:
         """Linearly interpolated quantile (inclusive method).
 
-        Matches ``statistics.quantiles(samples, n=N, method="inclusive")``
-        at the corresponding cut points; returns ``nan`` when empty.
+        The contract, for ``fraction`` in ``[0, 1]``:
+
+        * empty histogram → ``nan``;
+        * one sample → that sample, for every fraction;
+        * otherwise the linear interpolation at rank
+          ``(n - 1) * fraction``, matching
+          ``statistics.quantiles(samples, n=N, method="inclusive")`` at
+          the corresponding cut points.  When the rank lands on a sample
+          (integer position) or both interpolation endpoints are equal —
+          in particular for all-equal-sample histograms — the sample
+          value is returned *exactly*, with no floating-point drift from
+          the ``a*(1-w) + b*w`` blend (``0.1*(1-0.3) + 0.1*0.3`` is not
+          ``0.1`` in binary floating point).
         """
-        if not self.samples:
+        return self._percentile(sorted(self.samples), fraction)
+
+    @staticmethod
+    def _percentile(ordered: List[float], fraction: float) -> float:
+        if not ordered:
             return float("nan")
-        ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]
         position = (len(ordered) - 1) * fraction
         lower = int(math.floor(position))
         upper = min(lower + 1, len(ordered) - 1)
         weight = position - lower
+        if weight == 0.0 or ordered[lower] == ordered[upper]:
+            return ordered[lower]
         return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
     def summary(self) -> Dict[str, float]:
-        empty = not self.samples
+        """Count/sum/mean/min/max plus median, p95 and p99.
+
+        Sorts the samples once and derives every percentile from the
+        same ordered list (:meth:`percentile` documents the
+        interpolation contract).
+        """
+        if not self.samples:
+            nan = float("nan")
+            return {
+                "count": 0.0,
+                "sum": 0.0,
+                "mean": nan,
+                "min": nan,
+                "max": nan,
+                "median": nan,
+                "p95": nan,
+                "p99": nan,
+            }
+        ordered = sorted(self.samples)
         return {
-            "count": float(len(self.samples)),
+            "count": float(len(ordered)),
             "sum": self.total,
             "mean": self.mean(),
-            "min": min(self.samples) if not empty else float("nan"),
-            "max": max(self.samples) if not empty else float("nan"),
-            "median": self.percentile(0.5),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "median": self._percentile(ordered, 0.5),
+            "p95": self._percentile(ordered, 0.95),
+            "p99": self._percentile(ordered, 0.99),
         }
 
 

@@ -97,4 +97,42 @@ def summarize_runs(
     return sanitize(summary)
 
 
-__all__ = ["SUMMARY_FIELDS", "sanitize", "summarize_runs"]
+def summarize_profiles(
+    results: Iterable[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Pool per-run profiler roll-ups (``result["profile"]``) for a sweep.
+
+    Each run's roll-up is the deterministic counts-only view
+    (:func:`repro.obs.profile.summary_counts`); this sums its
+    ``by_subsystem`` counts across runs and distributes per-run event
+    totals, so a campaign summary shows where the whole sweep's events
+    went.  Returns ``None`` when no run carried a profile (the common,
+    profiling-off case), so ``summary.json`` only grows a ``profiles``
+    section when ``--profile`` was actually on.
+    """
+    profiles = [
+        result["profile"]
+        for result in results
+        if isinstance(result, dict) and result.get("profile")
+    ]
+    if not profiles:
+        return None
+    by_subsystem: Dict[str, int] = {}
+    for profile in profiles:
+        for sub, count in profile.get("by_subsystem", {}).items():
+            by_subsystem[sub] = by_subsystem.get(sub, 0) + int(count)
+    events = [float(profile.get("events", 0)) for profile in profiles]
+    return sanitize({
+        "runs": len(profiles),
+        "events_total": int(sum(events)),
+        "by_subsystem": {k: by_subsystem[k] for k in sorted(by_subsystem)},
+        "events_per_run": _distribution(events),
+    })
+
+
+__all__ = [
+    "SUMMARY_FIELDS",
+    "sanitize",
+    "summarize_profiles",
+    "summarize_runs",
+]

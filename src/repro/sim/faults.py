@@ -392,7 +392,15 @@ class FaultInjector:
 
     def _apply(self, at: float, kind: str, params: Dict[str, Any]) -> None:
         handler = getattr(self, f"_apply_{kind}")
-        handler(params)
+        profiler = getattr(getattr(self.sim, "obs", None), "profiler", None)
+        if profiler is None:
+            handler(params)
+        else:
+            profiler.push2("fault.apply", kind)
+            try:
+                handler(params)
+            finally:
+                profiler.pop()
         record = AppliedFault(self.sim.now, kind, _freeze(params))
         self.applied.append(record)
         obs = getattr(self.sim, "obs", None)

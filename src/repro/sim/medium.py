@@ -232,6 +232,10 @@ class WirelessMedium:
                 return tracer
         return None
 
+    def _profiler(self):
+        obs = self.obs
+        return None if obs is None else obs.profiler
+
     def broadcast(self, frame: Frame) -> int:
         """Transmit to every neighbour; returns how many deliveries were scheduled.
 
@@ -248,9 +252,24 @@ class WirelessMedium:
         With a non-ideal PHY model installed, the model takes over
         entirely (carrier sense, deferral, per-receiver SINR verdicts).
         """
-        phy = self.phy
-        if phy is not None:
-            return phy.broadcast(self, frame)
+        profiler = self._profiler()
+        if profiler is None:
+            phy = self.phy
+            if phy is not None:
+                return phy.broadcast(self, frame)
+            return self._broadcast_ideal(frame)
+        # The frame wraps the PHY dispatch too, so interference/CSMA
+        # transmit costs attribute under the same ``medium.broadcast``.
+        profiler.push2("medium.broadcast", frame.kind)
+        try:
+            phy = self.phy
+            if phy is not None:
+                return phy.broadcast(self, frame)
+            return self._broadcast_ideal(frame)
+        finally:
+            profiler.pop()
+
+    def _broadcast_ideal(self, frame: Frame) -> int:
         self._check_node(frame.sender)
         self.frames_sent += 1
         tracer = self._tracer()
@@ -332,9 +351,22 @@ class WirelessMedium:
         the air; it can still be lost to the link's loss probability (and,
         under a non-ideal PHY model, to contention or interference).
         """
-        phy = self.phy
-        if phy is not None:
-            return phy.unicast(self, frame)
+        profiler = self._profiler()
+        if profiler is None:
+            phy = self.phy
+            if phy is not None:
+                return phy.unicast(self, frame)
+            return self._unicast_ideal(frame)
+        profiler.push2("medium.unicast", frame.kind)
+        try:
+            phy = self.phy
+            if phy is not None:
+                return phy.unicast(self, frame)
+            return self._unicast_ideal(frame)
+        finally:
+            profiler.pop()
+
+    def _unicast_ideal(self, frame: Frame) -> bool:
         self._check_node(frame.sender)
         self.frames_sent += 1
         tracer = self._tracer()
@@ -460,6 +492,20 @@ class WirelessMedium:
             self._deliver(frame, receiver_id)
 
     def _deliver(self, frame: Frame, receiver_id: int) -> None:
+        profiler = self._profiler()
+        if profiler is None:
+            self._deliver_frame(frame, receiver_id)
+            return
+        # Receiver processing (handler dispatch, kernel installs,
+        # forwards) runs inside this frame, so it nests in the flamegraph
+        # under the delivery that caused it.
+        profiler.push2("medium.deliver", frame.kind)
+        try:
+            self._deliver_frame(frame, receiver_id)
+        finally:
+            profiler.pop()
+
+    def _deliver_frame(self, frame: Frame, receiver_id: int) -> None:
         receiver = self._receivers.get(receiver_id)
         if receiver is None:
             # The node left the network while the frame was in flight.

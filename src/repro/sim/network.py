@@ -17,6 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports mediu
 
 from repro.errors import UnknownNode
 from repro.obs import Observability
+from repro.obs.profile import Profiler
 from repro.obs.trace import TraceRecorder
 from repro.sim.medium import WirelessMedium
 from repro.sim.node import BatteryModel, SimNode
@@ -155,6 +156,22 @@ class Simulation:
 
     def disable_tracing(self) -> None:
         self.obs.disable_tracing()
+
+    def enable_profiling(self) -> Profiler:
+        """Turn on the cost-attribution profiler for this simulation.
+
+        Installs the profiler on the scheduler (every dispatch becomes a
+        ``sched.dispatch`` frame); the medium / unit / fault / reconfig
+        seams pick it up through this simulation's :class:`Observability`.
+        See :mod:`repro.obs.profile`.
+        """
+        profiler = self.obs.enable_profiling()
+        self.scheduler.profiler = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        self.obs.disable_profiling()
+        self.scheduler.profiler = None
 
     def _collect_medium_metrics(self) -> Dict[str, float]:
         tracer = self.obs.tracer

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.trace import callback_name
 from repro.sim.kernel_table import (
     DataPacket,
     KernelRoutingTable,
@@ -146,16 +147,27 @@ class SimNode:
         sender: int,
         cause: int,
     ) -> None:
-        tracer = self._tracer()
-        if tracer is None:
-            receiver(payload, sender)
-            return
-        saved = tracer.cause
-        tracer.cause = cause
+        # The scheduler dispatch frame for this hop names the trampoline;
+        # a ``node.rx`` profiler frame re-attributes the deferred work to
+        # the receiver that asked for the ``processing_delay``.
+        obs = self.obs
+        profiler = None if obs is None else obs.profiler
+        if profiler is not None:
+            profiler.push2("node.rx", callback_name(receiver))
         try:
-            receiver(payload, sender)
+            tracer = self._tracer()
+            if tracer is None:
+                receiver(payload, sender)
+                return
+            saved = tracer.cause
+            tracer.cause = cause
+            try:
+                receiver(payload, sender)
+            finally:
+                tracer.cause = saved
         finally:
-            tracer.cause = saved
+            if profiler is not None:
+                profiler.pop()
 
     def remove_control_receiver(self, receiver: Callable[[bytes, int], None]) -> None:
         for installed in list(self._control_receivers):

@@ -206,12 +206,18 @@ def _serve_shard(conn, options: Dict[str, Any], plan: Dict[str, Any]) -> None:
     if args.trace:
         tracer = sim.enable_tracing(capacity=args.trace_limit)
         tracer.set_id_base(shard_index * ID_STRIDE)
+    profiler = None
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        profiler = sim.enable_profiling()
     for nid in local:
         sim.add_node(nid, position=positions.get(nid, (0.0, 0.0)))
     sim.topology.apply(shard_edges)
     boundary = ShardBoundary(remote, sim.scheduler)
     sim.medium.boundary = boundary
     kits = {nid: deploy_one(args.protocol, sim, nid, args) for nid in local}
+    if profiler is not None:
+        for kit in kits.values():
+            kit.manager.add_route_observer(profiler.route_observer)
 
     flows: Dict[int, CBRFlow] = {}
     deliveries: Dict[Tuple[int, int], List[Any]] = {}
@@ -242,11 +248,18 @@ def _serve_shard(conn, options: Dict[str, Any], plan: Dict[str, Any]) -> None:
                 None if max_events is None
                 else max(0, max_events - phase_executed)
             )
+            if profiler is not None:
+                # Per-epoch windows accumulate into the same named phase
+                # the parent drives, so a merged profile's phase totals
+                # line up with the single-process run's.
+                profiler.begin_phase(message["phase"])
             executed = sim.run_until(
                 message["until"],
                 max_events=remaining,
                 inclusive=message["inclusive"],
             )
+            if profiler is not None:
+                profiler.end_phase()
             phase_executed += executed
             total_executed += executed
             reply = reply_base()
@@ -314,6 +327,11 @@ def _serve_shard(conn, options: Dict[str, Any], plan: Dict[str, Any]) -> None:
                     for event in tracer.events
                 ]
                 report["trace_dropped"] = tracer.dropped
+            if profiler is not None:
+                # Walls included: the merged profile's per-shard walls sum
+                # into honest aggregate CPU seconds (the deterministic
+                # counts-only view is derived at merge time).
+                report["profile"] = profiler.snapshot()
             reply = reply_base()
             reply["report"] = report
             conn.send(reply)
@@ -409,6 +427,8 @@ class ShardedSimulation:
         self.result: Optional[Dict[str, Any]] = None
         self.trace_events = None
         self.shard_trace_events: List[List[Any]] = []
+        self.profile: Optional[Dict[str, Any]] = None
+        self.shard_profiles: List[Dict[str, Any]] = []
         self.reports: List[Dict[str, Any]] = []
 
     # -- barrier plumbing --------------------------------------------------
@@ -628,6 +648,17 @@ class ShardedSimulation:
             ]
             self.shard_trace_events = shard_events
             self.trace_events = merge_trace_events(shard_events)
+        if any("profile" in r for r in reports):
+            from repro.obs.profile import merge_profiles, summary_counts
+
+            self.shard_profiles = [
+                r["profile"] for r in reports if "profile" in r
+            ]
+            self.profile = merge_profiles(self.shard_profiles)
+            # The merged result stays deterministic: only the counts-only
+            # roll-up goes into it.  Walls live in :attr:`profile` (and
+            # the files written by :func:`run_sharded_scenario`).
+            result["profile"] = summary_counts(self.profile)
         from repro.obs.export import _nan_to_null
 
         return _nan_to_null(result)
@@ -664,6 +695,21 @@ def run_sharded_scenario(
         for index, events in enumerate(sharded.shard_trace_events):
             dump_trace_jsonl(
                 events,
+                path.with_name(f"{path.stem}.shard{index}{path.suffix}"),
+                deterministic=True,
+            )
+    profile_out = sharded.options.get("profile_out")
+    if profile_out and sharded.profile is not None:
+        import pathlib
+
+        from repro.obs.profile import write_profile
+
+        # Library path: deterministic files, mirroring trace_jsonl above.
+        write_profile(sharded.profile, profile_out, deterministic=True)
+        path = pathlib.Path(profile_out)
+        for index, shard_profile in enumerate(sharded.shard_profiles):
+            write_profile(
+                shard_profile,
                 path.with_name(f"{path.stem}.shard{index}{path.suffix}"),
                 deterministic=True,
             )

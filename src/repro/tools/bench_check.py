@@ -5,6 +5,17 @@ Usage (what CI runs)::
     python tools/bench_check.py                     # compare, exit 1 on regression
     python tools/bench_check.py --tolerance 0.25
     python tools/bench_check.py --update            # bless current results
+    python tools/bench_check.py --history           # also append history.jsonl
+    python tools/bench_check.py --trend 10          # report from history.jsonl
+
+``--history [PATH]`` appends one JSON line per gate run — timestamp,
+commit sha (``GITHUB_SHA`` when set), tolerance, and every metric's
+current/baseline/change/status — to ``benchmarks/history.jsonl`` (or
+PATH).  ``--trend [N]`` is a standalone report over the last N history
+records (default 10): per metric, the value trajectory, the net change
+across the window, and a ``REGRESSING`` flag when the most recent runs
+form a consecutive streak of ``regressed`` statuses — the early-warning
+view for drifts that stay inside any single run's tolerance.
 
 Only metrics whose ``direction`` is ``lower`` or ``higher`` are gated;
 ``info`` metrics (raw wall-clock timings) are reported but never fail the
@@ -28,16 +39,24 @@ broken setup from a real regression at a glance:
 from __future__ import annotations
 
 import argparse
+import datetime
+import json
+import os
 import pathlib
 import shutil
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.bench import compare_dirs, discover_bench_files, failures
+from repro.obs.bench import Comparison, compare_dirs, discover_bench_files, failures
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline"
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "history.jsonl"
+
+#: Consecutive ``regressed`` statuses (latest runs) before --trend flags
+#: a metric as REGRESSING.
+TREND_STREAK = 2
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -78,7 +97,130 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="print failures only",
     )
+    parser.add_argument(
+        "--history", type=pathlib.Path, nargs="?", const=DEFAULT_HISTORY,
+        default=None, metavar="PATH",
+        help="append this gate run (every metric's value/change/status) as "
+             "one JSON line to PATH (default benchmarks/history.jsonl)",
+    )
+    parser.add_argument(
+        "--trend", type=int, nargs="?", const=10, default=None, metavar="N",
+        help="standalone report: per-metric trajectory over the last N "
+             "history records (default 10); flags consecutive-regression "
+             "streaks; no comparison is run",
+    )
     return parser
+
+
+# -- history / trend ---------------------------------------------------------
+
+def append_history(
+    path: pathlib.Path,
+    comparisons: Sequence[Comparison],
+    tolerance: float,
+    failed: int,
+) -> None:
+    """Append one gate run as a JSON line (created if missing)."""
+    record = {
+        "ts": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "sha": os.environ.get("GITHUB_SHA", ""),
+        "tolerance": tolerance,
+        "failures": failed,
+        "results": [
+            {
+                "bench": c.bench,
+                "metric": c.metric,
+                "value": c.current,
+                "baseline": c.baseline,
+                "change": c.change,
+                "status": c.status,
+                "direction": c.direction,
+            }
+            for c in comparisons
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: pathlib.Path) -> List[Dict[str, Any]]:
+    """Parse a history JSONL file, skipping torn lines."""
+    records: List[Dict[str, Any]] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn line from an interrupted gate run
+            if isinstance(record, dict) and isinstance(
+                record.get("results"), list
+            ):
+                records.append(record)
+    return records
+
+
+def print_trend(path: pathlib.Path, last_n: int) -> int:
+    """Per-metric trajectory report over the last ``last_n`` records."""
+    if not path.is_file():
+        print(
+            f"bench_check: no history at {path} — run the gate with "
+            "--history first",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    records = load_history(path)[-max(1, last_n):]
+    if not records:
+        print(f"bench_check: {path} holds no parseable records", file=sys.stderr)
+        return EXIT_USAGE
+    series: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    for record in records:
+        for row in record["results"]:
+            key = (str(row.get("bench", "?")), str(row.get("metric", "?")))
+            series.setdefault(key, []).append(row)
+    print(
+        f"bench_check trend: {len(records)} run(s) from {path} "
+        f"({records[0].get('ts', '?')} .. {records[-1].get('ts', '?')})"
+    )
+    streaks = 0
+    for (bench, metric), rows in sorted(series.items()):
+        values = [
+            row["value"] for row in rows
+            if isinstance(row.get("value"), (int, float))
+        ]
+        statuses = [str(row.get("status", "?")) for row in rows]
+        direction = rows[-1].get("direction", "info")
+        if values:
+            first, last = values[0], values[-1]
+            net = (last - first) / abs(first) if first else 0.0
+            trajectory = " -> ".join(f"{value:g}" for value in values[-5:])
+            line = (
+                f"  {bench}/{metric} [{direction}]: {trajectory} "
+                f"(net {net:+.1%} over {len(values)} run(s))"
+            )
+        else:
+            line = f"  {bench}/{metric} [{direction}]: no numeric values"
+        streak = 0
+        for status in reversed(statuses):
+            if status == "regressed":
+                streak += 1
+            else:
+                break
+        if streak >= TREND_STREAK:
+            line += f"  REGRESSING ({streak} consecutive regressed runs)"
+            streaks += 1
+        print(line)
+    if streaks:
+        print(
+            f"bench_check trend: {streaks} metric(s) on a regression streak "
+            f"(>= {TREND_STREAK} consecutive regressed runs)"
+        )
+    return EXIT_OK
 
 
 def update_baseline(results: pathlib.Path, baseline: pathlib.Path) -> int:
@@ -95,6 +237,8 @@ def update_baseline(results: pathlib.Path, baseline: pathlib.Path) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trend is not None:
+        return print_trend(args.history or DEFAULT_HISTORY, args.trend)
     if args.update:
         return update_baseline(args.results, args.baseline)
     if not args.baseline.is_dir() or not discover_bench_files(args.baseline):
@@ -138,6 +282,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"bench_check: {len(fresh)} metric(s) have no baseline yet and "
             "were not gated; run with --update to bless them"
         )
+    if args.history is not None:
+        append_history(args.history, comparisons, args.tolerance, len(bad))
+        print(f"bench_check: history appended to {args.history}")
     if bad:
         print(
             f"bench_check: REGRESSION — {len(bad)} metric(s) moved past the "

@@ -57,7 +57,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.obs.bench import BenchMetric, write_bench
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.summary import sanitize, summarize_runs
+from repro.obs.summary import sanitize, summarize_profiles, summarize_runs
 from repro.tools.scenario import resolve_options
 from repro.tools.workers import CRASH_HOOK_EXIT, Job, JobOutcome, ProcessPool
 from repro.tools.workers import default_context as _default_mp_context
@@ -551,6 +551,9 @@ class CampaignRunner:
             },
             "summary": summarize_runs(result.results, group_by=self.group_by),
         }
+        profiles = summarize_profiles(result.results)
+        if profiles is not None:
+            summary["profiles"] = profiles
         self.summary_path.write_text(
             json.dumps(sanitize(summary), indent=2, sort_keys=True) + "\n"
         )
@@ -671,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="one log line per completed run instead of the live line",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the cost-attribution profiler in every run; per-run "
+             "deterministic count roll-ups land in runs.jsonl and are "
+             "pooled into summary.json's 'profiles' section",
+    )
+    parser.add_argument(
         "--set", action="append", default=[], type=_parse_set,
         metavar="KEY=VALUE",
         help="override a [base] scenario option (repeatable); values parse "
@@ -696,6 +705,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         matrix = {k: list(v) for k, v in spec.get("matrix", {}).items()}
         for key, value in args.set:
             base[key] = value
+        if args.profile:
+            base["profile"] = True
         for axis in _MATRIX_AXES_CLI:
             values = getattr(args, axis)
             if values:

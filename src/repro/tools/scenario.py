@@ -59,7 +59,8 @@ PROTOCOL_CHOICES = ("olsr", "dymo", "aodv", "zrp", "olsr+dymo")
 #: runner's content hash excludes them so e.g. pointing a re-run at a
 #: different trace path still resumes.
 OUTPUT_OPTION_KEYS = frozenset(
-    {"trace", "trace_limit", "trace_tail", "trace_jsonl", "metrics_json"}
+    {"trace", "trace_limit", "trace_tail", "trace_jsonl", "metrics_json",
+     "profile_out"}
 )
 
 
@@ -325,8 +326,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --trace, also dump the full trace as JSONL to PATH",
     )
     parser.add_argument(
-        "--metrics-json", metavar="PATH", default=None,
-        help="dump the observability metrics snapshot as JSON to PATH",
+        "--metrics-out", "--metrics-json", dest="metrics_json", metavar="PATH",
+        default=None,
+        help="dump the final metrics snapshot as JSON to PATH (deterministic "
+             "mode: wall-clock families excluded)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall-clock time and event counts to "
+             "(phase, subsystem, component, event-kind) frames and print "
+             "the top-N hot-spot table (see docs/profiling.md)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="write the profile snapshot as JSON to PATH (implies "
+             "--profile); render it with repro.tools.profview",
     )
     return parser
 
@@ -387,6 +401,7 @@ class ScenarioArtifacts:
     injector: Any = None
     tracker: Any = None
     flows: List[Any] = field(default_factory=list)
+    profiler: Any = None
 
 
 def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
@@ -418,6 +433,10 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
     sim.topology.latency = args.latency
     sim.topology.loss = args.loss
     tracer = sim.enable_tracing(capacity=args.trace_limit) if args.trace else None
+    profile_enabled = bool(
+        getattr(args, "profile", False) or getattr(args, "profile_out", None)
+    )
+    profiler = sim.enable_profiling() if profile_enabled else None
     ids = parse_topology(args.topology, sim, nodes=args.nodes)
 
     mobility = None
@@ -430,6 +449,12 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
         mobility.start()
 
     kits = deploy(args.protocol, sim, ids, args)
+    if profiler is not None:
+        # Dispatch-index hops surface as fm.route event counts; the
+        # observer list stays empty (zero cost) when profiling is off.
+        for kit in kits.values():
+            kit.manager.add_route_observer(profiler.route_observer)
+        profiler.begin_phase("warmup")
     executed = sim.run(args.warmup)
 
     injector = tracker = None
@@ -461,10 +486,16 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
         deliveries[(src, dst)] = received
         flows.append(sim.start_cbr(src, dst, interval=interval))
 
+    if profiler is not None:
+        profiler.begin_phase("traffic")
     executed += sim.run(args.duration)
     for flow in flows:
         flow.stop()
+    if profiler is not None:
+        profiler.begin_phase("drain")
     executed += sim.run(1.0)  # drain in-flight packets
+    if profiler is not None:
+        profiler.end_phase()
     if mobility is not None:
         mobility.stop()
 
@@ -502,10 +533,16 @@ def execute_scenario(args: argparse.Namespace) -> ScenarioArtifacts:
         "recovery_timeouts": list(tracker.timeouts) if tracker is not None else [],
         "metrics": sim.obs.registry.snapshot(deterministic=True),
     }
+    if profiler is not None:
+        from repro.obs.profile import summary_counts
+
+        # Counts only (no wall figures): the result dict stays equal
+        # across same-spec runs, preserving campaign resume hashing.
+        result["profile"] = summary_counts(profiler.snapshot(deterministic=True))
     result = _nan_to_null(result)
     return ScenarioArtifacts(
         result=result, sim=sim, tracer=tracer, injector=injector,
-        tracker=tracker, flows=flows,
+        tracker=tracker, flows=flows, profiler=profiler,
     )
 
 
@@ -533,6 +570,12 @@ def run_scenario(
     if args.metrics_json:
         dump_metrics_json(
             artifacts.sim.obs.registry, args.metrics_json, deterministic=True
+        )
+    if args.profile_out and artifacts.profiler is not None:
+        from repro.obs.profile import write_profile
+
+        write_profile(
+            artifacts.profiler.snapshot(deterministic=True), args.profile_out
         )
     return artifacts.result
 
@@ -594,8 +637,23 @@ def _print_report(args: argparse.Namespace, artifacts: ScenarioArtifacts) -> Non
             path = dump_trace_jsonl(tracer, args.trace_jsonl)
             print(f"trace written to {path}")
     if args.metrics_json:
-        path = dump_metrics_json(artifacts.sim.obs.registry, args.metrics_json)
+        path = dump_metrics_json(
+            artifacts.sim.obs.registry, args.metrics_json, deterministic=True
+        )
         print(f"metrics written to {path}")
+
+    profiler = artifacts.profiler
+    if profiler is not None:
+        from repro.obs.profile import render_top, write_profile
+
+        snapshot = profiler.snapshot()
+        print("\n" + render_top(snapshot, n=15))
+        if args.profile_out:
+            # The CLI keeps the wall figures (the point of profiling a
+            # run interactively); the library path writes deterministic
+            # snapshots, mirroring the trace_jsonl split.
+            path = write_profile(snapshot, args.profile_out)
+            print(f"profile written to {path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

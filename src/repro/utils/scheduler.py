@@ -109,6 +109,9 @@ class Scheduler:
         #: Optional :class:`repro.obs.trace.TraceRecorder`; when set (and
         #: enabled) every dispatched callback is recorded as a trace event.
         self.tracer = None
+        #: Optional :class:`repro.obs.profile.Profiler`; when set, every
+        #: dispatched callback runs inside a ``sched.dispatch`` frame.
+        self.profiler = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -185,11 +188,24 @@ class Scheduler:
         self.clock.set_time(call.when)
         self._executed += 1
         tracer = self.tracer
-        if tracer is not None and tracer.enabled:
-            with tracer.span("sched.dispatch", callback=callback_name(call.callback)):
-                call.callback(*call.args)
+        profiler = self.profiler
+        if profiler is None:
+            if tracer is not None and tracer.enabled:
+                with tracer.span("sched.dispatch", callback=callback_name(call.callback)):
+                    call.callback(*call.args)
+                return True
+            call.callback(*call.args)
             return True
-        call.callback(*call.args)
+        name = callback_name(call.callback)
+        profiler.push2("sched.dispatch", name)
+        try:
+            if tracer is not None and tracer.enabled:
+                with tracer.span("sched.dispatch", callback=name):
+                    call.callback(*call.args)
+            else:
+                call.callback(*call.args)
+        finally:
+            profiler.pop()
         return True
 
     def run_until(

@@ -1,0 +1,163 @@
+"""Tests: merging per-shard metrics snapshots (:mod:`repro.obs.merge`).
+
+The merge has two histogram paths with different fidelity, and the
+difference is part of the contract: given the shards' raw samples the
+pooled percentiles must equal a single registry observing everything;
+without samples, count/sum/min/max merge exactly and the percentile
+fields go NaN rather than pretending.  Empty and missing families —
+a shard that saw no latency samples, a shard that never created the
+family at all — must pool as if absent, not poison the merge.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.merge import (
+    RATIO_METRICS,
+    merge_metrics_snapshots,
+    registry_histogram_samples,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _registry_with(samples, name="net.latency_seconds"):
+    registry = MetricsRegistry()
+    hist = registry.histogram(name)
+    for sample in samples:
+        hist.observe(sample)
+    return registry
+
+
+class TestHistogramPooling:
+    def test_pooled_summary_equals_single_registry(self):
+        shard_a = _registry_with([1.0, 2.0, 3.0])
+        shard_b = _registry_with([4.0, 5.0])
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()],
+            histogram_samples=[
+                registry_histogram_samples(shard_a),
+                registry_histogram_samples(shard_b),
+            ],
+        )
+        reference = Histogram()
+        for sample in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            reference.observe(sample)
+        assert merged["histograms"]["net.latency_seconds"] == reference.summary()
+
+    def test_empty_family_pools_as_absent(self):
+        """A shard whose histogram saw zero samples adds nothing."""
+        shard_a = _registry_with([1.0, 3.0])
+        shard_b = _registry_with([])  # family exists, no samples
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()],
+            histogram_samples=[
+                registry_histogram_samples(shard_a),
+                registry_histogram_samples(shard_b),
+            ],
+        )
+        summary = merged["histograms"]["net.latency_seconds"]
+        assert summary["count"] == 2.0
+        assert summary["median"] == pytest.approx(2.0)
+
+    def test_missing_family_pools_as_absent(self):
+        """A shard that never created the family at all is fine too."""
+        shard_a = _registry_with([1.0, 3.0])
+        shard_b = MetricsRegistry()  # no histograms whatsoever
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()],
+            histogram_samples=[
+                registry_histogram_samples(shard_a),
+                registry_histogram_samples(shard_b),
+            ],
+        )
+        summary = merged["histograms"]["net.latency_seconds"]
+        assert summary["count"] == 2.0
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+    def test_disjoint_families_both_survive(self):
+        shard_a = _registry_with([1.0], name="a.seconds")
+        shard_b = _registry_with([2.0], name="b.seconds")
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()],
+            histogram_samples=[
+                registry_histogram_samples(shard_a),
+                registry_histogram_samples(shard_b),
+            ],
+        )
+        assert set(merged["histograms"]) == {"a.seconds", "b.seconds"}
+
+    def test_all_shards_empty_merges_to_empty_summary(self):
+        shard = _registry_with([])
+        merged = merge_metrics_snapshots(
+            [shard.snapshot()],
+            histogram_samples=[registry_histogram_samples(shard)],
+        )
+        summary = merged["histograms"]["net.latency_seconds"]
+        assert summary["count"] == 0.0
+        assert math.isnan(summary["median"])
+
+
+class TestSummaryOnlyPath:
+    def test_counts_merge_percentiles_go_nan(self):
+        shard_a = _registry_with([1.0, 2.0])
+        shard_b = _registry_with([3.0])
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()]
+        )
+        summary = merged["histograms"]["net.latency_seconds"]
+        assert summary["count"] == 3.0
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        # No raw samples => no honest percentiles.  NaN, not a guess.
+        for key in ("median", "p95", "p99"):
+            assert math.isnan(summary[key])
+
+    def test_nan_min_max_from_empty_shard(self):
+        shard_a = _registry_with([])
+        shard_b = _registry_with([5.0])
+        merged = merge_metrics_snapshots(
+            [shard_a.snapshot(), shard_b.snapshot()]
+        )
+        summary = merged["histograms"]["net.latency_seconds"]
+        assert summary["min"] == 5.0 and summary["max"] == 5.0
+
+
+class TestScalarsAndRatios:
+    def test_counters_and_collected_sum_missing_as_zero(self):
+        merged = merge_metrics_snapshots([
+            {"counters": {"a": 1}, "collected": {"x": 2.0}},
+            {"counters": {"a": 2, "b": 7}},
+        ])
+        assert merged["counters"] == {"a": 3, "b": 7}
+        assert merged["collected"] == {"x": 2.0}
+
+    def test_delivery_ratio_recomputed_not_summed(self):
+        merged = merge_metrics_snapshots([
+            {"collected": {
+                "net.delivery_ratio": 1.0,
+                "net.data_delivered": 10.0,
+                "net.data_sent": 10.0,
+            }},
+            {"collected": {
+                "net.delivery_ratio": 0.5,
+                "net.data_delivered": 5.0,
+                "net.data_sent": 10.0,
+            }},
+        ])
+        assert merged["collected"]["net.delivery_ratio"] == pytest.approx(0.75)
+
+    def test_ratio_with_zero_denominator_is_one(self):
+        merged = merge_metrics_snapshots([
+            {"collected": {
+                "net.delivery_ratio": 1.0,
+                "net.data_delivered": 0.0,
+                "net.data_sent": 0.0,
+            }},
+        ])
+        assert merged["collected"]["net.delivery_ratio"] == 1.0
+
+    def test_ratio_metrics_registry_is_consistent(self):
+        for name, (num, den) in RATIO_METRICS.items():
+            assert name != num and name != den

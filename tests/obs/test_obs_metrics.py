@@ -46,6 +46,53 @@ class TestHistogram:
         assert summary["mean"] == pytest.approx(2.0)
         assert summary["median"] == 2.0
 
+    def test_single_sample_summary_is_that_sample_everywhere(self):
+        """One sample: every percentile IS the sample, bit-for-bit."""
+        hist = Histogram()
+        hist.observe(0.1)
+        summary = hist.summary()
+        for key in ("mean", "min", "max", "median", "p95", "p99"):
+            assert summary[key] == 0.1, key
+        for fraction in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert hist.percentile(fraction) == 0.1
+
+    def test_all_equal_samples_have_no_fp_drift(self):
+        """All-equal samples: percentiles return the value *exactly*.
+
+        The naive ``a*(1-w) + b*w`` blend drifts in binary floating
+        point even when ``a == b`` (``0.1*(1-0.3) + 0.1*0.3`` is
+        ``0.10000000000000002``); the contract short-circuits that case.
+        """
+        hist = Histogram()
+        for _ in range(7):
+            hist.observe(0.1)
+        for fraction in (0.05, 0.3, 0.5, 0.95, 0.99):
+            assert hist.percentile(fraction) == 0.1, fraction
+        summary = hist.summary()
+        assert summary["median"] == summary["p95"] == summary["p99"] == 0.1
+
+    def test_exact_rank_returns_sample_exactly(self):
+        """Integer-position ranks return the sample, no interpolation."""
+        hist = Histogram()
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        assert hist.percentile(0.5) == 0.2  # rank 1.0, exactly on a sample
+        assert hist.percentile(0.0) == 0.1
+        assert hist.percentile(1.0) == 0.3
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Histogram().percentile(0.5))
+
+    def test_summary_and_percentile_agree(self):
+        rng = random.Random(7)
+        hist = Histogram()
+        for _ in range(101):
+            hist.observe(rng.uniform(0.0, 1.0))
+        summary = hist.summary()
+        assert summary["median"] == hist.percentile(0.5)
+        assert summary["p95"] == hist.percentile(0.95)
+        assert summary["p99"] == hist.percentile(0.99)
+
 
 class TestRegistry:
     def test_memoised_by_name_and_labels(self):
@@ -80,6 +127,35 @@ class TestRegistry:
         reg.register_collector(lambda: {"net.frames": 7.0})
         reg.register_collector(lambda: {"net.bytes": 900.0})
         assert reg.snapshot()["collected"] == {"net.bytes": 900.0, "net.frames": 7.0}
+
+    def test_deterministic_snapshot_drops_wall_clock_histograms(self):
+        """``deterministic=True`` filters every WALL_CLOCK_METRICS family.
+
+        ``unit.process_seconds`` measures host wall time, so it must not
+        appear in deterministic snapshots (golden replays, sharded-merge
+        reports) — while simulated-time histograms always survive.
+        """
+        from repro.obs.metrics import WALL_CLOCK_METRICS
+
+        reg = MetricsRegistry()
+        for name in WALL_CLOCK_METRICS:
+            reg.histogram(name, unit="system").observe(0.001)
+        reg.histogram("data.latency_seconds").observe(0.025)
+        full = reg.snapshot()["histograms"]
+        det = reg.snapshot(deterministic=True)["histograms"]
+        assert any(name.startswith("unit.process_seconds") for name in full)
+        assert not any(
+            name.split("{", 1)[0] in WALL_CLOCK_METRICS for name in det
+        )
+        assert "data.latency_seconds" in det
+
+    def test_deterministic_snapshot_keeps_other_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("frames").inc(3)
+        reg.gauge("depth").set(1.0)
+        snap = reg.snapshot(deterministic=True)
+        assert snap["counters"] == {"frames": 3}
+        assert snap["gauges"] == {"depth": 1.0}
 
 
 class TestNetworkStatsAbsorption:

@@ -97,3 +97,107 @@ class TestExitCodes:
         assert main(argv(results, baseline, "--update")) == EXIT_OK
         assert main(argv(results, baseline)) == EXIT_OK
         capsys.readouterr()
+
+
+class TestHistory:
+    def _gate(self, dirs, history, current_value, capsys):
+        results, baseline = dirs
+        write_bench("smoke", {"frames": BenchMetric(value=10)}, baseline)
+        write_bench(
+            "smoke", {"frames": BenchMetric(value=current_value)}, results
+        )
+        code = main(argv(results, baseline, "--history", str(history)))
+        capsys.readouterr()
+        return code
+
+    def test_history_appends_one_record_per_run(self, dirs, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "history.jsonl"
+        assert self._gate(dirs, history, 10, capsys) == EXIT_OK
+        assert self._gate(dirs, history, 11, capsys) == EXIT_OK
+        lines = history.read_text().strip().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[-1])
+        assert record["failures"] == 0
+        row = record["results"][0]
+        assert (row["bench"], row["metric"]) == ("smoke", "frames")
+        assert row["value"] == 11 and row["baseline"] == 10
+        assert row["status"] in ("ok", "improved", "regressed")
+
+    def test_history_records_regressions_too(self, dirs, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "history.jsonl"
+        assert self._gate(dirs, history, 99, capsys) == EXIT_REGRESSION
+        record = json.loads(history.read_text())
+        assert record["failures"] == 1
+        assert record["results"][0]["status"] == "regressed"
+
+
+class TestTrend:
+    def _seed_history(self, path, statuses, values):
+        import json
+
+        with path.open("w") as handle:
+            for status, value in zip(statuses, values):
+                handle.write(json.dumps({
+                    "ts": "2026-01-01T00:00:00Z",
+                    "sha": "",
+                    "tolerance": 0.25,
+                    "failures": 1 if status == "regressed" else 0,
+                    "results": [{
+                        "bench": "smoke", "metric": "frames",
+                        "value": value, "baseline": 10, "change": 0.0,
+                        "status": status, "direction": "lower",
+                    }],
+                }) + "\n")
+
+    def test_trend_without_history_is_usage(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert main(["--trend", "--history", str(missing)]) == EXIT_USAGE
+        assert "no history" in capsys.readouterr().err
+
+    def test_trend_reports_trajectory(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._seed_history(history, ["ok", "ok", "ok"], [10, 11, 12])
+        assert main(["--trend", "--history", str(history)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "smoke/frames" in out
+        assert "10 -> 11 -> 12" in out
+        assert "REGRESSING" not in out
+
+    def test_trend_flags_consecutive_regression_streak(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._seed_history(
+            history,
+            ["ok", "regressed", "regressed"],
+            [10, 14, 15],
+        )
+        assert main(["--trend", "--history", str(history)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "REGRESSING (2 consecutive regressed runs)" in out
+
+    def test_trend_single_regression_is_not_a_streak(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._seed_history(history, ["ok", "regressed"], [10, 14])
+        assert main(["--trend", "--history", str(history)]) == EXIT_OK
+        assert "REGRESSING" not in capsys.readouterr().out
+
+    def test_trend_window_limits_records(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._seed_history(
+            history, ["ok"] * 5, [1, 2, 3, 4, 5]
+        )
+        assert main(["--trend", "2", "--history", str(history)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "4 -> 5" in out
+        assert "1 -> 2" not in out
+
+    def test_trend_skips_torn_lines(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        self._seed_history(history, ["ok"], [10])
+        with history.open("a") as handle:
+            handle.write('{"torn": \n')
+        assert main(["--trend", "--history", str(history)]) == EXIT_OK
+        capsys.readouterr()

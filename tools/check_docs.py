@@ -22,6 +22,7 @@ Walks ``README.md`` and ``docs/*.md`` and enforces three properties:
    ``console`` block that invokes one of this repo's CLIs
    (``repro.tools.scenario``, ``repro.tools.campaign``,
    ``repro.tools.bench_check``, ``repro.tools.traceview``,
+   ``repro.tools.profview``,
    ``repro.tools.golden_replay``, ``repro.sim.reconfig_battery``,
    ``manetkit-scenario``, ``tools/check_docs.py``) has its ``--flags``
    checked against the *actual* argparse parser.  Rename a flag without
@@ -121,7 +122,7 @@ def extract_links(text: str) -> List[str]:
 def _known_parsers() -> Dict[str, Set[str]]:
     """Map CLI spelling → the option strings its real parser accepts."""
     from repro.sim import reconfig_battery
-    from repro.tools import bench_check, campaign, scenario, traceview
+    from repro.tools import bench_check, campaign, profview, scenario, traceview
 
     def opts(parser: argparse.ArgumentParser) -> Set[str]:
         return set(parser._option_string_actions)
@@ -130,6 +131,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
     campaign_opts = opts(campaign.build_parser())
     bench_opts = opts(bench_check.build_parser())
     traceview_opts = opts(traceview.build_parser())
+    profview_opts = opts(profview.build_parser())
     battery_opts = opts(reconfig_battery.build_parser())
     docs_opts = opts(build_parser())
     return {
@@ -139,6 +141,7 @@ def _known_parsers() -> Dict[str, Set[str]]:
         "repro.tools.bench_check": bench_opts,
         "tools/bench_check.py": bench_opts,
         "repro.tools.traceview": traceview_opts,
+        "repro.tools.profview": profview_opts,
         "repro.sim.reconfig_battery": battery_opts,
         "tools/check_docs.py": docs_opts,
         # golden_replay builds its parser inline inside main()
